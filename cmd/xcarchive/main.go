@@ -1,0 +1,80 @@
+// xcarchive packs an XML document into the compressed archive format
+// (compressed skeleton + XMILL-style value containers) and unpacks it
+// back.
+//
+//	xcarchive pack   doc.xml  doc.xca
+//	xcarchive unpack doc.xca  doc.xml
+//	xcarchive stat   doc.xca
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/container"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "pack":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		data, err := os.ReadFile(os.Args[2])
+		fatal(err)
+		a, err := container.Split(data)
+		fatal(err)
+		out, err := os.Create(os.Args[3])
+		fatal(err)
+		fatal(codec.EncodeArchive(out, a))
+		fatal(out.Close())
+		st, err := os.Stat(os.Args[3])
+		fatal(err)
+		fmt.Printf("packed %d bytes -> %d bytes (%.1f%%); skeleton %d vertices / %d edges, %d containers\n",
+			len(data), st.Size(), 100*float64(st.Size())/float64(len(data)),
+			a.Skeleton.NumVertices(), a.Skeleton.NumEdges(), a.Store.NumContainers())
+	case "unpack":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		in, err := os.Open(os.Args[2])
+		fatal(err)
+		a, err := codec.DecodeArchive(in)
+		fatal(err)
+		fatal(in.Close())
+		out, err := os.Create(os.Args[3])
+		fatal(err)
+		fatal(a.Reconstruct(out))
+		fatal(out.Close())
+	case "stat":
+		in, err := os.Open(os.Args[2])
+		fatal(err)
+		a, err := codec.DecodeArchive(in)
+		fatal(err)
+		fatal(in.Close())
+		fmt.Printf("skeleton:   %d vertices, %d edges (tree size %d)\n",
+			a.Skeleton.NumVertices(), a.Skeleton.NumEdges(), a.Skeleton.TreeSize())
+		fmt.Printf("containers: %d, %d value bytes\n", a.Store.NumContainers(), a.Store.TotalBytes())
+		for _, k := range a.Store.Keys() {
+			fmt.Printf("  %-40s %6d chunks\n", k, len(a.Store.Chunks(k)))
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xcarchive pack doc.xml doc.xca | unpack doc.xca doc.xml | stat doc.xca")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xcarchive: %v\n", err)
+		os.Exit(1)
+	}
+}

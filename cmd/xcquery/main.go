@@ -1,0 +1,111 @@
+// xcquery evaluates a Core XPath query on an XML file using the
+// compressed-instance engine and prints a Figure 7-style report: parse
+// time, instance sizes before and after evaluation, query time, and
+// selected node counts on the DAG and in the tree.
+//
+// Usage:
+//
+//	xcquery [-plan] [-baseline] 'query' file.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/xpath"
+)
+
+func main() {
+	plan := flag.Bool("plan", false, "print the compiled algebra plan and exit")
+	useBaseline := flag.Bool("baseline", false, "also evaluate on the uncompressed tree for comparison")
+	dotFile := flag.String("dot", "", "write the result instance as Graphviz DOT to this file")
+	showPaths := flag.Int("paths", 0, "print up to N selected tree-node addresses")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: xcquery [-plan] [-baseline] 'query' file.xml")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 && !(*plan && flag.NArg() == 1) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	prog, err := xpath.CompileQuery(query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
+		os.Exit(1)
+	}
+	if *plan {
+		fmt.Print(prog.String())
+		if flag.NArg() == 1 {
+			return
+		}
+	}
+
+	data, err := os.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := core.Load(data).Run(prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("query:              %s\n", query)
+	fmt.Printf("document:           %s (%d bytes, %d elements)\n", flag.Arg(1), len(data), res.TreeVertices)
+	fmt.Printf("parse+compress:     %v\n", res.ParseTime)
+	fmt.Printf("instance before:    %d vertices, %d edges\n", res.VertsBefore, res.EdgesBefore)
+	fmt.Printf("query time:         %v\n", res.EvalTime)
+	fmt.Printf("instance after:     %d vertices, %d edges\n", res.VertsAfter, res.EdgesAfter)
+	fmt.Printf("selected (dag):     %d\n", res.SelectedDAG)
+	fmt.Printf("selected (tree):    %d\n", res.SelectedTree)
+
+	if *showPaths > 0 {
+		for _, p := range res.Paths(*showPaths) {
+			fmt.Printf("  node %s\n", p)
+		}
+	}
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
+			os.Exit(1)
+		}
+		if err := dag.WriteDOT(f, res.Instance, query); err != nil {
+			fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *useBaseline {
+		t0 := time.Now()
+		tree, err := baseline.Build(data, prog.Strings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xcquery: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		buildTime := time.Since(t0)
+		t1 := time.Now()
+		sel, err := baseline.Eval(tree, prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xcquery: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		evalTime := time.Since(t1)
+		fmt.Printf("baseline build:     %v (%d nodes)\n", buildTime, tree.NumNodes())
+		fmt.Printf("baseline eval:      %v\n", evalTime)
+		fmt.Printf("baseline selected:  %d\n", baseline.Count(sel))
+	}
+}

@@ -1,0 +1,45 @@
+// xcstat reports skeleton compression statistics for an XML file — one
+// Figure 6 row: tree size, compressed DAG size, and the edge ratio, in both
+// tag modes ("−" = structure only, "+" = all tags).
+//
+// Usage:
+//
+//	xcstat file.xml [file2.xml ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/skeleton"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: xcstat file.xml [file2.xml ...]")
+		os.Exit(2)
+	}
+	fmt.Printf("%-24s %12s %12s %12s %10s  %s\n",
+		"file", "|V_T|", "|V_M(T)|", "|E_M(T)|", "ratio", "tags")
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xcstat: %v\n", err)
+			os.Exit(1)
+		}
+		doc := core.Load(data)
+		for _, mode := range []struct {
+			m    skeleton.TagMode
+			sign string
+		}{{skeleton.TagsNone, "-"}, {skeleton.TagsAll, "+"}} {
+			st, err := doc.Stats(mode.m)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xcstat: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-24s %12d %12d %12d %9.1f%%  %s\n",
+				path, st.TreeVertices, st.DagVertices, st.DagEdges, 100*st.Ratio, mode.sign)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Compression: a tour of the compressed-instance machinery itself —
+// the relational-table asymptotics from the paper's introduction, explicit
+// decompression (T(I)), minimality, equivalence, and merging two labelings
+// of one document with the common-extension construction (Section 2.3).
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/skeleton"
+)
+
+func main() {
+	// 1. The introduction's observation: an R x C relational table has an
+	// O(C*R) skeleton but an O(C) compressed instance (O(C + log R)
+	// counting the bits of the edge multiplicity).
+	fmt.Println("R x 8 relational tables:")
+	for _, rows := range []int{10, 1000, 100000} {
+		docBytes := corpus.RelationalTable(rows, 8)
+		inst, st, err := skeleton.BuildCompressed(docBytes, skeleton.Options{Mode: skeleton.TagsAll})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  R=%6d: tree %8d nodes -> dag %2d vertices, %2d edges\n",
+			rows, st.TreeVertices, inst.NumVertices(), inst.NumEdges())
+	}
+
+	// 2. Explicit decompression and the equivalence lattice.
+	docXML := []byte(`<bib><book><title/><author/><author/></book><paper><title/><author/></paper><paper><title/><author/></paper></bib>`)
+	m, _, err := skeleton.BuildCompressed(docXML, skeleton.Options{Mode: skeleton.TagsAll})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFigure 1 document: minimal=%v, %d vertices, tree size %d\n",
+		dag.Minimal(m), m.NumVertices(), m.TreeSize())
+	tree, err := dag.Decompress(m, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decompressed T(I): %d vertices, is tree: %v, equivalent to I: %v\n",
+		tree.NumVertices(), dag.IsTree(tree), dag.Equivalent(m, tree))
+
+	// 3. Common extensions: merge two independently built labelings of
+	// the same document (e.g. a cached subquery result and a fresh
+	// string-index lookup) into one instance carrying both.
+	authorsOnly, _, err := skeleton.BuildCompressed(docXML, skeleton.Options{
+		Mode: skeleton.TagsListed, Tags: []string{"author"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	titlesOnly, _, err := skeleton.BuildCompressed(docXML, skeleton.Options{
+		Mode: skeleton.TagsListed, Tags: []string{"title"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ext, err := dag.CommonExtension(authorsOnly, titlesOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aID := ext.Schema.Lookup(skeleton.TagLabel("author"))
+	tID := ext.Schema.Lookup(skeleton.TagLabel("title"))
+	fmt.Printf("\ncommon extension of {author}- and {title}-labelings: %d vertices\n", ext.NumVertices())
+	fmt.Printf("  authors: %d, titles: %d (tree nodes)\n",
+		ext.CountSelectedTree(aID), ext.CountSelectedTree(tID))
+
+	// 4. Reducts project labelings away again.
+	red := ext.Reduct([]label.ID{aID})
+	fmt.Printf("  reduct to {author} equivalent to the author labeling: %v\n",
+		dag.Equivalent(red, authorsOnly))
+}

@@ -1,0 +1,81 @@
+// Quickstart: load an XML document, run Core XPath queries on its
+// compressed skeleton, and inspect what the compression did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/skeleton"
+)
+
+// The bibliographic database of the paper's Example 1.1.
+const bib = `<bib>
+  <book>
+    <title>Foundations of Databases</title>
+    <author>Abiteboul</author><author>Hull</author><author>Vianu</author>
+  </book>
+  <paper>
+    <title>A Relational Model for Large Shared Data Banks</title>
+    <author>Codd</author>
+  </paper>
+  <paper>
+    <title>The Complexity of Relational Query Languages</title>
+    <author>Vardi</author>
+  </paper>
+</bib>`
+
+func main() {
+	doc := core.Load([]byte(bib))
+
+	// How well does the skeleton compress? (Figure 1 of the paper: the
+	// 12-node tree shares its subtrees into a handful of DAG vertices.)
+	st, err := doc.Stats(skeleton.TagsAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("skeleton: %d tree nodes -> %d DAG vertices, %d edges (%.0f%% of the tree)\n\n",
+		st.TreeVertices, st.DagVertices, st.DagEdges, 100*st.Ratio)
+
+	// Run a few queries. Each evaluates directly on the compressed
+	// instance; downward steps may partially decompress it.
+	queries := []string{
+		`//author`,
+		`/bib/book/author`,
+		`//paper[author["Codd"]]/title`,
+		`//paper[not(author["Codd"])]`,
+		`//book/following-sibling::paper`,
+		`/self::*[bib/book/author]`, // tree-pattern query: selects the root if the path exists
+	}
+	for _, q := range queries {
+		res, err := doc.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-42s -> %d node(s)  [instance %d->%d vertices, eval %v]\n",
+			q, res.SelectedTree, res.VertsBefore, res.VertsAfter, res.EvalTime)
+	}
+
+	// Decode a result back to tree addresses and pull the matching
+	// subtrees straight out of the compressed archive.
+	res, err := doc.Query(`//paper/title`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch, err := container.Split([]byte(bib))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmatches for //paper/title:")
+	for _, addr := range res.Paths(10) {
+		sub, err := arch.ExtractSubtree(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  node %-6s %s\n", addr, sub)
+	}
+}

@@ -1,0 +1,79 @@
+// Store: the storage side of the architecture — split a document into a
+// compressed skeleton plus XMILL-style value containers, persist it in the
+// binary archive format, load it back, reconstruct the XML, and run
+// repeated queries against a prepared (cached) document using the common-
+// extension merge instead of re-parsing.
+//
+//	go run ./examples/store
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/codec"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	c, err := corpus.ByName("Baseball")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := c.Generate(4, 9)
+	fmt.Printf("document: %d bytes\n", len(data))
+
+	// 1. Split into skeleton + containers.
+	a, err := container.Split(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("skeleton: %d vertices, %d edges (tree size %d); %d containers, %d value bytes\n",
+		a.Skeleton.NumVertices(), a.Skeleton.NumEdges(), a.Skeleton.TreeSize(),
+		a.Store.NumContainers(), a.Store.TotalBytes())
+
+	// 2. Persist to the binary archive format and load it back.
+	var packed bytes.Buffer
+	if err := codec.EncodeArchive(&packed, a); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archive:  %d bytes on disk (%.1f%% of the XML)\n",
+		packed.Len(), 100*float64(packed.Len())/float64(len(data)))
+	loaded, err := codec.DecodeArchive(bytes.NewReader(packed.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Reconstruct the document from the archive.
+	var rebuilt bytes.Buffer
+	if err := loaded.Reconstruct(&rebuilt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructed: %d bytes of XML\n\n", rebuilt.Len())
+
+	// 4. Query the reconstructed document through a prepared handle:
+	// the tag skeleton is compressed once; string conditions are
+	// distilled per query and merged in via the common-extension
+	// algorithm (Section 2.3 of the paper).
+	doc := core.Load(rebuilt.Bytes())
+	prep, err := doc.Prepare()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prepared instance: %d vertices, %d edges\n", prep.BaseVertices(), prep.BaseEdges())
+	for _, q := range []string{
+		`/SEASON/LEAGUE/DIVISION/TEAM/PLAYER`,          // tag-only: no parse at all
+		`//PLAYER[THROWS["Right"]]`,                    // string condition: distil + merge
+		`//TEAM[TEAM_CITY["Atlanta"]]/PLAYER/POSITION`, // both
+	} {
+		res, err := prep.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-46s -> %5d node(s)  (prep %v, eval %v)\n",
+			q, res.SelectedTree, res.ParseTime.Round(1000), res.EvalTime.Round(1000))
+	}
+}

@@ -1,0 +1,295 @@
+package algebra_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+	"repro/internal/dag"
+	"repro/internal/dagtest"
+	"repro/internal/label"
+	"repro/internal/skeleton"
+)
+
+// sel returns the tag label ID, failing the test if missing.
+func tagID(t *testing.T, in *dag.Instance, tag string) label.ID {
+	t.Helper()
+	id := in.Schema.Lookup(skeleton.TagLabel(tag))
+	if id == label.Invalid {
+		t.Fatalf("tag %q not in schema", tag)
+	}
+	return id
+}
+
+// treeCount applies the axis on a compressed instance and returns how many
+// tree nodes the new selection covers.
+func treeCount(t *testing.T, term, tag string, axis algebra.Axis) uint64 {
+	t.Helper()
+	in := dagtest.CompressedFromTerm(term)
+	src := tagID(t, in, tag)
+	out, dst := algebra.ApplyAxis(in, axis, src, "$r")
+	if err := out.Validate(); err != nil {
+		t.Fatalf("%v axis broke the instance: %v\n%s", axis, err, out)
+	}
+	return out.CountSelectedTree(dst)
+}
+
+func TestChildAxis(t *testing.T) {
+	// children of the two 'b' nodes: c,c,d and c.
+	if got := treeCount(t, "a(b(c,c,d),b(c),d)", "b", algebra.Child); got != 4 {
+		t.Fatalf("child count = %d, want 4", got)
+	}
+}
+
+func TestParentAxis(t *testing.T) {
+	// parents of c nodes: the two b's.
+	if got := treeCount(t, "a(b(c,c,d),b(c),d)", "c", algebra.Parent); got != 2 {
+		t.Fatalf("parent count = %d, want 2", got)
+	}
+}
+
+func TestDescendantAxis(t *testing.T) {
+	// descendants of a: everything below the root = 6 nodes.
+	if got := treeCount(t, "a(b(c,c,d),b(c),d)", "a", algebra.Descendant); got != 7 {
+		t.Fatalf("descendant count = %d, want 7", got)
+	}
+	// descendants of b: c,c,d,c = 4.
+	if got := treeCount(t, "a(b(c,c,d),b(c),d)", "b", algebra.Descendant); got != 4 {
+		t.Fatalf("descendant-of-b count = %d, want 4", got)
+	}
+}
+
+func TestDescendantOrSelfAxis(t *testing.T) {
+	if got := treeCount(t, "a(b(c,c,d),b(c),d)", "b", algebra.DescendantOrSelf); got != 6 {
+		t.Fatalf("dos count = %d, want 6", got)
+	}
+}
+
+func TestAncestorAxis(t *testing.T) {
+	// ancestors of c: the two b's and a.
+	if got := treeCount(t, "a(b(c,c,d),b(c),d)", "c", algebra.Ancestor); got != 3 {
+		t.Fatalf("ancestor count = %d, want 3", got)
+	}
+}
+
+func TestAncestorOrSelfAxis(t *testing.T) {
+	if got := treeCount(t, "a(b(c,c,d),b(c),d)", "c", algebra.AncestorOrSelf); got != 6 {
+		t.Fatalf("aos count = %d, want 6", got)
+	}
+}
+
+func TestSelfAxis(t *testing.T) {
+	if got := treeCount(t, "a(b(c,c,d),b(c),d)", "c", algebra.Self); got != 3 {
+		t.Fatalf("self count = %d, want 3", got)
+	}
+}
+
+func TestFollowingSiblingAxis(t *testing.T) {
+	// siblings after the first c in each b: under b1 (c,c,d): c,d;
+	// under b2 (c): none. Also top level: after b1: b2,d; after b2: d —
+	// but src is c, so only within the b's.
+	if got := treeCount(t, "a(b(c,c,d),b(c),d)", "c", algebra.FollowingSibling); got != 2 {
+		t.Fatalf("following-sibling count = %d, want 2", got)
+	}
+}
+
+func TestFollowingSiblingSplitsRuns(t *testing.T) {
+	// a(c,c,c): following-sibling(c) = the 2nd and 3rd c. The compressed
+	// instance has one c vertex with multiplicity 3; the run must split.
+	in := dagtest.CompressedFromTerm("a(c,c,c)")
+	if in.NumVertices() != 2 {
+		t.Fatalf("setup: vertices = %d", in.NumVertices())
+	}
+	src := tagID(t, in, "c")
+	out, dst := algebra.ApplyAxis(in, algebra.FollowingSibling, src, "$r")
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.CountSelectedTree(dst); got != 2 {
+		t.Fatalf("selected = %d, want 2\n%s", got, out)
+	}
+	if got := out.CountSelected(dst); got != 1 {
+		t.Fatalf("selected DAG vertices = %d, want 1 (split run, shared tail)\n%s", got, out)
+	}
+}
+
+func TestPrecedingSiblingAxis(t *testing.T) {
+	in := dagtest.CompressedFromTerm("a(c,c,c)")
+	src := tagID(t, in, "c")
+	out, dst := algebra.ApplyAxis(in, algebra.PrecedingSibling, src, "$r")
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// preceding siblings of {c1,c2,c3}: c1,c2 selected.
+	if got := out.CountSelectedTree(dst); got != 2 {
+		t.Fatalf("selected = %d, want 2\n%s", got, out)
+	}
+}
+
+func TestFollowingAxis(t *testing.T) {
+	// following(b1): nodes strictly after b1 in document order, minus
+	// ancestors: b2, its c, and d = 3... term a(b(c),b(c),d): following
+	// of first b = {b2, c(under b2), d} = 3; following of second b = {d}.
+	// src selects BOTH b's, so following(S) = union = {b2, c2, d} = 3.
+	if got := treeCount(t, "a(b(c),b(c),d)", "b", algebra.Following); got != 3 {
+		t.Fatalf("following count = %d, want 3", got)
+	}
+}
+
+func TestPrecedingAxis(t *testing.T) {
+	// preceding(d) with d last: everything before it except ancestors:
+	// b,c,b,c = 4.
+	if got := treeCount(t, "a(b(c),b(c),d)", "d", algebra.Preceding); got != 4 {
+		t.Fatalf("preceding count = %d, want 4", got)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	in := dagtest.CompressedFromTerm("a(b,c,b)")
+	b := tagID(t, in, "b")
+	c := tagID(t, in, "c")
+	in, u := algebra.Union(in, b, c, "$u")
+	if got := in.CountSelectedTree(u); got != 3 {
+		t.Fatalf("union = %d, want 3", got)
+	}
+	in, i := algebra.Intersect(in, b, c, "$i")
+	if got := in.CountSelectedTree(i); got != 0 {
+		t.Fatalf("intersect = %d, want 0", got)
+	}
+	in, d := algebra.Difference(in, u, b, "$d")
+	if got := in.CountSelectedTree(d); got != 1 {
+		t.Fatalf("difference = %d, want 1", got)
+	}
+	in, n := algebra.Complement(in, b, "$n")
+	if got := in.CountSelectedTree(n); got != 2 {
+		t.Fatalf("complement = %d, want 2 (a and c)", got)
+	}
+}
+
+func TestRootFilter(t *testing.T) {
+	in := dagtest.CompressedFromTerm("a(b)")
+	a := tagID(t, in, "a")
+	b := tagID(t, in, "b")
+	in, yes := algebra.RootFilter(in, a, "$y")
+	if got := in.CountSelectedTree(yes); got != 2 {
+		t.Fatalf("root filter (root selected) = %d, want all 2", got)
+	}
+	in, no := algebra.RootFilter(in, b, "$n")
+	if got := in.CountSelectedTree(no); got != 0 {
+		t.Fatalf("root filter (root unselected) = %d, want 0", got)
+	}
+}
+
+func TestAddAllAddRoot(t *testing.T) {
+	in := dagtest.CompressedFromTerm("a(b,b)")
+	in, all := algebra.AddAll(in, "$all")
+	if got := in.CountSelectedTree(all); got != 3 {
+		t.Fatalf("all = %d", got)
+	}
+	in, root := algebra.AddRoot(in, "$root")
+	if got := in.CountSelectedTree(root); got != 1 {
+		t.Fatalf("root = %d", got)
+	}
+	if !in.Verts[in.Root].Labels.Has(root) {
+		t.Fatal("root selection not on root vertex")
+	}
+}
+
+func TestClearLabel(t *testing.T) {
+	in := dagtest.CompressedFromTerm("a(b)")
+	b := tagID(t, in, "b")
+	algebra.ClearLabel(in, b)
+	if got := in.CountSelected(b); got != 0 {
+		t.Fatalf("cleared label still selects %d", got)
+	}
+}
+
+// TestUpwardNoDecompression is Corollary 3.7's precondition: upward axes
+// and set operations never change the DAG.
+func TestUpwardNoDecompression(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := dag.Compress(dagtest.RandomTree(r, 60, 4, 3))
+		v0, e0 := in.NumVertices(), in.NumEdges()
+		var src label.ID
+		if in.Schema.Len() == 0 {
+			return true
+		}
+		src = label.ID(r.Intn(in.Schema.Len()))
+		for _, ax := range []algebra.Axis{algebra.Self, algebra.Parent, algebra.Ancestor, algebra.AncestorOrSelf} {
+			var out *dag.Instance
+			out, src = algebra.ApplyAxis(in, ax, src, "$x"+ax.String())
+			in = out
+			if in.NumVertices() != v0 || in.NumEdges() != e0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoublingBound checks Propositions 3.2/3.4: one axis application at
+// most doubles vertices and edges.
+func TestDoublingBound(t *testing.T) {
+	axes := []algebra.Axis{
+		algebra.Child, algebra.Descendant, algebra.DescendantOrSelf,
+		algebra.FollowingSibling, algebra.PrecedingSibling,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := dag.Compress(dagtest.RandomTree(r, 80, 4, 3))
+		if base.Schema.Len() == 0 {
+			return true
+		}
+		src := label.ID(r.Intn(base.Schema.Len()))
+		for _, ax := range axes {
+			in := base.Clone()
+			v0, e0 := in.NumVertices(), in.NumEdges()
+			out, _ := algebra.ApplyAxis(in, ax, src, "$r")
+			if err := out.Validate(); err != nil {
+				t.Logf("%v: %v", ax, err)
+				return false
+			}
+			if out.NumVertices() > 2*v0 || out.NumEdges() > 2*e0 {
+				t.Logf("%v grew %d/%d -> %d/%d", ax, v0, e0, out.NumVertices(), out.NumEdges())
+				return false
+			}
+			// Equivalence must be preserved on the original schema.
+			keep := make([]label.ID, base.Schema.Len())
+			for i := range keep {
+				keep[i] = label.ID(i)
+			}
+			if !dag.Equivalent(out.Reduct(keep), base) {
+				t.Logf("%v changed the underlying document", ax)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAxisInverseRoundTrip(t *testing.T) {
+	for a := algebra.Self; a <= algebra.Preceding; a++ {
+		if a.Inverse().Inverse() != a {
+			t.Errorf("%v: double inverse mismatch", a)
+		}
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in := dag.New()
+	for _, ax := range []algebra.Axis{algebra.Child, algebra.Parent, algebra.Descendant, algebra.FollowingSibling, algebra.Following} {
+		out, _ := algebra.ApplyAxis(in, ax, 0, "$r")
+		if out.NumVertices() != 0 {
+			t.Fatalf("%v on empty instance produced vertices", ax)
+		}
+		in = out
+	}
+}

@@ -1,0 +1,314 @@
+// Package codec provides a compact binary serialization for compressed
+// instances and archives, so that compressed skeletons can be stored on
+// disk and mapped back into memory without re-parsing the XML — the
+// storage direction the paper's Section 6 sketches ("cache chunks of
+// compressed instances in secondary storage").
+//
+// Format (little-endian varints throughout):
+//
+//	instance := magic "XCI1" version
+//	            nSchema (string)*            schema names, ID order
+//	            nVerts root
+//	            vertex*                      in ID order
+//	vertex   := nLabels (labelID)*           ascending
+//	            nEdges (childID count)*
+//	archive  := magic "XCA1" version instance
+//	            nContainers (key nChunks chunk*)*
+//
+// Strings are length-prefixed UTF-8. The format is self-contained and
+// versioned; decoding validates structural invariants before returning.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/container"
+	"repro/internal/dag"
+	"repro/internal/label"
+)
+
+const (
+	instanceMagic = "XCI1"
+	archiveMagic  = "XCA1"
+	version       = 1
+	// maxLen guards length fields against corrupt or hostile input
+	// before any allocation happens.
+	maxLen = 1 << 30
+)
+
+// ErrCorrupt is wrapped by all decoding errors caused by malformed input.
+var ErrCorrupt = errors.New("codec: corrupt input")
+
+type writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (w *writer) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+func (w *writer) raw(s string) {
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+type reader struct {
+	r *bufio.Reader
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+func (r *reader) length() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxLen {
+		return 0, fmt.Errorf("%w: length %d too large", ErrCorrupt, v)
+	}
+	return int(v), nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.length()
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return string(buf), nil
+}
+
+func (r *reader) expect(magic string) error {
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(buf) != magic {
+		return fmt.Errorf("%w: bad magic %q, want %q", ErrCorrupt, buf, magic)
+	}
+	return nil
+}
+
+// EncodeInstance writes in to w.
+func EncodeInstance(w io.Writer, in *dag.Instance) error {
+	bw := &writer{w: bufio.NewWriter(w)}
+	encodeInstance(bw, in)
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.w.Flush()
+}
+
+func encodeInstance(bw *writer, in *dag.Instance) {
+	bw.raw(instanceMagic)
+	bw.uvarint(version)
+	bw.uvarint(uint64(in.Schema.Len()))
+	for i := 0; i < in.Schema.Len(); i++ {
+		bw.str(in.Schema.Name(label.ID(i)))
+	}
+	bw.uvarint(uint64(len(in.Verts)))
+	// Root: offset by one so the empty instance's NilVertex encodes as 0.
+	bw.uvarint(uint64(in.Root + 1))
+	for i := range in.Verts {
+		v := &in.Verts[i]
+		members := v.Labels.Members()
+		bw.uvarint(uint64(len(members)))
+		for _, id := range members {
+			bw.uvarint(uint64(id))
+		}
+		bw.uvarint(uint64(len(v.Edges)))
+		for _, e := range v.Edges {
+			bw.uvarint(uint64(e.Child))
+			bw.uvarint(uint64(e.Count))
+		}
+	}
+}
+
+// DecodeInstance reads an instance from r and validates its invariants.
+func DecodeInstance(r io.Reader) (*dag.Instance, error) {
+	br := &reader{r: bufio.NewReader(r)}
+	in, err := decodeInstance(br)
+	if err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func decodeInstance(br *reader) (*dag.Instance, error) {
+	if err := br.expect(instanceMagic); err != nil {
+		return nil, err
+	}
+	v, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	nSchema, err := br.length()
+	if err != nil {
+		return nil, err
+	}
+	schema := label.NewSchema()
+	for i := 0; i < nSchema; i++ {
+		name, err := br.str()
+		if err != nil {
+			return nil, err
+		}
+		if schema.Intern(name) != label.ID(i) {
+			return nil, fmt.Errorf("%w: duplicate schema name %q", ErrCorrupt, name)
+		}
+	}
+	nVerts, err := br.length()
+	if err != nil {
+		return nil, err
+	}
+	rootPlus1, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if rootPlus1 > uint64(nVerts) {
+		return nil, fmt.Errorf("%w: root %d out of range", ErrCorrupt, rootPlus1)
+	}
+	in := &dag.Instance{
+		Verts:  make([]dag.Vertex, nVerts),
+		Root:   dag.VertexID(rootPlus1) - 1,
+		Schema: schema,
+	}
+	for i := 0; i < nVerts; i++ {
+		nLabels, err := br.length()
+		if err != nil {
+			return nil, err
+		}
+		var ls label.Set
+		for j := 0; j < nLabels; j++ {
+			id, err := br.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if id >= uint64(nSchema) {
+				return nil, fmt.Errorf("%w: label %d out of schema range", ErrCorrupt, id)
+			}
+			ls = ls.Set(label.ID(id))
+		}
+		nEdges, err := br.length()
+		if err != nil {
+			return nil, err
+		}
+		edges := make([]dag.Edge, nEdges)
+		for j := 0; j < nEdges; j++ {
+			child, err := br.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			count, err := br.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if child >= uint64(nVerts) {
+				return nil, fmt.Errorf("%w: edge to vertex %d out of range", ErrCorrupt, child)
+			}
+			if count == 0 || count > math.MaxUint32 {
+				return nil, fmt.Errorf("%w: edge multiplicity %d invalid", ErrCorrupt, count)
+			}
+			edges[j] = dag.Edge{Child: dag.VertexID(child), Count: uint32(count)}
+		}
+		in.Verts[i] = dag.Vertex{Edges: edges, Labels: ls}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return in, nil
+}
+
+// EncodeArchive writes a container archive (skeleton + value containers).
+func EncodeArchive(w io.Writer, a *container.Archive) error {
+	bw := &writer{w: bufio.NewWriter(w)}
+	bw.raw(archiveMagic)
+	bw.uvarint(version)
+	encodeInstance(bw, a.Skeleton)
+	keys := a.Store.Keys()
+	bw.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		bw.str(k)
+		chunks := a.Store.Chunks(k)
+		bw.uvarint(uint64(len(chunks)))
+		for _, c := range chunks {
+			bw.str(c)
+		}
+	}
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.w.Flush()
+}
+
+// DecodeArchive reads a container archive.
+func DecodeArchive(r io.Reader) (*container.Archive, error) {
+	br := &reader{r: bufio.NewReader(r)}
+	if err := br.expect(archiveMagic); err != nil {
+		return nil, err
+	}
+	v, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	skel, err := decodeInstance(br)
+	if err != nil {
+		return nil, err
+	}
+	store := container.NewStore()
+	nCont, err := br.length()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nCont; i++ {
+		key, err := br.str()
+		if err != nil {
+			return nil, err
+		}
+		nChunks, err := br.length()
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < nChunks; j++ {
+			chunk, err := br.str()
+			if err != nil {
+				return nil, err
+			}
+			store.Append(key, chunk)
+		}
+	}
+	return &container.Archive{Skeleton: skel, Store: store}, nil
+}

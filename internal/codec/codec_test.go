@@ -1,0 +1,182 @@
+package codec_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codec"
+	"repro/internal/container"
+	"repro/internal/dag"
+	"repro/internal/dagtest"
+	"repro/internal/skeleton"
+)
+
+func encodeDecode(t *testing.T, in *dag.Instance) *dag.Instance {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := codec.EncodeInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := codec.DecodeInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	in := dagtest.CompressedFromTerm("bib(book(title,author,author,author),paper(title,author),paper(title,author))")
+	out := encodeDecode(t, in)
+	if out.NumVertices() != in.NumVertices() || out.NumEdges() != in.NumEdges() {
+		t.Fatalf("size changed: %d/%d -> %d/%d",
+			in.NumVertices(), in.NumEdges(), out.NumVertices(), out.NumEdges())
+	}
+	if !dag.Equivalent(in, out) {
+		t.Fatal("decoded instance not equivalent")
+	}
+	if out.Schema.Len() != in.Schema.Len() {
+		t.Fatal("schema size changed")
+	}
+}
+
+func TestEmptyInstanceRoundTrip(t *testing.T) {
+	out := encodeDecode(t, dag.New())
+	if out.NumVertices() != 0 || out.Root != dag.NilVertex {
+		t.Fatalf("empty instance broken: %d verts root %d", out.NumVertices(), out.Root)
+	}
+}
+
+func TestPropertyInstanceRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := dag.Compress(dagtest.RandomTree(r, 80, 4, 3))
+		out := encodeDecode(t, in)
+		return dag.Equivalent(in, out) &&
+			out.NumVertices() == in.NumVertices() &&
+			out.NumEdges() == in.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	in := dagtest.CompressedFromTerm("a(b,b,c)")
+	var buf bytes.Buffer
+	if err := codec.EncodeInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at every prefix length must fail cleanly.
+	for n := 0; n < len(good); n++ {
+		if _, err := codec.DecodeInstance(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+	// Single-byte corruptions must either fail or still produce a valid
+	// instance (some byte flips hit string content, which is fine) —
+	// but never panic or return a structurally broken instance.
+	for i := 0; i < len(good); i++ {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xFF
+		out, err := codec.DecodeInstance(bytes.NewReader(mut))
+		if err != nil {
+			if !errors.Is(err, codec.ErrCorrupt) {
+				t.Fatalf("byte %d: error not wrapped in ErrCorrupt: %v", i, err)
+			}
+			continue
+		}
+		if verr := out.Validate(); verr != nil {
+			t.Fatalf("byte %d: decoder returned invalid instance: %v", i, verr)
+		}
+	}
+}
+
+func TestDecodeWrongMagic(t *testing.T) {
+	if _, err := codec.DecodeInstance(bytes.NewReader([]byte("NOPE"))); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	doc := []byte(`<bib><book year="1995"><title>T1</title><author>A</author></book><book year="2001"><title>T2</title><author>B</author></book></bib>`)
+	a, err := container.Split(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := codec.EncodeArchive(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.DecodeArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dag.Equivalent(a.Skeleton, back.Skeleton) {
+		t.Fatal("skeleton changed")
+	}
+	var origOut, backOut bytes.Buffer
+	if err := a.Reconstruct(&origOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Reconstruct(&backOut); err != nil {
+		t.Fatal(err)
+	}
+	if origOut.String() != backOut.String() {
+		t.Fatalf("reconstruction changed:\n%s\nvs\n%s", origOut.String(), backOut.String())
+	}
+}
+
+func TestPropertyArchiveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := dagtest.RandomXML(r, 80, 3, 3)
+		a, err := container.Split(doc)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := codec.EncodeArchive(&buf, a); err != nil {
+			return false
+		}
+		back, err := codec.DecodeArchive(&buf)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		var w1, w2 bytes.Buffer
+		if a.Reconstruct(&w1) != nil || back.Reconstruct(&w2) != nil {
+			return false
+		}
+		return w1.String() == w2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodedSizeIsCompact sanity-checks that the binary form of a
+// well-compressing document's skeleton is far smaller than the document.
+func TestEncodedSizeIsCompact(t *testing.T) {
+	var sb bytes.Buffer
+	sb.WriteString("<table>")
+	for i := 0; i < 5000; i++ {
+		sb.WriteString("<row><a>val</a><b>val</b></row>")
+	}
+	sb.WriteString("</table>")
+	inst, _, err := skeleton.BuildCompressed(sb.Bytes(), skeleton.Options{Mode: skeleton.TagsAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := codec.EncodeInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 500 {
+		t.Fatalf("encoded skeleton = %d bytes for a %d byte document; want tiny", buf.Len(), sb.Len())
+	}
+}

@@ -1,0 +1,264 @@
+// Package container implements the storage-side separation the paper
+// builds on (Section 1): the skeleton is kept as a compressed instance
+// while all character data and attribute values are "extracted ... and
+// stored in separate containers", as in the XMILL compressor the paper
+// cites. Unlike the query skeleton (package skeleton), the archive
+// skeleton also records text and attribute *occurrences* as leaf vertices,
+// so the original document can be fully reconstructed: a depth-first
+// traversal of the DAG replays each container's chunks in document order —
+// exactly how XMILL decompression works.
+//
+// Containers are keyed by the root-to-node tag path (XMILL's grouping
+// heuristic), which clusters values of the same kind; all text occurrences
+// on the same path share a single skeleton vertex, so text positions cost
+// almost nothing in skeleton size.
+package container
+
+import (
+	"bufio"
+	"io"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/saxml"
+)
+
+// Label-name prefixes used in archive skeletons. Element vertices reuse
+// the query skeleton's "tag:" prefix so archives remain queryable.
+const (
+	tagPrefix  = "tag:"
+	textPrefix = "text:"
+	attrPrefix = "attr:"
+)
+
+// Archive is a fully reconstructable document: compressed skeleton plus
+// text/attribute containers.
+type Archive struct {
+	// Skeleton is the compressed instance. Element vertices carry
+	// "tag:<name>"; text occurrences are leaves labelled
+	// "text:<path>"; attributes are leaves labelled "attr:<name>" and
+	// "text:<path>/@<name>" for their value container.
+	Skeleton *dag.Instance
+	// Store holds the extracted strings.
+	Store *Store
+}
+
+// Store is the set of value containers.
+type Store struct {
+	keys  []string
+	index map[string]int
+	data  [][]string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{index: make(map[string]int)}
+}
+
+// Append adds a chunk to the container named key, creating it on first
+// use.
+func (s *Store) Append(key, chunk string) {
+	i, ok := s.index[key]
+	if !ok {
+		i = len(s.keys)
+		s.index[key] = i
+		s.keys = append(s.keys, key)
+		s.data = append(s.data, nil)
+	}
+	s.data[i] = append(s.data[i], chunk)
+}
+
+// NumContainers returns how many distinct containers exist.
+func (s *Store) NumContainers() int { return len(s.keys) }
+
+// Keys returns the container names in first-use order.
+func (s *Store) Keys() []string { return append([]string(nil), s.keys...) }
+
+// Chunks returns the chunk sequence of a container, or nil.
+func (s *Store) Chunks(key string) []string {
+	if i, ok := s.index[key]; ok {
+		return append([]string(nil), s.data[i]...)
+	}
+	return nil
+}
+
+// TotalBytes returns the summed length of all stored chunks.
+func (s *Store) TotalBytes() int {
+	n := 0
+	for _, c := range s.data {
+		for _, chunk := range c {
+			n += len(chunk)
+		}
+	}
+	return n
+}
+
+// Split parses doc into an Archive: one linear scan builds the compressed
+// skeleton (with text/attribute leaves) and fills the containers.
+func Split(doc []byte) (*Archive, error) {
+	h := &splitHandler{
+		builder: dag.NewBuilder(nil),
+		store:   NewStore(),
+	}
+	h.schema = h.builder.Schema()
+	// Virtual document frame (matching package skeleton's model).
+	h.stack = append(h.stack, splitFrame{path: ""})
+	if err := saxml.Parse(doc, h); err != nil {
+		return nil, err
+	}
+	root := h.builder.Add(nil, h.stack[0].children)
+	h.builder.SetRoot(root)
+	return &Archive{Skeleton: h.builder.Instance(), Store: h.store}, nil
+}
+
+type splitFrame struct {
+	tag      string
+	path     string
+	children []dag.VertexID
+}
+
+type splitHandler struct {
+	builder *dag.Builder
+	schema  *label.Schema
+	store   *Store
+	stack   []splitFrame
+}
+
+func (h *splitHandler) StartElement(name string, attrs []saxml.Attr) error {
+	parent := &h.stack[len(h.stack)-1]
+	path := parent.path + "/" + name
+	f := splitFrame{tag: name, path: path}
+	// Attributes become leading leaf children in document order, with
+	// values extracted to per-attribute containers.
+	for _, a := range attrs {
+		key := path + "/@" + a.Name
+		var ls label.Set
+		ls = ls.Set(h.schema.Intern(attrPrefix + a.Name))
+		ls = ls.Set(h.schema.Intern(textPrefix + key))
+		f.children = append(f.children, h.builder.Add(ls, nil))
+		h.store.Append(key, a.Value)
+	}
+	h.stack = append(h.stack, f)
+	return nil
+}
+
+func (h *splitHandler) EndElement(string) error {
+	top := h.stack[len(h.stack)-1]
+	h.stack = h.stack[:len(h.stack)-1]
+	var ls label.Set
+	ls = ls.Set(h.schema.Intern(tagPrefix + top.tag))
+	id := h.builder.Add(ls, top.children)
+	parent := &h.stack[len(h.stack)-1]
+	parent.children = append(parent.children, id)
+	return nil
+}
+
+func (h *splitHandler) Text(data []byte) error {
+	top := &h.stack[len(h.stack)-1]
+	if top.path == "" {
+		// Whitespace outside the root: dropped (not part of content).
+		return nil
+	}
+	var ls label.Set
+	ls = ls.Set(h.schema.Intern(textPrefix + top.path))
+	top.children = append(top.children, h.builder.Add(ls, nil))
+	h.store.Append(top.path, string(data))
+	return nil
+}
+
+// vertexKind classifies an archive vertex by its labels.
+type vertexKind int
+
+const (
+	kindElement vertexKind = iota
+	kindText
+	kindAttr
+	kindDoc
+)
+
+type vertexInfo struct {
+	kind vertexKind
+	name string // tag name, container key, or attribute name
+	key  string // attr value container key (kindAttr only)
+}
+
+// classify precomputes per-vertex reconstruction info.
+func classify(in *dag.Instance) ([]vertexInfo, error) {
+	infos := make([]vertexInfo, len(in.Verts))
+	for i := range in.Verts {
+		info := vertexInfo{kind: kindDoc}
+		for _, id := range in.Verts[i].Labels.Members() {
+			name := in.Schema.Name(id)
+			switch {
+			case strings.HasPrefix(name, attrPrefix):
+				info.kind = kindAttr
+				info.name = name[len(attrPrefix):]
+			case strings.HasPrefix(name, textPrefix):
+				if info.kind == kindAttr {
+					info.key = name[len(textPrefix):]
+				} else {
+					info.kind = kindText
+					info.name = name[len(textPrefix):]
+				}
+			case strings.HasPrefix(name, tagPrefix):
+				if info.kind != kindAttr {
+					info.kind = kindElement
+				}
+				if info.name == "" {
+					info.name = name[len(tagPrefix):]
+				}
+			}
+		}
+		infos[i] = info
+	}
+	return infos, nil
+}
+
+// Reconstruct writes the document the archive represents. The output is
+// canonically encoded (escaped text, double-quoted attributes, explicit
+// end tags); it parses to the same element structure, attributes and
+// character data as the original input.
+func (a *Archive) Reconstruct(w io.Writer) error {
+	infos, err := classify(a.Skeleton)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if a.Skeleton.Root != dag.NilVertex {
+		if err := a.emit(bw, infos, a.Skeleton.Root, make(map[string]int, a.Store.NumContainers())); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func escapeText(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			w.WriteString("&lt;")
+		case '>':
+			w.WriteString("&gt;")
+		case '&':
+			w.WriteString("&amp;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}
+
+func escapeAttr(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			w.WriteString("&lt;")
+		case '&':
+			w.WriteString("&amp;")
+		case '"':
+			w.WriteString("&quot;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package core is the public face of the library: it ties together the
+// SAX parser, skeleton compressor, Core XPath compiler and the
+// compressed-instance query engine into the document/query API that the
+// examples, tools and benchmarks use.
+//
+// The evaluation model follows Section 4 of the paper: for each query, one
+// linear scan of the document builds a compressed instance containing
+// exactly the relations the query needs (its tags and string conditions),
+// and the query then runs purely in main memory on that instance,
+// partially decompressing it where downward or sibling axes require.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/engine"
+	"repro/internal/label"
+	"repro/internal/skeleton"
+	"repro/internal/xpath"
+)
+
+// Document wraps XML source for repeated querying. The prototype in the
+// paper re-parses the document for every query issued (building a
+// compressed instance over exactly the query's schema); Document does the
+// same, which keeps per-query instances minimal.
+type Document struct {
+	source []byte
+}
+
+// Load wraps doc. The data is retained (not copied); callers must not
+// mutate it afterwards.
+func Load(doc []byte) *Document { return &Document{source: doc} }
+
+// Source returns the underlying XML bytes.
+func (d *Document) Source() []byte { return d.source }
+
+// CompressionStats is one row of Figure 6 for one tag mode.
+type CompressionStats struct {
+	TreeVertices uint64  // |V_T|
+	TreeEdges    uint64  // |E_T| = |V_T| - 1
+	DagVertices  int     // |V_M(T)|
+	DagEdges     int     // |E_M(T)|
+	Ratio        float64 // |E_M(T)| / |E_T|
+}
+
+// Stats compresses the document's skeleton under the given tag mode and
+// reports the compression figures of Figure 6 (skeleton.TagsNone is the
+// paper's "−" row, skeleton.TagsAll the "+" row).
+func (d *Document) Stats(mode skeleton.TagMode) (CompressionStats, error) {
+	inst, st, err := skeleton.BuildCompressed(d.source, skeleton.Options{Mode: mode})
+	if err != nil {
+		return CompressionStats{}, err
+	}
+	cs := CompressionStats{
+		TreeVertices: st.TreeVertices,
+		DagVertices:  inst.NumVertices(),
+		DagEdges:     inst.NumEdges(),
+	}
+	if st.TreeVertices > 0 {
+		cs.TreeEdges = st.TreeVertices - 1
+	}
+	if cs.TreeEdges > 0 {
+		cs.Ratio = float64(cs.DagEdges) / float64(cs.TreeEdges)
+	}
+	return cs, nil
+}
+
+// Result reports a query evaluation in the shape of one Figure 7 row.
+type Result struct {
+	// ParseTime covers parsing, string matching and compression; EvalTime
+	// covers pure in-memory query evaluation (columns 1 and 4).
+	ParseTime, EvalTime time.Duration
+
+	// VertsBefore/EdgesBefore are the compressed instance sizes before
+	// evaluation (columns 2-3); VertsAfter/EdgesAfter after evaluation,
+	// showing partial decompression (columns 5-6).
+	VertsBefore, EdgesBefore int
+	VertsAfter, EdgesAfter   int
+
+	// SelectedDAG counts selected vertices of the compressed instance
+	// (column 7); SelectedTree the tree nodes they represent (column 8).
+	SelectedDAG  int
+	SelectedTree uint64
+
+	// TreeVertices is |V_T| of the document.
+	TreeVertices uint64
+
+	// Instance is the final (partially decompressed) instance and Label
+	// the result selection within it, for callers that want to walk or
+	// serialise the result.
+	Instance *dag.Instance
+	Label    label.ID
+}
+
+// Paths returns the tree addresses (1-based child positions joined with
+// '.', root = "") of up to max selected nodes, in document order — the
+// paper's result "decoding" step, computed with a traversal pruned to the
+// answer.
+func (r *Result) Paths(max int) []string {
+	return dag.SelectedPaths(r.Instance, r.Label, max)
+}
+
+// QueryFrom evaluates a follow-up query whose top-level relative paths
+// start from this result's selection — the "user-defined initial selection
+// of nodes" context of Section 3.1. Evaluation continues on a copy of the
+// (partially decompressed) result instance, so r remains valid and
+// composition chains freely.
+//
+// The follow-up may only reference relations present in the result
+// instance: tags the original query requested (or all tags, for results
+// from a Prepared document) and its string conditions. Absent relations
+// select nothing.
+func (r *Result) QueryFrom(query string) (*Result, error) {
+	prog, err := xpath.CompileWithContext(query, r.Instance.Schema.Name(r.Label))
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	er, err := engine.Run(r.Instance.Clone(), prog)
+	if err != nil {
+		return nil, err
+	}
+	evalTime := time.Since(t0)
+	return &Result{
+		EvalTime:     evalTime,
+		VertsBefore:  er.VertsBefore,
+		EdgesBefore:  er.EdgesBefore,
+		VertsAfter:   er.VertsAfter,
+		EdgesAfter:   er.EdgesAfter,
+		SelectedDAG:  er.SelectedDAG,
+		SelectedTree: er.SelectedTree,
+		TreeVertices: r.TreeVertices,
+		Instance:     er.Instance,
+		Label:        er.Label,
+	}, nil
+}
+
+// Query parses, compiles and evaluates a Core XPath query against the
+// document on a freshly built compressed instance.
+func (d *Document) Query(query string) (*Result, error) {
+	prog, err := xpath.CompileQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return d.Run(prog)
+}
+
+// Compile exposes query compilation for callers that run one query against
+// many documents, or that want to inspect the algebra plan (Program.String
+// prints it in the form of Figure 3's query trees, linearised).
+func Compile(query string) (*xpath.Program, error) {
+	return xpath.CompileQuery(query)
+}
+
+// Run evaluates a compiled program against the document.
+func (d *Document) Run(prog *xpath.Program) (*Result, error) {
+	t0 := time.Now()
+	inst, st, err := skeleton.BuildCompressed(d.source, skeleton.Options{
+		Mode:    skeleton.TagsListed,
+		Tags:    prog.Tags,
+		Strings: prog.Strings,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building compressed skeleton: %w", err)
+	}
+	parseTime := time.Since(t0)
+
+	t1 := time.Now()
+	er, err := engine.Run(inst, prog)
+	if err != nil {
+		return nil, err
+	}
+	evalTime := time.Since(t1)
+
+	return &Result{
+		ParseTime:    parseTime,
+		EvalTime:     evalTime,
+		VertsBefore:  er.VertsBefore,
+		EdgesBefore:  er.EdgesBefore,
+		VertsAfter:   er.VertsAfter,
+		EdgesAfter:   er.EdgesAfter,
+		SelectedDAG:  er.SelectedDAG,
+		SelectedTree: er.SelectedTree,
+		TreeVertices: st.TreeVertices,
+		Instance:     er.Instance,
+		Label:        er.Label,
+	}, nil
+}

@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/skeleton"
+)
+
+const bibXML = `<bib>
+<book><title>Foundations of Databases</title><author>Abiteboul</author><author>Hull</author><author>Vianu</author></book>
+<paper><title>A Relational Model</title><author>Codd</author></paper>
+<paper><title>Complexity of Query Languages</title><author>Vardi</author></paper>
+</bib>`
+
+func TestQueryEndToEnd(t *testing.T) {
+	doc := core.Load([]byte(bibXML))
+	res, err := doc.Query(`//paper[author["Codd"]]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SelectedTree != 1 {
+		t.Fatalf("selected %d, want 1", res.SelectedTree)
+	}
+	if res.TreeVertices != 12 {
+		t.Fatalf("tree vertices = %d, want 12", res.TreeVertices)
+	}
+	if res.VertsBefore <= 0 || res.VertsAfter < res.VertsBefore {
+		t.Fatalf("size accounting broken: %d -> %d", res.VertsBefore, res.VertsAfter)
+	}
+	if res.Instance == nil || !res.Instance.Verts[0].Labels.IsEmpty() && res.Label < 0 {
+		t.Fatal("result instance/label missing")
+	}
+}
+
+func TestQuerySyntaxError(t *testing.T) {
+	doc := core.Load([]byte(bibXML))
+	if _, err := doc.Query(`//a[`); err == nil {
+		t.Fatal("expected syntax error")
+	}
+}
+
+func TestQueryParseErrorSurfaces(t *testing.T) {
+	doc := core.Load([]byte(`<a><b></a>`))
+	if _, err := doc.Query(`//b`); err == nil {
+		t.Fatal("expected XML error")
+	}
+}
+
+func TestStatsModes(t *testing.T) {
+	doc := core.Load([]byte(bibXML))
+	minus, err := doc.Stats(skeleton.TagsNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, err := doc.Stats(skeleton.TagsAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6's invariant: erasing tags can only merge more.
+	if minus.DagEdges > plus.DagEdges || minus.DagVertices > plus.DagVertices {
+		t.Fatalf("tags- (%d/%d) should be no larger than tags+ (%d/%d)",
+			minus.DagVertices, minus.DagEdges, plus.DagVertices, plus.DagEdges)
+	}
+	if plus.TreeVertices != 12 || plus.TreeEdges != 11 {
+		t.Fatalf("tree size = %d/%d", plus.TreeVertices, plus.TreeEdges)
+	}
+	if plus.Ratio <= 0 || plus.Ratio > 1 {
+		t.Fatalf("ratio = %f", plus.Ratio)
+	}
+}
+
+func TestCompileReuseAcrossDocuments(t *testing.T) {
+	prog, err := core.Compile(`//PLAYER[THROWS["Right"]]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.ByName("Baseball")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 2; seed++ {
+		doc := core.Load(c.Generate(2, seed))
+		res, err := doc.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SelectedTree == 0 {
+			t.Fatalf("seed %d: no players selected", seed)
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	// Spot-check the Figure 7 behavioural shape on one corpus: Q1 never
+	// decompresses; eval is measured separately from parse; selected
+	// DAG count <= selected tree count.
+	c, err := corpus.ByName("DBLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := core.Load(c.Generate(300, 1))
+	for i, q := range c.Queries {
+		res, err := doc.Query(q)
+		if err != nil {
+			t.Fatalf("Q%d: %v", i+1, err)
+		}
+		if res.SelectedTree == 0 {
+			t.Errorf("Q%d selects nothing", i+1)
+		}
+		if uint64(res.SelectedDAG) > res.SelectedTree {
+			t.Errorf("Q%d: dag count %d > tree count %d", i+1, res.SelectedDAG, res.SelectedTree)
+		}
+		if i == 0 && (res.VertsAfter != res.VertsBefore || res.SelectedTree != 1) {
+			t.Errorf("Q1 must select exactly the root without decompression; got %d nodes, %d->%d verts",
+				res.SelectedTree, res.VertsBefore, res.VertsAfter)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/skeleton"
+)
+
+// The bibliographic database of the paper's Example 1.1.
+const exampleBib = `<bib>` +
+	`<book><title>Foundations of Databases</title><author>Abiteboul</author><author>Hull</author><author>Vianu</author></book>` +
+	`<paper><title>A Relational Model for Large Shared Data Banks</title><author>Codd</author></paper>` +
+	`<paper><title>The Complexity of Relational Query Languages</title><author>Vardi</author></paper>` +
+	`</bib>`
+
+func ExampleDocument_Query() {
+	doc := core.Load([]byte(exampleBib))
+	res, err := doc.Query(`//paper[author["Codd"]]/title`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matches:", res.SelectedTree)
+	fmt.Println("addresses:", res.Paths(10))
+	// Output:
+	// matches: 1
+	// addresses: [1.2.1]
+}
+
+func ExampleDocument_Stats() {
+	doc := core.Load([]byte(exampleBib))
+	st, err := doc.Stats(skeleton.TagsAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d tree nodes -> %d DAG vertices\n", st.TreeVertices, st.DagVertices)
+	// Output:
+	// 12 tree nodes -> 6 DAG vertices
+}
+
+func ExampleDocument_Prepare() {
+	doc := core.Load([]byte(exampleBib))
+	prep, err := doc.Prepare()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Tag-only queries reuse the cached instance; string conditions are
+	// distilled per query and merged via common extensions.
+	for _, q := range []string{`//author`, `//paper[author["Vardi"]]`} {
+		res, err := prep.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s -> %d\n", q, res.SelectedTree)
+	}
+	// Output:
+	// //author -> 5
+	// //paper[author["Vardi"]] -> 1
+}
+
+func ExampleCompile() {
+	prog, err := core.Compile(`/self::*[bib/book/author]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Tree-pattern queries compile to upward axes only (Corollary 3.7):
+	// they never decompress the instance.
+	fmt.Println("needs tags:", prog.Tags)
+	fmt.Println("may decompress:", prog.Downward)
+	// Output:
+	// needs tags: [author bib book]
+	// may decompress: false
+}

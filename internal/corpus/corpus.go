@@ -1,0 +1,231 @@
+// Package corpus generates synthetic XML documents that stand in for the
+// eight corpora of the paper's evaluation (Section 5): SwissProt, DBLP,
+// Penn TreeBank, OMIM, XMark, Shakespeare's collected works, 1998 Major
+// League Baseball statistics, and TPC-D.
+//
+// We do not have the original files, so each generator reproduces the
+// *regularity profile* that drives subtree-sharing compression: element
+// vocabulary, nesting schema, fan-out distributions, and the presence of
+// the string values the paper's appendix queries search for. Highly regular
+// corpora (Baseball, TPC-D, DBLP, OMIM) compress to a few percent;
+// narrative corpora (Shakespeare) to 15-20%; random recursive grammar
+// trees (TreeBank) compress poorly — the same bands Figure 6 reports.
+//
+// Generation is fully deterministic given (scale, seed).
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Corpus describes one benchmark dataset: its generator and the five
+// appendix queries (Q1: root tree pattern, Q2: the same path forward,
+// Q3: descendant + string condition, Q4: branching predicates, Q5: sibling
+// or other remaining axes), adapted to the generated documents.
+type Corpus struct {
+	Name string
+	// Generate produces the document at the given scale (roughly, the
+	// number of top-level records; each generator documents its own
+	// meaning). The result is deterministic for a (scale, seed) pair.
+	Generate func(scale int, seed uint64) []byte
+	// DefaultScale approximates the relative corpus sizes of Figure 6 at
+	// laptop-friendly absolute size.
+	DefaultScale int
+	// Queries are Q1..Q5 for this corpus.
+	Queries [5]string
+}
+
+// Catalog returns the eight corpora in the order of Figure 6. TPC-D has
+// queries too (unlike the paper, which excluded it from Figure 7); callers
+// reproducing Figure 7 exactly should skip it.
+func Catalog() []Corpus {
+	return []Corpus{
+		{
+			Name:         "SwissProt",
+			Generate:     SwissProt,
+			DefaultScale: 2500,
+			Queries: [5]string{
+				`/self::*[ROOT/Record/comment/topic]`,
+				`/ROOT/Record/comment/topic`,
+				`//Record/protein[taxo["Eukaryota"]]`,
+				`//Record[sequence/seq["MMSARGDFLN"] and protein/from["Rattus norvegicus"]]`,
+				`//Record/comment[topic["TISSUE SPECIFICITY"] and following-sibling::comment/topic["DEVELOPMENTAL STAGE"]]`,
+			},
+		},
+		{
+			Name:         "DBLP",
+			Generate:     DBLP,
+			DefaultScale: 6000,
+			Queries: [5]string{
+				`/self::*[dblp/article/url]`,
+				`/dblp/article/url`,
+				`//article[author["Codd"]]`,
+				`/dblp/article[author["Chandra"] and author["Harel"]]/title`,
+				`/dblp/article[author["Chandra" and following-sibling::author["Harel"]]]/title`,
+			},
+		},
+		{
+			Name:         "TreeBank",
+			Generate:     TreeBank,
+			DefaultScale: 1200,
+			Queries: [5]string{
+				`/self::*[alltreebank/FILE/EMPTY/S/VP/S/VP/NP]`,
+				`/alltreebank/FILE/EMPTY/S/VP/S/VP/NP`,
+				`//S//S[descendant::NNS["children"]]`,
+				`//VP["granting" and descendant::NP["access"]]`,
+				`//VP/NP/VP/NP[following::NP/VP/NP/PP]`,
+			},
+		},
+		{
+			Name:         "OMIM",
+			Generate:     OMIM,
+			DefaultScale: 900,
+			Queries: [5]string{
+				`/self::*[ROOT/Record/Title]`,
+				`/ROOT/Record/Title`,
+				`//Title["LETHAL"]`,
+				`//Record[Text["consanguineous parents"]]/Title["LETHAL"]`,
+				`//Record[Clinical_Synop/Part["Metabolic"]/following-sibling::Synop["Lactic acidosis"]]`,
+			},
+		},
+		{
+			Name:         "XMark",
+			Generate:     XMark,
+			DefaultScale: 400,
+			Queries: [5]string{
+				`/self::*[site/regions/africa/item/description/parlist/listitem/text]`,
+				`/site/regions/africa/item/description/parlist/listitem/text`,
+				`//item[payment["Creditcard"]]`,
+				`//item[location["United States"] and parent::africa]`,
+				`//item/description/parlist/listitem["cassio" and following-sibling::*["portia"]]`,
+			},
+		},
+		{
+			Name:         "Shakespeare",
+			Generate:     Shakespeare,
+			DefaultScale: 12,
+			Queries: [5]string{
+				`/self::*[all/PLAY/ACT/SCENE/SPEECH/LINE]`,
+				`/all/PLAY/ACT/SCENE/SPEECH/LINE`,
+				`//SPEECH[SPEAKER["MARK ANTONY"]]/LINE`,
+				`//SPEECH[SPEAKER["CLEOPATRA"] or LINE["Cleopatra"]]`,
+				`//SPEECH[SPEAKER["CLEOPATRA"] and preceding-sibling::SPEECH[SPEAKER["MARK ANTONY"]]]`,
+			},
+		},
+		{
+			Name:         "Baseball",
+			Generate:     Baseball,
+			DefaultScale: 2,
+			Queries: [5]string{
+				`/self::*[SEASON/LEAGUE/DIVISION/TEAM/PLAYER]`,
+				`/SEASON/LEAGUE/DIVISION/TEAM/PLAYER`,
+				`//PLAYER[THROWS["Right"]]`,
+				`//PLAYER[ancestor::TEAM[TEAM_CITY["Atlanta"]] or (HOME_RUNS["5"] and STEALS["1"])]`,
+				`//PLAYER[POSITION["First Base"] and following-sibling::PLAYER[POSITION["Starting Pitcher"]]]`,
+			},
+		},
+		{
+			Name:         "TPC-D",
+			Generate:     TPCD,
+			DefaultScale: 500,
+			Queries: [5]string{
+				`/self::*[table/row/quantity]`,
+				`/table/row/quantity`,
+				`//row[returnflag["R"]]`,
+				`//row[shipmode["TRUCK"] and returnflag["A"]]`,
+				`//row[shipmode["MAIL"] and following-sibling::row[shipmode["TRUCK"]]]`,
+			},
+		},
+	}
+}
+
+// ByName returns the catalog entry with the given name.
+func ByName(name string) (Corpus, error) {
+	for _, c := range Catalog() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Corpus{}, fmt.Errorf("corpus: unknown corpus %q", name)
+}
+
+// rng is a SplitMix64 generator: tiny, fast, deterministic, and good
+// enough for workload synthesis.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed + 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("corpus: intn with non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform int in [lo, hi].
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// pick returns a uniform element of list.
+func (r *rng) pick(list []string) string { return list[r.intn(len(list))] }
+
+// chance reports true with probability num/den.
+func (r *rng) chance(num, den int) bool { return r.intn(den) < num }
+
+// xw is a minimal XML writer with proper escaping.
+type xw struct {
+	buf   bytes.Buffer
+	stack []string
+}
+
+func (w *xw) open(tag string) {
+	w.buf.WriteByte('<')
+	w.buf.WriteString(tag)
+	w.buf.WriteByte('>')
+	w.stack = append(w.stack, tag)
+}
+
+func (w *xw) close() {
+	tag := w.stack[len(w.stack)-1]
+	w.stack = w.stack[:len(w.stack)-1]
+	w.buf.WriteString("</")
+	w.buf.WriteString(tag)
+	w.buf.WriteByte('>')
+}
+
+func (w *xw) text(s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			w.buf.WriteString("&lt;")
+		case '>':
+			w.buf.WriteString("&gt;")
+		case '&':
+			w.buf.WriteString("&amp;")
+		default:
+			w.buf.WriteByte(s[i])
+		}
+	}
+}
+
+func (w *xw) leaf(tag, content string) {
+	w.open(tag)
+	w.text(content)
+	w.close()
+}
+
+func (w *xw) bytes() []byte {
+	if len(w.stack) != 0 {
+		panic(fmt.Sprintf("corpus: unclosed element %q", w.stack[len(w.stack)-1]))
+	}
+	return w.buf.Bytes()
+}

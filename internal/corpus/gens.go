@@ -1,0 +1,512 @@
+package corpus
+
+import "fmt"
+
+// Shared word pools for narrative text.
+var (
+	fillerWords = []string{
+		"the", "a", "of", "and", "to", "in", "that", "it", "with", "as",
+		"for", "was", "on", "are", "by", "be", "this", "from", "or", "had",
+	}
+	nounWords = []string{
+		"market", "report", "children", "company", "access", "growth",
+		"shares", "trading", "investors", "system", "data", "group",
+	}
+)
+
+func words(r *rng, n int, pools ...[]string) string {
+	out := make([]byte, 0, n*6)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		pool := pools[r.intn(len(pools))]
+		out = append(out, r.pick(pool)...)
+	}
+	return string(out)
+}
+
+// SwissProt generates a protein-database-like document: ROOT with `scale`
+// Record elements, each a regular assembly of protein metadata, sequence
+// and a run of comment/feature/reference substructures. Records share
+// shapes heavily, as real SwissProt entries do.
+func SwissProt(scale int, seed uint64) []byte {
+	r := newRNG(seed)
+	w := &xw{}
+	taxa := []string{
+		"Eukaryota; Metazoa; Chordata; Mammalia",
+		"Eukaryota; Fungi; Ascomycota",
+		"Bacteria; Proteobacteria",
+		"Archaea; Euryarchaeota",
+	}
+	organisms := []string{
+		"Homo sapiens", "Rattus norvegicus", "Mus musculus",
+		"Escherichia coli", "Saccharomyces cerevisiae",
+	}
+	topics := []string{
+		"FUNCTION", "SUBUNIT", "TISSUE SPECIFICITY",
+		"DEVELOPMENTAL STAGE", "SIMILARITY", "DISEASE",
+	}
+	aa := "ACDEFGHIKLMNPQRSTVWY"
+
+	seqText := func(n int, plant bool) string {
+		b := make([]byte, 0, n+10)
+		for i := 0; i < n; i++ {
+			b = append(b, aa[r.intn(len(aa))])
+		}
+		if plant {
+			b = append(b, "MMSARGDFLN"...)
+		}
+		return string(b)
+	}
+
+	w.open("ROOT")
+	for i := 0; i < scale; i++ {
+		// Every ~40th record carries the Q4 combination.
+		q4 := i%40 == 7
+		w.open("Record")
+		w.leaf("accession", fmt.Sprintf("P%05d", i))
+		w.open("protein")
+		w.leaf("name", "protein "+words(r, 2, nounWords))
+		if q4 {
+			w.leaf("from", "Rattus norvegicus")
+		} else {
+			w.leaf("from", r.pick(organisms))
+		}
+		for t := 0; t < r.rangeInt(1, 3); t++ {
+			w.leaf("taxo", r.pick(taxa))
+		}
+		w.close()
+		w.open("sequence")
+		w.leaf("seq", seqText(r.rangeInt(30, 90), q4))
+		w.close()
+		// Comments in canonical topic order, so TISSUE SPECIFICITY
+		// precedes DEVELOPMENTAL STAGE whenever both occur (Q5).
+		start := r.intn(3)
+		end := r.rangeInt(start+1, len(topics))
+		for t := start; t < end; t++ {
+			w.open("comment")
+			w.leaf("topic", topics[t])
+			w.leaf("text", words(r, r.rangeInt(4, 12), fillerWords, nounWords))
+			w.close()
+		}
+		for f := 0; f < r.rangeInt(0, 4); f++ {
+			w.open("feature")
+			w.leaf("type", r.pick([]string{"DOMAIN", "CHAIN", "BINDING"}))
+			w.leaf("from_pos", fmt.Sprint(r.rangeInt(1, 100)))
+			w.leaf("to_pos", fmt.Sprint(r.rangeInt(100, 400)))
+			w.close()
+		}
+		for rf := 0; rf < r.rangeInt(1, 3); rf++ {
+			w.open("reference")
+			w.leaf("journal", r.pick([]string{"Nature", "Science", "Cell", "EMBO J."}))
+			w.leaf("year", fmt.Sprint(r.rangeInt(1985, 2002)))
+			w.close()
+		}
+		w.close()
+	}
+	w.close()
+	return w.bytes()
+}
+
+// DBLP generates a bibliography: dblp with `scale` publications (article /
+// inproceedings) of title, 1-4 authors, year, and usually a url — the
+// highly regular shape that lets real DBLP compress to under 10%.
+func DBLP(scale int, seed uint64) []byte {
+	r := newRNG(seed)
+	w := &xw{}
+	authors := []string{
+		"Codd", "Vardi", "Abiteboul", "Hull", "Vianu", "Ullman",
+		"Chandra", "Harel", "Suciu", "Buneman", "Grohe", "Koch",
+	}
+	kinds := []string{"article", "article", "article", "inproceedings"}
+
+	w.open("dblp")
+	for i := 0; i < scale; i++ {
+		kind := kinds[r.intn(len(kinds))]
+		w.open(kind)
+		w.leaf("title", "On "+words(r, r.rangeInt(3, 7), fillerWords, nounWords))
+		if i%50 == 11 {
+			// Q4/Q5: Chandra directly followed by Harel.
+			w.leaf("author", "Chandra")
+			w.leaf("author", "Harel")
+		} else {
+			n := r.rangeInt(1, 4)
+			for a := 0; a < n; a++ {
+				w.leaf("author", r.pick(authors))
+			}
+		}
+		w.leaf("year", fmt.Sprint(r.rangeInt(1970, 2002)))
+		if r.chance(9, 10) {
+			w.leaf("url", fmt.Sprintf("db/journals/x/x%d.html", i))
+		}
+		if kind == "inproceedings" {
+			w.leaf("booktitle", r.pick([]string{"VLDB", "SIGMOD", "PODS", "ICDT"}))
+		}
+		w.close()
+	}
+	w.close()
+	return w.bytes()
+}
+
+// TreeBank generates linguistic parse trees: random recursive expansions
+// of a small phrase grammar. Unlike the record-oriented corpora the
+// subtrees are deep and irregular, which is why real TreeBank is the
+// paper's compression outlier (35-53%).
+func TreeBank(scale int, seed uint64) []byte {
+	r := newRNG(seed)
+	w := &xw{}
+
+	leafTags := []string{"NN", "NNS", "VBD", "DT", "JJ", "IN", "PRP", "CC"}
+	var phrase func(depth int)
+	phrase = func(depth int) {
+		if depth <= 0 || r.chance(1, 4) {
+			tag := r.pick(leafTags)
+			var pool []string
+			if tag == "NN" || tag == "NNS" {
+				pool = nounWords
+			} else {
+				pool = fillerWords
+			}
+			w.leaf(tag, r.pick(pool))
+			return
+		}
+		tag := r.pick([]string{"S", "NP", "VP", "PP", "NP", "VP"})
+		w.open(tag)
+		n := r.rangeInt(1, 3)
+		for i := 0; i < n; i++ {
+			phrase(depth - 1)
+		}
+		w.close()
+	}
+
+	// chain opens nested elements along the given tags, runs body at the
+	// bottom, and closes them — used to plant the structures Q1-Q5 need.
+	chain := func(tags []string, body func()) {
+		for _, t := range tags {
+			w.open(t)
+		}
+		body()
+		for range tags {
+			w.close()
+		}
+	}
+
+	w.open("alltreebank")
+	files := 1 + scale/200
+	perFile := scale / files
+	if perFile < 1 {
+		perFile = 1
+	}
+	for f := 0; f < files; f++ {
+		w.open("FILE")
+		for s := 0; s < perFile; s++ {
+			w.open("EMPTY")
+			switch {
+			case f == 0 && s == 0:
+				// Q1/Q2: the exact S/VP/S/VP/NP spine.
+				chain([]string{"S", "VP", "S", "VP", "NP"}, func() {
+					w.leaf("NN", "market")
+				})
+			case f == 0 && s == 1:
+				// Q3: nested S with an NNS saying "children".
+				chain([]string{"S", "NP", "S"}, func() {
+					w.leaf("NNS", "children")
+				})
+			case f == 0 && s == 2:
+				// Q4: a VP whose text contains "granting" with an NP
+				// descendant containing "access".
+				chain([]string{"S", "VP"}, func() {
+					w.leaf("VBD", "granting")
+					chain([]string{"NP"}, func() { w.leaf("NN", "access") })
+				})
+			case f == 0 && s == 3:
+				// Q5 antecedent: a VP/NP/VP/NP chain...
+				chain([]string{"S", "VP", "NP", "VP", "NP"}, func() {
+					w.leaf("NN", "report")
+				})
+			case f == files-1 && s == perFile-1:
+				// ...and, later in document order, an NP/VP/NP/PP chain.
+				chain([]string{"S", "NP", "VP", "NP", "PP"}, func() {
+					w.leaf("IN", "of")
+				})
+			default:
+				w.open("S")
+				phrase(r.rangeInt(4, 10))
+				phrase(r.rangeInt(4, 10))
+				w.close()
+			}
+			w.close()
+		}
+		w.close()
+	}
+	w.close()
+	return w.bytes()
+}
+
+// OMIM generates gene/disorder records: ROOT with `scale` Record elements
+// of Title, Text paragraphs and a Clinical_Synop of alternating Part/Synop
+// entries.
+func OMIM(scale int, seed uint64) []byte {
+	r := newRNG(seed)
+	w := &xw{}
+	parts := []string{"Inheritance", "Growth", "Neuro", "Metabolic", "Cardiac"}
+	synops := []string{
+		"Autosomal recessive", "Short stature", "Seizures",
+		"Lactic acidosis", "Cardiomyopathy",
+	}
+	w.open("ROOT")
+	for i := 0; i < scale; i++ {
+		w.open("Record")
+		w.leaf("No", fmt.Sprintf("%06d", 100000+i))
+		title := "SYNDROME " + words(r, 2, nounWords)
+		if i%15 == 4 {
+			title += ", LETHAL FORM"
+		}
+		w.leaf("Title", title)
+		for t := 0; t < r.rangeInt(1, 4); t++ {
+			txt := words(r, r.rangeInt(8, 20), fillerWords, nounWords)
+			if i%15 == 4 && t == 0 {
+				txt += " born to consanguineous parents"
+			}
+			w.leaf("Text", txt)
+		}
+		w.open("Clinical_Synop")
+		if i%9 == 2 {
+			// Q5: Part "Metabolic" immediately followed by the
+			// "Lactic acidosis" Synop.
+			w.leaf("Part", "Metabolic")
+			w.leaf("Synop", "Lactic acidosis")
+		}
+		for p := 0; p < r.rangeInt(1, 3); p++ {
+			w.leaf("Part", r.pick(parts))
+			w.leaf("Synop", r.pick(synops))
+		}
+		w.close()
+		w.close()
+	}
+	w.close()
+	return w.bytes()
+}
+
+// XMark generates auction-site data modelled on the XMark benchmark's
+// regions/items subset. scale is the number of items per region.
+func XMark(scale int, seed uint64) []byte {
+	r := newRNG(seed)
+	w := &xw{}
+	regions := []string{"africa", "asia", "europe", "namerica"}
+	locations := []string{"United States", "Germany", "Japan", "Kenya", "Brazil"}
+	payments := []string{"Creditcard", "Money order", "Personal Check", "Cash"}
+	listWords := []string{"cassio", "portia", "brutus", "rosalind", "falstaff"}
+
+	item := func(region string, idx int) {
+		w.open("item")
+		if region == "africa" && idx%7 == 3 {
+			w.leaf("location", "United States") // Q4
+		} else {
+			w.leaf("location", r.pick(locations))
+		}
+		w.leaf("quantity", fmt.Sprint(r.rangeInt(1, 5)))
+		w.leaf("name", words(r, 2, nounWords))
+		w.leaf("payment", r.pick(payments))
+		w.open("description")
+		w.open("parlist")
+		if idx%11 == 5 {
+			// Q5: a "cassio" listitem with a later "portia" sibling.
+			w.open("listitem")
+			w.leaf("text", "brave cassio speaks")
+			w.close()
+			w.open("listitem")
+			w.leaf("text", "gentle portia answers")
+			w.close()
+		}
+		for li := 0; li < r.rangeInt(1, 4); li++ {
+			w.open("listitem")
+			w.leaf("text", words(r, r.rangeInt(3, 8), fillerWords, listWords))
+			w.close()
+		}
+		w.close()
+		w.close()
+		if r.chance(1, 2) {
+			w.open("mailbox")
+			for m := 0; m < r.rangeInt(1, 3); m++ {
+				w.open("mail")
+				w.leaf("from_addr", words(r, 1, nounWords))
+				w.leaf("date", fmt.Sprintf("%02d/%02d/1998", r.rangeInt(1, 12), r.rangeInt(1, 28)))
+				w.close()
+			}
+			w.close()
+		}
+		w.close()
+	}
+
+	w.open("site")
+	w.open("regions")
+	for _, reg := range regions {
+		w.open(reg)
+		for i := 0; i < scale; i++ {
+			item(reg, i)
+		}
+		w.close()
+	}
+	w.close()
+	w.open("people")
+	for p := 0; p < scale; p++ {
+		w.open("person")
+		w.leaf("person_name", words(r, 2, nounWords))
+		w.leaf("emailaddress", fmt.Sprintf("mailto:u%d@example.org", p))
+		w.close()
+	}
+	w.close()
+	w.close()
+	return w.bytes()
+}
+
+// Shakespeare generates collected plays: `scale` PLAY elements of acts,
+// scenes, speeches and lines. Narrative structure with moderately variable
+// fan-out — the mid-band compression case.
+func Shakespeare(scale int, seed uint64) []byte {
+	r := newRNG(seed)
+	w := &xw{}
+	speakers := []string{
+		"MARK ANTONY", "CLEOPATRA", "OCTAVIUS", "CHARMIAN",
+		"ENOBARBUS", "MESSENGER", "FIRST GUARD",
+	}
+	w.open("all")
+	for p := 0; p < scale; p++ {
+		w.open("PLAY")
+		w.leaf("TITLE", "The Tragedy of "+words(r, 2, nounWords))
+		w.open("PERSONAE")
+		for pe := 0; pe < r.rangeInt(4, 8); pe++ {
+			w.leaf("PERSONA", r.pick(speakers))
+		}
+		w.close()
+		for a := 0; a < r.rangeInt(3, 5); a++ {
+			w.open("ACT")
+			w.leaf("TITLE", fmt.Sprintf("ACT %d", a+1))
+			for sc := 0; sc < r.rangeInt(2, 5); sc++ {
+				w.open("SCENE")
+				w.leaf("TITLE", fmt.Sprintf("SCENE %d", sc+1))
+				speeches := r.rangeInt(6, 18)
+				antonyAt := -1
+				for sp := 0; sp < speeches; sp++ {
+					speaker := r.pick(speakers)
+					if sp == 1 {
+						speaker = "MARK ANTONY" // Q5 antecedent
+						antonyAt = sp
+					}
+					if sp == 3 && antonyAt >= 0 {
+						speaker = "CLEOPATRA" // Q5: preceded by Antony
+					}
+					w.open("SPEECH")
+					w.leaf("SPEAKER", speaker)
+					for l := 0; l < r.rangeInt(1, 6); l++ {
+						line := words(r, r.rangeInt(5, 9), fillerWords, nounWords)
+						if r.chance(1, 20) {
+							line += " O Cleopatra"
+						}
+						w.leaf("LINE", line)
+					}
+					w.close()
+				}
+				w.close()
+			}
+			w.close()
+		}
+		w.close()
+	}
+	w.close()
+	return w.bytes()
+}
+
+// Baseball generates season statistics: a single SEASON of 2 leagues x 3
+// divisions x (2+scale) teams x 25 players with a fixed stat-field layout —
+// XML-ized relational data, the paper's best-compressing corpus (0.3%).
+func Baseball(scale int, seed uint64) []byte {
+	r := newRNG(seed)
+	w := &xw{}
+	cities := []string{"Atlanta", "New York", "Chicago", "Houston", "San Diego", "Boston"}
+	positions := []string{
+		"First Base", "Second Base", "Shortstop", "Third Base",
+		"Catcher", "Outfield", "Starting Pitcher", "Relief Pitcher",
+	}
+	w.open("SEASON")
+	w.leaf("YEAR", "1998")
+	for lg := 0; lg < 2; lg++ {
+		w.open("LEAGUE")
+		w.leaf("LEAGUE_NAME", []string{"National", "American"}[lg])
+		for d := 0; d < 3; d++ {
+			w.open("DIVISION")
+			w.leaf("DIVISION_NAME", []string{"East", "Central", "West"}[d])
+			teams := 2 + scale
+			for tm := 0; tm < teams; tm++ {
+				w.open("TEAM")
+				w.leaf("TEAM_CITY", cities[(lg*3+d+tm)%len(cities)])
+				w.leaf("TEAM_NAME", words(r, 1, nounWords))
+				for pl := 0; pl < 25; pl++ {
+					w.open("PLAYER")
+					w.leaf("SURNAME", words(r, 1, nounWords))
+					w.leaf("GIVEN_NAME", words(r, 1, fillerWords))
+					pos := r.pick(positions)
+					if pl == 5 {
+						pos = "First Base" // Q5 antecedent
+					}
+					if pl == 9 {
+						pos = "Starting Pitcher" // Q5: follows First Base
+					}
+					w.leaf("POSITION", pos)
+					w.leaf("GAMES", fmt.Sprint(r.rangeInt(10, 162)))
+					w.leaf("HOME_RUNS", fmt.Sprint(r.rangeInt(0, 9)))
+					w.leaf("STEALS", fmt.Sprint(r.rangeInt(0, 9)))
+					w.leaf("THROWS", r.pick([]string{"Right", "Right", "Left"}))
+					w.close()
+				}
+				w.close()
+			}
+			w.close()
+		}
+		w.close()
+	}
+	w.close()
+	return w.bytes()
+}
+
+// TPCD generates an XML-ized relational table (lineitem-like): `scale` rows
+// of 8 fixed columns — the extreme-regularity case motivating the
+// O(C + log R) observation in the paper's introduction.
+func TPCD(scale int, seed uint64) []byte {
+	r := newRNG(seed)
+	w := &xw{}
+	w.open("table")
+	for i := 0; i < scale; i++ {
+		w.open("row")
+		w.leaf("orderkey", fmt.Sprint(i))
+		w.leaf("partkey", fmt.Sprint(r.intn(2000)))
+		w.leaf("quantity", fmt.Sprint(r.rangeInt(1, 50)))
+		w.leaf("price", fmt.Sprintf("%d.%02d", r.rangeInt(100, 9999), r.intn(100)))
+		w.leaf("discount", fmt.Sprintf("0.%02d", r.intn(10)))
+		w.leaf("returnflag", r.pick([]string{"N", "R", "A"}))
+		w.leaf("shipmode", r.pick([]string{"TRUCK", "MAIL", "SHIP", "AIR", "RAIL"}))
+		w.leaf("comment", words(r, r.rangeInt(2, 5), fillerWords))
+		w.close()
+	}
+	w.close()
+	return w.bytes()
+}
+
+// RelationalTable generates a bare R x C table with a single repeated
+// column vocabulary — the introduction's O(C*R) skeleton that compresses
+// to O(C + log R). Used by the asymptotics test and bench.
+func RelationalTable(rows, cols int) []byte {
+	w := &xw{}
+	w.open("table")
+	for i := 0; i < rows; i++ {
+		w.open("row")
+		for c := 0; c < cols; c++ {
+			w.leaf(fmt.Sprintf("col%d", c), "v")
+		}
+		w.close()
+	}
+	w.close()
+	return w.bytes()
+}

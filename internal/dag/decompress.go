@@ -1,0 +1,71 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooLarge is returned by Decompress when the uncompressed tree would
+// exceed the caller's node budget. Compression can be exponential (Section
+// 3.4), so unbounded decompression of an adversarial instance could exhaust
+// memory.
+var ErrTooLarge = errors.New("dag: decompressed tree exceeds size limit")
+
+// Decompress materialises the unique tree-instance T(in) equivalent to in
+// (Proposition 2.2). Every non-root vertex of the result has exactly one
+// parent and all edge multiplicities are 1. limit bounds the number of tree
+// nodes; pass 0 for a default of 64M nodes.
+func Decompress(in *Instance, limit uint64) (*Instance, error) {
+	const defaultLimit = 64 << 20
+	if limit == 0 {
+		limit = defaultLimit
+	}
+	if len(in.Verts) == 0 {
+		return &Instance{Root: NilVertex, Schema: in.Schema.Clone()}, nil
+	}
+	if n := in.TreeSize(); n > limit {
+		return nil, fmt.Errorf("%w: %d nodes > limit %d", ErrTooLarge, n, limit)
+	}
+	out := &Instance{Schema: in.Schema.Clone()}
+	out.Root = copyTree(in, in.Root, out)
+	return out, nil
+}
+
+// copyTree expands vertex v of src into a fresh tree rooted in dst,
+// returning the new root's ID. Children are expanded per multiplicity; each
+// expansion is an independent copy, which is exactly the depth-first
+// recovery of the original skeleton described under Figure 1.
+func copyTree(src *Instance, v VertexID, dst *Instance) VertexID {
+	id := VertexID(len(dst.Verts))
+	dst.Verts = append(dst.Verts, Vertex{Labels: src.Verts[v].Labels.Clone()})
+	var edges []Edge
+	for _, e := range src.Verts[v].Edges {
+		for i := uint32(0); i < e.Count; i++ {
+			c := copyTree(src, e.Child, dst)
+			edges = append(edges, Edge{Child: c, Count: 1})
+		}
+	}
+	dst.Verts[id].Edges = edges
+	return id
+}
+
+// IsTree reports whether in is a tree-instance: every non-root vertex has
+// exactly one incoming edge and every multiplicity is 1.
+func IsTree(in *Instance) bool {
+	if len(in.Verts) == 0 {
+		return true
+	}
+	indeg := make([]int, len(in.Verts))
+	for i := range in.Verts {
+		for _, e := range in.Verts[i].Edges {
+			if e.Count != 1 {
+				return false
+			}
+			indeg[e.Child]++
+			if indeg[e.Child] > 1 {
+				return false
+			}
+		}
+	}
+	return indeg[in.Root] == 0
+}

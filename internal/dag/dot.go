@@ -1,0 +1,37 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the instance in Graphviz DOT format for debugging and
+// documentation: vertices show their ID and label set, edges their
+// multiplicity, and child order is encoded in edge head labels.
+func WriteDOT(w io.Writer, in *Instance, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", title); err != nil {
+		return err
+	}
+	for i := range in.Verts {
+		v := &in.Verts[i]
+		shape := ""
+		if VertexID(i) == in.Root {
+			shape = ", penwidth=2"
+		}
+		if _, err := fmt.Fprintf(w, "  v%d [label=\"v%d %s\"%s];\n",
+			i, i, v.Labels.Format(in.Schema), shape); err != nil {
+			return err
+		}
+		for pos, e := range v.Edges {
+			label := fmt.Sprintf("%d", pos+1)
+			if e.Count > 1 {
+				label = fmt.Sprintf("%d (x%d)", pos+1, e.Count)
+			}
+			if _, err := fmt.Fprintf(w, "  v%d -> v%d [label=%q];\n", i, e.Child, label); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,56 @@
+package dag_test
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/dagtest"
+	"repro/internal/label"
+)
+
+func ExampleCompress() {
+	// The Figure 1 bibliography: 12 tree nodes share down to 5 vertices.
+	tree := dagtest.FromTerm("bib(book(title,author,author,author),paper(title,author),paper(title,author))")
+	m := dag.Compress(tree)
+	fmt.Printf("%d -> %d vertices, %d RLE edges\n", tree.NumVertices(), m.NumVertices(), m.NumEdges())
+	fmt.Println("minimal:", dag.Minimal(m))
+	fmt.Println("equivalent:", dag.Equivalent(tree, m))
+	// Output:
+	// 12 -> 5 vertices, 6 RLE edges
+	// minimal: true
+	// equivalent: true
+}
+
+func ExampleInstance_TreeSize() {
+	// A complete binary tree of depth 20 is 21 shared vertices; its tree
+	// size is still computable without decompressing.
+	b := dag.NewBuilder(nil)
+	leaf := b.Add(nil, nil)
+	cur := leaf
+	for i := 0; i < 20; i++ {
+		cur = b.Add(nil, []dag.VertexID{cur, cur})
+	}
+	b.SetRoot(cur)
+	in := b.Instance()
+	fmt.Println(in.NumVertices(), "vertices represent", in.TreeSize(), "tree nodes")
+	// Output:
+	// 21 vertices represent 2097151 tree nodes
+}
+
+func ExampleCommonExtension() {
+	tree := dagtest.FromTerm("a(b,b,c(b))")
+	// Two labelings of the same document, compressed independently...
+	onlyB := dag.Compress(tree.Reduct([]label.ID{tree.Schema.Lookup("tag:b")}))
+	onlyC := dag.Compress(tree.Reduct([]label.ID{tree.Schema.Lookup("tag:c")}))
+	// ...merge into one instance carrying both (Section 2.3).
+	ext, err := dag.CommonExtension(onlyB, onlyC)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("b nodes:", ext.CountSelectedTree(ext.Schema.Lookup("tag:b")))
+	fmt.Println("c nodes:", ext.CountSelectedTree(ext.Schema.Lookup("tag:c")))
+	// Output:
+	// b nodes: 3
+	// c nodes: 1
+}

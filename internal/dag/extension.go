@@ -1,0 +1,123 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/label"
+)
+
+// ErrIncompatible is returned by CommonExtension when the two instances do
+// not represent the same underlying tree (they are not compatible in the
+// sense of Section 2.3).
+var ErrIncompatible = errors.New("dag: instances are not compatible")
+
+// CommonExtension computes a common extension of instances a and b
+// (Section 2.3, Lemma 2.7): an instance K over the union of the two
+// schemas whose reduct to a's schema is equivalent to a and whose reduct to
+// b's schema is equivalent to b.
+//
+// The construction is the product construction for finite automata, run
+// lazily from the pair of roots so that only reachable pairs are built —
+// the running time is linear in the size of the output, and the output is
+// the least upper bound of a and b in the bisimilarity lattice of their
+// common tree. Edge multiplicities are handled by aligning the two
+// run-length-encoded child streams and emitting runs of the minimum
+// remaining length.
+//
+// Relations are matched by name: if both instances use a relation name, the
+// name must select the same tree nodes in both (otherwise they are simply
+// different labelings and the caller should rename).
+func CommonExtension(a, b *Instance) (*Instance, error) {
+	if len(a.Verts) == 0 || len(b.Verts) == 0 {
+		if len(a.Verts) != len(b.Verts) {
+			return nil, fmt.Errorf("%w: one instance is empty", ErrIncompatible)
+		}
+		return &Instance{Root: NilVertex, Schema: label.NewSchema()}, nil
+	}
+
+	joint := label.NewSchema()
+	mapA := make([]label.ID, a.Schema.Len())
+	for i := 0; i < a.Schema.Len(); i++ {
+		mapA[i] = joint.Intern(a.Schema.Name(label.ID(i)))
+	}
+	mapB := make([]label.ID, b.Schema.Len())
+	for i := 0; i < b.Schema.Len(); i++ {
+		mapB[i] = joint.Intern(b.Schema.Name(label.ID(i)))
+	}
+
+	bld := NewBuilder(joint)
+	type pair struct{ u, v VertexID }
+	memo := make(map[pair]VertexID)
+
+	var build func(u, v VertexID) (VertexID, error)
+	build = func(u, v VertexID) (VertexID, error) {
+		key := pair{u, v}
+		if id, ok := memo[key]; ok {
+			return id, nil
+		}
+		ua, vb := &a.Verts[u], &b.Verts[v]
+
+		var labels label.Set
+		for _, id := range ua.Labels.Members() {
+			labels = labels.Set(mapA[id])
+		}
+		for _, id := range vb.Labels.Members() {
+			labels = labels.Set(mapB[id])
+		}
+
+		// Align the two RLE child streams.
+		var edges []Edge
+		i, j := 0, 0
+		var remA, remB uint32
+		if len(ua.Edges) > 0 {
+			remA = ua.Edges[0].Count
+		}
+		if len(vb.Edges) > 0 {
+			remB = vb.Edges[0].Count
+		}
+		for i < len(ua.Edges) && j < len(vb.Edges) {
+			run := remA
+			if remB < run {
+				run = remB
+			}
+			c, err := build(ua.Edges[i].Child, vb.Edges[j].Child)
+			if err != nil {
+				return NilVertex, err
+			}
+			if n := len(edges); n > 0 && edges[n-1].Child == c {
+				edges[n-1].Count += run
+			} else {
+				edges = append(edges, Edge{Child: c, Count: run})
+			}
+			remA -= run
+			remB -= run
+			if remA == 0 {
+				i++
+				if i < len(ua.Edges) {
+					remA = ua.Edges[i].Count
+				}
+			}
+			if remB == 0 {
+				j++
+				if j < len(vb.Edges) {
+					remB = vb.Edges[j].Count
+				}
+			}
+		}
+		if i < len(ua.Edges) || j < len(vb.Edges) {
+			return NilVertex, fmt.Errorf("%w: child sequences of paired vertices differ in length", ErrIncompatible)
+		}
+
+		id := bld.addEdges(labels, edges)
+		memo[key] = id
+		return id, nil
+	}
+
+	root, err := build(a.Root, b.Root)
+	if err != nil {
+		return nil, err
+	}
+	bld.SetRoot(root)
+	return bld.Instance(), nil
+}

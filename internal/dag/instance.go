@@ -1,0 +1,351 @@
+// Package dag implements the compressed-instance data model of
+// "Path Queries on Compressed XML" (Buneman, Grohe, Koch; VLDB 2003).
+//
+// An Instance is the paper's σ-instance I = (V, γ, root, S1..Sn): a rooted
+// DAG whose vertices carry an ordered sequence of child edges and membership
+// in a set of unary relations (the schema σ). Consecutive equal child edges
+// are merged into a single Edge carrying a multiplicity (Figure 1 (c)),
+// which is what makes wide XML trees compress so well.
+//
+// The fully uncompressed version of an instance is an ordered tree; the
+// fully compressed version is the minimal instance M(I), unique up to
+// isomorphism (Proposition 2.5). Both are Instances here — a tree is just
+// an instance where every non-root vertex has exactly one incoming edge of
+// multiplicity one.
+package dag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/label"
+)
+
+// VertexID indexes a vertex within an Instance. The zero value is a valid
+// vertex index only when the instance is non-empty; use Instance.Root.
+type VertexID int32
+
+// NilVertex marks the absence of a vertex.
+const NilVertex VertexID = -1
+
+// Edge is one run of consecutive identical child edges: the child vertex and
+// the number of repetitions (the multiplicity of Figure 1 (c)). Count is at
+// least 1.
+type Edge struct {
+	Child VertexID
+	Count uint32
+}
+
+// Vertex is the per-vertex payload: the ordered, run-length-encoded child
+// sequence γ(v) and the label set recording membership in the schema's
+// unary relations.
+type Vertex struct {
+	Edges  []Edge
+	Labels label.Set
+}
+
+// Instance is a σ-instance. Vertices are stored in a dense slice; the DAG
+// property (acyclic, single root) is guaranteed by construction when built
+// through a Builder and can be verified with Validate.
+type Instance struct {
+	Verts  []Vertex
+	Root   VertexID
+	Schema *label.Schema
+}
+
+// New returns an empty instance over a fresh schema.
+func New() *Instance {
+	return &Instance{Root: NilVertex, Schema: label.NewSchema()}
+}
+
+// NumVertices returns |V|.
+func (in *Instance) NumVertices() int { return len(in.Verts) }
+
+// NumEdges returns the number of stored (run-length-encoded) edges, the
+// |E| measure used throughout the paper's experiments ("edges dominate the
+// vertices in the compressed instances").
+func (in *Instance) NumEdges() int {
+	n := 0
+	for i := range in.Verts {
+		n += len(in.Verts[i].Edges)
+	}
+	return n
+}
+
+// NumExpandedEdges returns the number of edges counting multiplicities,
+// i.e. the edge count of the partially decompressed DAG with parallel edges
+// drawn explicitly (Figure 1 (b)).
+func (in *Instance) NumExpandedEdges() uint64 {
+	var n uint64
+	for i := range in.Verts {
+		for _, e := range in.Verts[i].Edges {
+			n += uint64(e.Count)
+		}
+	}
+	return n
+}
+
+// Vertex returns the vertex payload for id.
+func (in *Instance) Vertex(id VertexID) *Vertex { return &in.Verts[id] }
+
+// Has reports whether vertex v is a member of relation s.
+func (in *Instance) Has(v VertexID, s label.ID) bool {
+	return in.Verts[v].Labels.Has(s)
+}
+
+// Select returns the IDs of all vertices in relation s, ascending.
+func (in *Instance) Select(s label.ID) []VertexID {
+	var out []VertexID
+	for i := range in.Verts {
+		if in.Verts[i].Labels.Has(s) {
+			out = append(out, VertexID(i))
+		}
+	}
+	return out
+}
+
+// CountSelected returns the number of DAG vertices in relation s
+// (column 7 of Figure 7).
+func (in *Instance) CountSelected(s label.ID) int {
+	n := 0
+	for i := range in.Verts {
+		if in.Verts[i].Labels.Has(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy sharing nothing with in except immutable label
+// names.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{
+		Verts:  make([]Vertex, len(in.Verts)),
+		Root:   in.Root,
+		Schema: in.Schema.Clone(),
+	}
+	for i := range in.Verts {
+		v := &in.Verts[i]
+		nv := &out.Verts[i]
+		nv.Edges = make([]Edge, len(v.Edges))
+		copy(nv.Edges, v.Edges)
+		nv.Labels = v.Labels.Clone()
+	}
+	return out
+}
+
+// TopoOrder returns the vertices in a topological order (parents before
+// children). The instance must be acyclic; Validate checks this.
+func (in *Instance) TopoOrder() []VertexID {
+	n := len(in.Verts)
+	indeg := make([]int, n)
+	for i := range in.Verts {
+		for _, e := range in.Verts[i].Edges {
+			indeg[e.Child]++
+		}
+	}
+	order := make([]VertexID, 0, n)
+	queue := make([]VertexID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, VertexID(i))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range in.Verts[v].Edges {
+			indeg[e.Child]--
+			if indeg[e.Child] == 0 {
+				queue = append(queue, e.Child)
+			}
+		}
+	}
+	return order
+}
+
+// Validate checks the structural invariants: a single root with no incoming
+// edges, acyclicity, every vertex reachable from the root, positive edge
+// multiplicities, and RLE normal form (no two consecutive edges to the same
+// child). It returns nil if all hold.
+func (in *Instance) Validate() error {
+	if len(in.Verts) == 0 {
+		if in.Root != NilVertex {
+			return fmt.Errorf("dag: empty instance with root %d", in.Root)
+		}
+		return nil
+	}
+	if in.Root < 0 || int(in.Root) >= len(in.Verts) {
+		return fmt.Errorf("dag: root %d out of range [0,%d)", in.Root, len(in.Verts))
+	}
+	indeg := make([]int, len(in.Verts))
+	for i := range in.Verts {
+		prev := NilVertex
+		for _, e := range in.Verts[i].Edges {
+			if e.Child < 0 || int(e.Child) >= len(in.Verts) {
+				return fmt.Errorf("dag: vertex %d has edge to out-of-range child %d", i, e.Child)
+			}
+			if e.Count == 0 {
+				return fmt.Errorf("dag: vertex %d has zero-multiplicity edge to %d", i, e.Child)
+			}
+			if e.Child == prev {
+				return fmt.Errorf("dag: vertex %d has unmerged consecutive edges to %d", i, e.Child)
+			}
+			prev = e.Child
+			indeg[e.Child]++
+		}
+	}
+	if indeg[in.Root] != 0 {
+		return fmt.Errorf("dag: root %d has %d incoming edges", in.Root, indeg[in.Root])
+	}
+	order := in.TopoOrder()
+	if len(order) != len(in.Verts) {
+		return fmt.Errorf("dag: cycle detected (topological order covers %d of %d vertices)", len(order), len(in.Verts))
+	}
+	// Reachability from the root.
+	seen := make([]bool, len(in.Verts))
+	stack := []VertexID{in.Root}
+	seen[in.Root] = true
+	reached := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range in.Verts[v].Edges {
+			if !seen[e.Child] {
+				seen[e.Child] = true
+				reached++
+				stack = append(stack, e.Child)
+			}
+		}
+	}
+	if reached != len(in.Verts) {
+		return fmt.Errorf("dag: %d of %d vertices unreachable from root", len(in.Verts)-reached, len(in.Verts))
+	}
+	return nil
+}
+
+// TreeSize returns the number of nodes of the uncompressed tree T(in),
+// computed without decompressing, saturating at math.MaxUint64.
+func (in *Instance) TreeSize() uint64 {
+	if len(in.Verts) == 0 {
+		return 0
+	}
+	sizes := make([]uint64, len(in.Verts))
+	order := in.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		var s uint64 = 1
+		for _, e := range in.Verts[v].Edges {
+			s = satAdd(s, satMul(uint64(e.Count), sizes[e.Child]))
+		}
+		sizes[v] = s
+	}
+	return sizes[in.Root]
+}
+
+// PathCounts returns, for every vertex, the number of edge-paths from the
+// root to that vertex (|Π(v)| in the paper's notation), counting
+// multiplicities and saturating at math.MaxUint64. PathCounts[root] == 1.
+// These counts turn a DAG selection into its tree-node count (column 8 of
+// Figure 7).
+func (in *Instance) PathCounts() []uint64 {
+	counts := make([]uint64, len(in.Verts))
+	if len(in.Verts) == 0 {
+		return counts
+	}
+	counts[in.Root] = 1
+	for _, v := range in.TopoOrder() {
+		c := counts[v]
+		if c == 0 {
+			continue
+		}
+		for _, e := range in.Verts[v].Edges {
+			counts[e.Child] = satAdd(counts[e.Child], satMul(c, uint64(e.Count)))
+		}
+	}
+	return counts
+}
+
+// CountSelectedTree returns the number of nodes of the uncompressed tree
+// T(in) selected by relation s: the multiplicity-weighted count that the
+// paper reports in column 8 of Figure 7.
+func (in *Instance) CountSelectedTree(s label.ID) uint64 {
+	counts := in.PathCounts()
+	var n uint64
+	for i := range in.Verts {
+		if in.Verts[i].Labels.Has(s) {
+			n = satAdd(n, counts[i])
+		}
+	}
+	return n
+}
+
+// Reduct returns the σ′-reduct of in: the same DAG with only the relations
+// in keep retained (Section 2.3). The returned instance shares no mutable
+// state with in. The schema keeps all names so IDs remain stable.
+func (in *Instance) Reduct(keep []label.ID) *Instance {
+	var mask label.Set
+	for _, id := range keep {
+		mask = mask.Set(id)
+	}
+	out := in.Clone()
+	for i := range out.Verts {
+		out.Verts[i].Labels = out.Verts[i].Labels.Restrict(mask)
+	}
+	return out
+}
+
+// String renders a compact multi-line description, stable across runs, for
+// debugging and golden tests.
+func (in *Instance) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "instance{root=v%d, |V|=%d, |E|=%d}\n", in.Root, in.NumVertices(), in.NumEdges())
+	for i := range in.Verts {
+		v := &in.Verts[i]
+		fmt.Fprintf(&sb, "  v%d %s ->", i, v.Labels.Format(in.Schema))
+		for _, e := range v.Edges {
+			if e.Count == 1 {
+				fmt.Fprintf(&sb, " v%d", e.Child)
+			} else {
+				fmt.Fprintf(&sb, " v%d(x%d)", e.Child, e.Count)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SortedLabelNames returns the names of the relations that appear on at
+// least one vertex, sorted. Useful for reports.
+func (in *Instance) SortedLabelNames() []string {
+	var used label.Set
+	for i := range in.Verts {
+		used = used.Union(in.Verts[i].Labels)
+	}
+	names := make([]string, 0, used.Count())
+	for _, id := range used.Members() {
+		names = append(names, in.Schema.Name(id))
+	}
+	sort.Strings(names)
+	return names
+}
+
+func satAdd(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxUint64/b {
+		return math.MaxUint64
+	}
+	return a * b
+}

@@ -1,0 +1,130 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/label"
+)
+
+// PathSet is Π(S) materialised: the set of edge-paths (sequences of 1-based
+// child positions in the fully expanded tree) rendered as dot-separated
+// strings, e.g. "2.2" for the second child of the second child of the root.
+// The empty path (the root itself) is "".
+//
+// Enumerating Π is exponential in general; it exists for property tests on
+// small instances, where it provides a second, definition-literal
+// implementation of equivalence to check the canonicalisation-based one
+// against.
+type PathSet map[string]bool
+
+// Paths enumerates Π(V): every edge-path from the root, over the expanded
+// tree (multiplicities unrolled). limit caps the number of paths to guard
+// against exponential blowup; enumeration panics if exceeded (tests only).
+func Paths(in *Instance, limit int) PathSet {
+	out := make(PathSet)
+	if len(in.Verts) == 0 {
+		return out
+	}
+	var walk func(v VertexID, prefix []string)
+	walk = func(v VertexID, prefix []string) {
+		if len(out) > limit {
+			panic(fmt.Sprintf("dag: path enumeration exceeded limit %d", limit))
+		}
+		out[strings.Join(prefix, ".")] = true
+		pos := 1
+		for _, e := range in.Verts[v].Edges {
+			for i := uint32(0); i < e.Count; i++ {
+				walk(e.Child, append(prefix, fmt.Sprint(pos)))
+				pos++
+			}
+		}
+	}
+	walk(in.Root, nil)
+	return out
+}
+
+// PathsOf enumerates Π(S) for relation s: the edge-paths ending in a vertex
+// that is a member of s.
+func PathsOf(in *Instance, s label.ID, limit int) PathSet {
+	out := make(PathSet)
+	if len(in.Verts) == 0 {
+		return out
+	}
+	var walk func(v VertexID, prefix []string)
+	walk = func(v VertexID, prefix []string) {
+		if len(out) > limit {
+			panic(fmt.Sprintf("dag: path enumeration exceeded limit %d", limit))
+		}
+		if in.Verts[v].Labels.Has(s) {
+			out[strings.Join(prefix, ".")] = true
+		}
+		pos := 1
+		for _, e := range in.Verts[v].Edges {
+			for i := uint32(0); i < e.Count; i++ {
+				walk(e.Child, append(prefix, fmt.Sprint(pos)))
+				pos++
+			}
+		}
+	}
+	walk(in.Root, nil)
+	return out
+}
+
+// Equal reports whether two path sets contain the same paths.
+func (p PathSet) Equal(q PathSet) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for k := range p {
+		if !q[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the paths in sorted order, for deterministic test output.
+func (p PathSet) Sorted() []string {
+	out := make([]string, 0, len(p))
+	for k := range p {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EquivalentByPaths is the definition-literal equivalence check
+// (Definition 2.1): Π(V) and Π(S) for every named relation must coincide.
+// Relations are matched by name. Only usable on small instances.
+func EquivalentByPaths(a, b *Instance, limit int) bool {
+	if !Paths(a, limit).Equal(Paths(b, limit)) {
+		return false
+	}
+	names := make(map[string]bool)
+	for _, n := range a.Schema.Names() {
+		names[n] = true
+	}
+	for _, n := range b.Schema.Names() {
+		names[n] = true
+	}
+	for n := range names {
+		ida, idb := a.Schema.Lookup(n), b.Schema.Lookup(n)
+		var pa, pb PathSet
+		if ida != label.Invalid {
+			pa = PathsOf(a, ida, limit)
+		} else {
+			pa = make(PathSet)
+		}
+		if idb != label.Invalid {
+			pb = PathsOf(b, idb, limit)
+		} else {
+			pb = make(PathSet)
+		}
+		if !pa.Equal(pb) {
+			return false
+		}
+	}
+	return true
+}

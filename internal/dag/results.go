@@ -1,0 +1,68 @@
+package dag
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/label"
+)
+
+// SelectedPaths enumerates the edge-paths (tree-node addresses, 1-based
+// child positions joined with '.') of the nodes selected by relation s, in
+// document order, up to max paths. It is the "decode the query result"
+// operation the paper describes for translating a selection on a partially
+// decompressed instance back to the uncompressed tree — a single
+// depth-first traversal, pruned at subtrees that contain no selected
+// vertices, so the cost is proportional to the answer, not the tree.
+func SelectedPaths(in *Instance, s label.ID, max int) []string {
+	if len(in.Verts) == 0 || max <= 0 {
+		return nil
+	}
+	// hasSel[v]: some vertex in v's subtree (including v) is in s.
+	hasSel := make([]bool, len(in.Verts))
+	order := in.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if in.Verts[v].Labels.Has(s) {
+			hasSel[v] = true
+			continue
+		}
+		for _, e := range in.Verts[v].Edges {
+			if hasSel[e.Child] {
+				hasSel[v] = true
+				break
+			}
+		}
+	}
+
+	var out []string
+	var prefix []string
+	var walk func(v VertexID) bool // returns false when max reached
+	walk = func(v VertexID) bool {
+		if in.Verts[v].Labels.Has(s) {
+			out = append(out, strings.Join(prefix, "."))
+			if len(out) >= max {
+				return false
+			}
+		}
+		pos := 1
+		for _, e := range in.Verts[v].Edges {
+			if !hasSel[e.Child] {
+				pos += int(e.Count)
+				continue
+			}
+			for i := uint32(0); i < e.Count; i++ {
+				prefix = append(prefix, strconv.Itoa(pos))
+				ok := walk(e.Child)
+				prefix = prefix[:len(prefix)-1]
+				if !ok {
+					return false
+				}
+				pos++
+			}
+		}
+		return true
+	}
+	walk(in.Root)
+	return out
+}

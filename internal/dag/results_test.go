@@ -1,0 +1,125 @@
+package dag_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/dagtest"
+	"repro/internal/label"
+	"repro/internal/skeleton"
+)
+
+func TestSelectedPathsSimple(t *testing.T) {
+	in := dagtest.CompressedFromTerm("a(b,c,b)")
+	b := in.Schema.Lookup(skeleton.TagLabel("b"))
+	got := dag.SelectedPaths(in, b, 100)
+	if len(got) != 2 || got[0] != "1" || got[1] != "3" {
+		t.Fatalf("paths = %v, want [1 3]", got)
+	}
+	a := in.Schema.Lookup(skeleton.TagLabel("a"))
+	if got := dag.SelectedPaths(in, a, 100); len(got) != 1 || got[0] != "" {
+		t.Fatalf("root path = %v, want [\"\"]", got)
+	}
+}
+
+func TestSelectedPathsSharedSubtrees(t *testing.T) {
+	// b occurs under both papers, which share a vertex: both addresses
+	// must come out, in document order.
+	in := dagtest.CompressedFromTerm("r(p(b),p(b))")
+	b := in.Schema.Lookup(skeleton.TagLabel("b"))
+	got := dag.SelectedPaths(in, b, 100)
+	if len(got) != 2 || got[0] != "1.1" || got[1] != "2.1" {
+		t.Fatalf("paths = %v, want [1.1 2.1]", got)
+	}
+}
+
+func TestSelectedPathsLimit(t *testing.T) {
+	in := dagtest.CompressedFromTerm("a(b,b,b,b,b)")
+	b := in.Schema.Lookup(skeleton.TagLabel("b"))
+	got := dag.SelectedPaths(in, b, 3)
+	if len(got) != 3 || got[2] != "3" {
+		t.Fatalf("paths = %v", got)
+	}
+	if got := dag.SelectedPaths(in, b, 0); got != nil {
+		t.Fatalf("limit 0 returned %v", got)
+	}
+}
+
+func TestSelectedPathsEmptySelection(t *testing.T) {
+	in := dagtest.CompressedFromTerm("a(b)")
+	missing := in.Schema.Intern("never")
+	if got := dag.SelectedPaths(in, missing, 10); got != nil {
+		t.Fatalf("paths = %v, want none", got)
+	}
+}
+
+// TestPropertySelectedPathsMatchPathsOf cross-checks the pruned
+// enumeration against the exhaustive Π(S) used for equivalence testing.
+func TestPropertySelectedPathsMatchPathsOf(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := dag.Compress(dagtest.RandomTree(r, 50, 4, 2))
+		if in.Schema.Len() == 0 {
+			return true
+		}
+		s := label.ID(r.Intn(in.Schema.Len()))
+		want := dag.PathsOf(in, s, 100000)
+		got := dag.SelectedPaths(in, s, 1<<20)
+		if len(got) != len(want) {
+			return false
+		}
+		prev := ""
+		for i, p := range got {
+			if !want[p] {
+				return false
+			}
+			// Document order: lexicographic on the numeric components.
+			if i > 0 && !docOrderLess(prev, p) {
+				t.Logf("order violated: %q before %q", prev, p)
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// docOrderLess compares dot-separated position paths in document order
+// (prefix first, then by first differing position).
+func docOrderLess(a, b string) bool {
+	if a == b {
+		return false
+	}
+	if a == "" {
+		return true
+	}
+	if b == "" {
+		return false
+	}
+	as, bs := splitDots(a), splitDots(b)
+	for i := 0; i < len(as) && i < len(bs); i++ {
+		if as[i] != bs[i] {
+			return as[i] < bs[i]
+		}
+	}
+	return len(as) < len(bs)
+}
+
+func splitDots(s string) []int {
+	var out []int
+	n := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			out = append(out, n)
+			n = 0
+			continue
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package dag
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// CompressStratified computes the minimal instance M(in) by explicit
+// partition refinement stratified by height — the alternative algorithm
+// the paper's footnote 3 alludes to ("a strictly linear-time algorithm,
+// which however needs more memory"). Where the hash-consing Compress
+// builds the result incrementally with a single global table,
+// CompressStratified materialises every vertex's signature
+// (labels + run-length-encoded sequence of child equivalence classes) per
+// height stratum and buckets equal signatures together.
+//
+// Both algorithms compute the same (unique) minimal instance; tests verify
+// they agree on arbitrary partially compressed inputs. It exists as an
+// independent second implementation for cross-checking and as the
+// memory-for-certainty trade-off the footnote describes.
+func CompressStratified(in *Instance) *Instance {
+	n := len(in.Verts)
+	if n == 0 {
+		return &Instance{Root: NilVertex, Schema: in.Schema.Clone()}
+	}
+
+	// Height of a vertex: 0 for leaves, 1 + max child height otherwise.
+	heights := make([]int, n)
+	order := in.TopoOrder()
+	maxH := 0
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		h := 0
+		for _, e := range in.Verts[v].Edges {
+			if ch := heights[e.Child] + 1; ch > h {
+				h = ch
+			}
+		}
+		heights[v] = h
+		if h > maxH {
+			maxH = h
+		}
+	}
+	strata := make([][]VertexID, maxH+1)
+	for v := 0; v < n; v++ {
+		strata[heights[v]] = append(strata[heights[v]], VertexID(v))
+	}
+
+	// class[v]: equivalence class of v; classes are assigned per stratum
+	// in increasing height, so children always have final classes before
+	// their parents are processed (two equivalent vertices necessarily
+	// have equal heights).
+	class := make([]int32, n)
+	// For each class, a representative's rewritten edge list and labels.
+	type classInfo struct {
+		rep VertexID
+	}
+	var classes []classInfo
+
+	var sig []byte
+	for h := 0; h <= maxH; h++ {
+		buckets := make(map[string]int32)
+		for _, v := range strata[h] {
+			vert := &in.Verts[v]
+			sig = sig[:0]
+			// Signature: normalised labels, then the RLE child class
+			// sequence (re-merged, since merging child classes can fuse
+			// adjacent runs).
+			for _, w := range vert.Labels.Members() {
+				sig = binary.AppendUvarint(sig, uint64(w)+1)
+			}
+			sig = append(sig, 0xFF)
+			var prevClass int32 = -1
+			var runLen uint64
+			flush := func() {
+				if runLen > 0 {
+					sig = binary.AppendUvarint(sig, uint64(prevClass)+1)
+					sig = binary.AppendUvarint(sig, runLen)
+				}
+			}
+			for _, e := range vert.Edges {
+				c := class[e.Child]
+				if c == prevClass {
+					runLen += uint64(e.Count)
+					continue
+				}
+				flush()
+				prevClass = c
+				runLen = uint64(e.Count)
+			}
+			flush()
+
+			key := string(sig)
+			id, ok := buckets[key]
+			if !ok {
+				id = int32(len(classes))
+				buckets[key] = id
+				classes = append(classes, classInfo{rep: v})
+			}
+			class[v] = id
+		}
+	}
+
+	// Emit the quotient instance: one vertex per class reachable from the
+	// root's class, numbered in a deterministic (class id) order, edges
+	// re-merged through class mapping.
+	out := &Instance{Schema: in.Schema.Clone()}
+	remap := make([]VertexID, len(classes))
+	for i := range remap {
+		remap[i] = NilVertex
+	}
+	// Reachability over classes.
+	reach := []int32{class[in.Root]}
+	seen := make([]bool, len(classes))
+	seen[class[in.Root]] = true
+	for i := 0; i < len(reach); i++ {
+		rep := classes[reach[i]].rep
+		for _, e := range in.Verts[rep].Edges {
+			c := class[e.Child]
+			if !seen[c] {
+				seen[c] = true
+				reach = append(reach, c)
+			}
+		}
+	}
+	sort.Slice(reach, func(i, j int) bool { return reach[i] < reach[j] })
+	for _, c := range reach {
+		remap[c] = VertexID(len(out.Verts))
+		out.Verts = append(out.Verts, Vertex{})
+	}
+	for _, c := range reach {
+		rep := classes[c].rep
+		src := &in.Verts[rep]
+		nv := &out.Verts[remap[c]]
+		nv.Labels = src.Labels.Clone()
+		for _, e := range src.Edges {
+			nc := remap[class[e.Child]]
+			if k := len(nv.Edges); k > 0 && nv.Edges[k-1].Child == nc {
+				nv.Edges[k-1].Count += e.Count
+			} else {
+				nv.Edges = append(nv.Edges, Edge{Child: nc, Count: e.Count})
+			}
+		}
+	}
+	out.Root = remap[class[in.Root]]
+	return out
+}

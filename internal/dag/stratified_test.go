@@ -1,0 +1,84 @@
+package dag_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/dagtest"
+)
+
+func TestStratifiedMatchesHashConsing(t *testing.T) {
+	tree := dagtest.FromTerm(fig1Term)
+	a := dag.Compress(tree)
+	b := dag.CompressStratified(tree)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	if !dag.Equivalent(a, b) {
+		t.Fatalf("results not equivalent:\n%s\n%s", a, b)
+	}
+	if !dag.Minimal(b) {
+		t.Fatal("stratified result not minimal")
+	}
+}
+
+// TestPropertyStratifiedAgreesOnPartialCompressions: the two minimization
+// algorithms must agree not just on trees but on arbitrary partially
+// compressed instances (random expansions of minimal instances).
+func TestPropertyStratifiedAgreesOnPartialCompressions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := dagtest.RandomTree(r, 60, 4, 2)
+		inputs := []*dag.Instance{
+			tree,
+			dag.Compress(tree),
+			dagtest.Expand(r, dag.Compress(tree)),
+		}
+		for _, in := range inputs {
+			a := dag.Compress(in)
+			b := dag.CompressStratified(in)
+			if b.Validate() != nil {
+				return false
+			}
+			if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+				t.Logf("size mismatch on:\n%s", in)
+				return false
+			}
+			if !dag.Equivalent(a, b) || !dag.Equivalent(b, in) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStratifiedEmpty(t *testing.T) {
+	out := dag.CompressStratified(dag.New())
+	if out.NumVertices() != 0 || out.Root != dag.NilVertex {
+		t.Fatal("empty instance mishandled")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	in := dagtest.CompressedFromTerm("a(b,b,c)")
+	var sb strings.Builder
+	if err := dag.WriteDOT(&sb, in, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "tag:a", "tag:b", "(x2)", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestFig6Bands(t *testing.T) {
+	rows, err := experiments.Fig6(0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 { // 8 corpora x 2 tag modes
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio <= 0 || r.Ratio > 1 {
+			t.Errorf("%s (+%v): ratio %f out of (0,1]", r.Corpus, r.AllTags, r.Ratio)
+		}
+		if uint64(r.DagVertices) > r.TreeVertices {
+			t.Errorf("%s: compression grew the instance", r.Corpus)
+		}
+	}
+	// The "+" row is never smaller than the "−" row of the same corpus.
+	for i := 0; i+1 < len(rows); i += 2 {
+		if rows[i].DagEdges > rows[i+1].DagEdges {
+			t.Errorf("%s: tags- larger than tags+", rows[i].Corpus)
+		}
+	}
+}
+
+func TestFig7Invariants(t *testing.T) {
+	rows, err := experiments.Fig7(0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 35 { // 7 corpora x 5 queries
+		t.Fatalf("rows = %d, want 35", len(rows))
+	}
+	if bad := experiments.CheckFig7Invariants(rows); len(bad) > 0 {
+		for _, b := range bad {
+			t.Error(b)
+		}
+	}
+}
+
+// TestDecompressionGrowthShape pins Theorem 3.6's two regimes.
+func TestDecompressionGrowthShape(t *testing.T) {
+	benign, adversarial, err := experiments.DecompressionGrowth(14, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range benign {
+		if p.VertsAfter != p.VertsBefore {
+			t.Errorf("benign k=%d: grew %d -> %d; plain chains must not decompress",
+				p.Steps, p.VertsBefore, p.VertsAfter)
+		}
+	}
+	prev := 0
+	for _, p := range adversarial {
+		if p.VertsAfter <= prev {
+			t.Errorf("adversarial k=%d: growth not monotone (%d after %d)", p.Steps, p.VertsAfter, prev)
+		}
+		prev = p.VertsAfter
+		// Bounded by the uncompressed tree (Theorem 3.6's other side).
+		if uint64(p.VertsAfter) > p.TreeSize {
+			t.Errorf("adversarial k=%d: %d vertices exceeds tree size %d", p.Steps, p.VertsAfter, p.TreeSize)
+		}
+	}
+	// Exponential regime: growth at k=6 must exceed 2^5 even though each
+	// single operation only doubles.
+	last := adversarial[len(adversarial)-1]
+	if g := float64(last.VertsAfter) / float64(last.VertsBefore); g < 32 {
+		t.Errorf("adversarial growth at k=6 = %.1fx, want >= 32x (exponential regime)", g)
+	}
+}
+
+func TestVsBaselineAgreement(t *testing.T) {
+	// VsBaseline internally cross-checks selected counts and errors on
+	// mismatch, so a clean run is itself the assertion.
+	rows, err := experiments.VsBaseline(0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 35 {
+		t.Fatalf("rows = %d, want 35", len(rows))
+	}
+}
+
+func TestRelationalSweepIsFlat(t *testing.T) {
+	pts, err := experiments.RelationalSweep([]int{10, 100, 1000}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].DagEdges != pts[0].DagEdges || pts[i].DagVertices != pts[0].DagVertices {
+			t.Errorf("compressed size changed with row count: %+v vs %+v", pts[i], pts[0])
+		}
+	}
+	if pts[len(pts)-1].TreeVertices <= pts[0].TreeVertices {
+		t.Error("tree size should grow with rows")
+	}
+}

@@ -1,0 +1,286 @@
+// Package label provides the schema machinery for instances: a registry of
+// unary relation names (the schema σ = {S1, ..., Sn} of the paper) and
+// compact bitsets recording which relations a vertex belongs to.
+//
+// Schemas in this system are small (tags mentioned by a query, string
+// conditions, and intermediate query selections), but they are not bounded,
+// so Set is a variable-length bitset rather than a single machine word.
+package label
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// ID identifies a unary relation (a "label") within a Schema.
+// IDs are dense: the i-th registered name has ID i.
+type ID int32
+
+// Invalid is returned by lookups that fail.
+const Invalid ID = -1
+
+// Schema is a registry of relation names. The zero value is empty and ready
+// to use. A Schema is not safe for concurrent mutation.
+type Schema struct {
+	names []string
+	index map[string]ID
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{index: make(map[string]ID)}
+}
+
+// Intern returns the ID for name, registering it if necessary.
+func (s *Schema) Intern(name string) ID {
+	if s.index == nil {
+		s.index = make(map[string]ID)
+	}
+	if id, ok := s.index[name]; ok {
+		return id
+	}
+	id := ID(len(s.names))
+	s.names = append(s.names, name)
+	s.index[name] = id
+	return id
+}
+
+// Lookup returns the ID for name, or Invalid if it was never registered.
+func (s *Schema) Lookup(name string) ID {
+	if s.index == nil {
+		return Invalid
+	}
+	if id, ok := s.index[name]; ok {
+		return id
+	}
+	return Invalid
+}
+
+// Name returns the name registered for id.
+func (s *Schema) Name(id ID) string {
+	return s.names[id]
+}
+
+// Len returns the number of registered relations.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Names returns a copy of all registered names in ID order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Clone returns an independent copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{
+		names: make([]string, len(s.names)),
+		index: make(map[string]ID, len(s.names)),
+	}
+	copy(c.names, s.names)
+	for k, v := range s.index {
+		c.index[k] = v
+	}
+	return c
+}
+
+const wordBits = 64
+
+// Set is a bitset over relation IDs. The nil Set is a valid empty set.
+// Sets are normalised: trailing zero words are trimmed, so two equal sets
+// are word-for-word identical (required by the hash-consing builder).
+type Set []uint64
+
+// NewSet returns a set with capacity for n relations.
+func NewSet(n int) Set {
+	if n <= 0 {
+		return nil
+	}
+	return make(Set, (n+wordBits-1)/wordBits)
+}
+
+// Has reports whether id is in the set.
+func (b Set) Has(id ID) bool {
+	w := int(id) / wordBits
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(uint(id)%wordBits)) != 0
+}
+
+// With returns a copy of b with id added. b is not modified.
+func (b Set) With(id ID) Set {
+	w := int(id) / wordBits
+	n := len(b)
+	if w >= n {
+		n = w + 1
+	}
+	out := make(Set, n)
+	copy(out, b)
+	out[w] |= 1 << (uint(id) % wordBits)
+	return out
+}
+
+// Without returns a normalised copy of b with id removed.
+func (b Set) Without(id ID) Set {
+	if !b.Has(id) {
+		return b.Clone()
+	}
+	out := make(Set, len(b))
+	copy(out, b)
+	out[int(id)/wordBits] &^= 1 << (uint(id) % wordBits)
+	return out.norm()
+}
+
+// Set adds id in place, growing the set if needed, and returns the
+// (possibly reallocated) set. Use With for the copying variant.
+func (b Set) Set(id ID) Set {
+	w := int(id) / wordBits
+	for w >= len(b) {
+		b = append(b, 0)
+	}
+	b[w] |= 1 << (uint(id) % wordBits)
+	return b
+}
+
+// Clone returns an independent normalised copy of b.
+func (b Set) Clone() Set {
+	b = b.norm()
+	if len(b) == 0 {
+		return nil
+	}
+	out := make(Set, len(b))
+	copy(out, b)
+	return out
+}
+
+// norm trims trailing zero words (non-allocating).
+func (b Set) norm() Set {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	return b[:n]
+}
+
+// Equal reports whether b and o contain the same relations.
+func (b Set) Equal(o Set) bool {
+	b, o = b.norm(), o.norm()
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEmpty reports whether the set has no members.
+func (b Set) IsEmpty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new set containing every relation in b or o.
+func (b Set) Union(o Set) Set {
+	n := len(b)
+	if len(o) > n {
+		n = len(o)
+	}
+	out := make(Set, n)
+	copy(out, b)
+	for i, w := range o {
+		out[i] |= w
+	}
+	return out.norm()
+}
+
+// Intersect returns a new set containing relations in both b and o.
+func (b Set) Intersect(o Set) Set {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	out := make(Set, n)
+	for i := 0; i < n; i++ {
+		out[i] = b[i] & o[i]
+	}
+	return out.norm()
+}
+
+// Diff returns a new set containing relations in b but not o.
+func (b Set) Diff(o Set) Set {
+	out := make(Set, len(b))
+	copy(out, b)
+	for i, w := range o {
+		if i >= len(out) {
+			break
+		}
+		out[i] &^= w
+	}
+	return out.norm()
+}
+
+// Restrict returns a copy of b keeping only relations present in keep.
+// It is the bitset form of taking a σ′-reduct.
+func (b Set) Restrict(keep Set) Set {
+	return b.Intersect(keep)
+}
+
+// Members returns the IDs in the set in ascending order.
+func (b Set) Members() []ID {
+	var out []ID
+	for w, word := range b {
+		for word != 0 {
+			out = append(out, ID(w*wordBits+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// Count returns the number of relations in the set.
+func (b Set) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Hash folds the set into a 64-bit value suitable for hash-consing.
+func (b Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range b.norm() {
+		h ^= w
+		h *= prime64
+	}
+	return h
+}
+
+// Format renders the set as "{name1,name2}" using the schema for names.
+func (b Set) Format(s *Schema) string {
+	ids := b.Members()
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		if int(id) < s.Len() {
+			names[i] = s.Name(id)
+		} else {
+			names[i] = fmt.Sprintf("S%d", id)
+		}
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ",") + "}"
+}

@@ -1,0 +1,163 @@
+package label_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/label"
+)
+
+func TestSchemaIntern(t *testing.T) {
+	s := label.NewSchema()
+	a := s.Intern("a")
+	b := s.Intern("b")
+	if a == b {
+		t.Fatal("distinct names got the same ID")
+	}
+	if s.Intern("a") != a {
+		t.Fatal("re-interning changed the ID")
+	}
+	if s.Lookup("a") != a || s.Lookup("missing") != label.Invalid {
+		t.Fatal("lookup broken")
+	}
+	if s.Name(a) != "a" || s.Len() != 2 {
+		t.Fatal("name/len broken")
+	}
+}
+
+func TestSchemaZeroValue(t *testing.T) {
+	var s label.Schema
+	if s.Lookup("x") != label.Invalid {
+		t.Fatal("zero schema lookup should miss")
+	}
+	id := s.Intern("x")
+	if s.Lookup("x") != id {
+		t.Fatal("zero schema intern broken")
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := label.NewSchema()
+	s.Intern("a")
+	c := s.Clone()
+	c.Intern("b")
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	var s label.Set
+	if s.Has(3) || !s.IsEmpty() {
+		t.Fatal("nil set should be empty")
+	}
+	s = s.Set(3)
+	s = s.Set(64)
+	s = s.Set(130)
+	for _, id := range []label.ID{3, 64, 130} {
+		if !s.Has(id) {
+			t.Fatalf("missing %d", id)
+		}
+	}
+	if s.Has(4) || s.Has(63) || s.Has(129) {
+		t.Fatal("spurious members")
+	}
+	if got := s.Count(); got != 3 {
+		t.Fatalf("count = %d", got)
+	}
+	members := s.Members()
+	if len(members) != 3 || members[0] != 3 || members[1] != 64 || members[2] != 130 {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestSetWithWithout(t *testing.T) {
+	var s label.Set
+	s2 := s.With(5)
+	if s.Has(5) {
+		t.Fatal("With mutated receiver")
+	}
+	if !s2.Has(5) {
+		t.Fatal("With did not add")
+	}
+	s3 := s2.Without(5)
+	if s3.Has(5) || !s3.IsEmpty() {
+		t.Fatal("Without did not remove")
+	}
+	if !s2.Has(5) {
+		t.Fatal("Without mutated receiver")
+	}
+	// Normalisation: removing the only high bit must trim words so that
+	// Equal and Hash agree with the empty set.
+	hi := label.Set(nil).Set(200).Without(200)
+	if !hi.Equal(nil) || hi.Hash() != label.Set(nil).Hash() {
+		t.Fatal("Without left unnormalised trailing words")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := label.Set(nil).Set(1).Set(70)
+	b := label.Set(nil).Set(70).Set(2)
+	if got := a.Union(b).Members(); len(got) != 3 {
+		t.Fatalf("union = %v", got)
+	}
+	if got := a.Intersect(b).Members(); len(got) != 1 || got[0] != 70 {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.Diff(b).Members(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("diff = %v", got)
+	}
+}
+
+func TestSetEqualNormalisation(t *testing.T) {
+	// A set with trailing zero words equals its trimmed form.
+	long := label.Set{1, 0, 0}
+	short := label.Set{1}
+	if !long.Equal(short) || !short.Equal(long) {
+		t.Fatal("normalised comparison broken")
+	}
+	if long.Hash() != short.Hash() {
+		t.Fatal("hash must ignore trailing zero words")
+	}
+}
+
+func TestPropertySetMembership(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		var s label.Set
+		want := map[label.ID]bool{}
+		for _, v := range rawA {
+			id := label.ID(v % 512)
+			s = s.Set(id)
+			want[id] = true
+		}
+		for _, v := range rawB {
+			id := label.ID(v % 512)
+			s = s.Without(id)
+			delete(want, id)
+		}
+		if s.Count() != len(want) {
+			return false
+		}
+		for id := range want {
+			if !s.Has(id) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := label.NewSchema()
+	a := s.Intern("alpha")
+	b := s.Intern("beta")
+	set := label.Set(nil).Set(a).Set(b)
+	if got, want := set.Format(s), "{alpha,beta}"; got != want {
+		t.Fatalf("Format = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,41 @@
+package saxml_test
+
+import (
+	"testing"
+
+	"repro/internal/saxml"
+)
+
+type fuzzHandler struct{ depth, events int }
+
+func (f *fuzzHandler) StartElement(name string, attrs []saxml.Attr) error {
+	f.depth++
+	f.events++
+	return nil
+}
+func (f *fuzzHandler) EndElement(string) error { f.depth--; f.events++; return nil }
+func (f *fuzzHandler) Text([]byte) error       { f.events++; return nil }
+
+// FuzzParse: the parser must never panic, and on success the event stream
+// must be balanced.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a x="1">t</a>`,
+		`<?xml version="1.0"?><!DOCTYPE a [<!ENTITY e "v">]><a><!--c--><![CDATA[x]]>&lt;&#65;</a>`,
+		`<a><b>text</b><c/></a>`,
+		"\xEF\xBB\xBF<a/>",
+		`<a`, `</a>`, `<a>&#xZZZZ;</a>`, `<a>&broken`, `<!DOCTYPE [`,
+		`<a b='c'/>`, `<a  b = "c" ></a>`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := &fuzzHandler{}
+		err := saxml.Parse(data, h)
+		if err == nil && h.depth != 0 {
+			t.Fatalf("successful parse with unbalanced depth %d: %q", h.depth, data)
+		}
+	})
+}

@@ -1,0 +1,501 @@
+// Package saxml is a small, fast, non-validating streaming XML parser —
+// the stand-in for the paper's "new very fast SAX(-like) parser" (Section
+// 4). It processes a document held in memory in a single left-to-right
+// scan, invoking a Handler for element boundaries and character data, which
+// is exactly the access pattern the one-pass skeleton compressor needs.
+//
+// Supported: elements, attributes, character data, CDATA sections,
+// comments, processing instructions, an (ignored) DOCTYPE declaration, the
+// five predefined entities and numeric character references. Not supported
+// (rejected or ignored, never mis-parsed): external entities, custom entity
+// definitions (replaced by U+FFFD), and non-UTF-8 encodings.
+//
+// The parser is differentially tested against encoding/xml.
+package saxml
+
+import (
+	"fmt"
+	"unicode/utf8"
+)
+
+// Attr is a single attribute with its decoded value.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Handler receives parse events. Byte slices passed to Text are only valid
+// for the duration of the call; copy them to retain.
+type Handler interface {
+	// StartElement is called for each start tag (and for the start half
+	// of an empty-element tag). attrs may be nil.
+	StartElement(name string, attrs []Attr) error
+	// EndElement is called for each end tag (and immediately after
+	// StartElement for empty-element tags).
+	EndElement(name string) error
+	// Text is called for character data, already entity-decoded.
+	// Contiguous data may be delivered in multiple calls (e.g. around
+	// entity references or CDATA sections).
+	Text(data []byte) error
+}
+
+// SyntaxError describes a well-formedness violation with its byte offset
+// and 1-based line number.
+type SyntaxError struct {
+	Offset int
+	Line   int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("saxml: line %d (offset %d): %s", e.Line, e.Offset, e.Msg)
+}
+
+// Parse scans data, delivering events to h. It enforces tag nesting, a
+// single root element, and no non-whitespace text outside the root.
+// Handler errors abort the parse and are returned unwrapped.
+func Parse(data []byte, h Handler) error {
+	p := &parser{data: data, h: h}
+	return p.run()
+}
+
+type parser struct {
+	data  []byte
+	pos   int
+	h     Handler
+	stack []string
+	// seenRoot tracks whether the single permitted root element has been
+	// closed already.
+	seenRoot bool
+	scratch  []byte
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	line := 1
+	for _, b := range p.data[:min(p.pos, len(p.data))] {
+		if b == '\n' {
+			line++
+		}
+	}
+	return &SyntaxError{Offset: p.pos, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) run() error {
+	// Skip a UTF-8 BOM.
+	if len(p.data) >= 3 && p.data[0] == 0xEF && p.data[1] == 0xBB && p.data[2] == 0xBF {
+		p.pos = 3
+	}
+	for p.pos < len(p.data) {
+		if p.data[p.pos] == '<' {
+			if err := p.markup(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.text(); err != nil {
+			return err
+		}
+	}
+	if len(p.stack) > 0 {
+		return p.errf("unexpected EOF: %d unclosed element(s), innermost <%s>", len(p.stack), p.stack[len(p.stack)-1])
+	}
+	if !p.seenRoot {
+		return p.errf("no root element")
+	}
+	return nil
+}
+
+// markup dispatches on the character after '<'.
+func (p *parser) markup() error {
+	if p.pos+1 >= len(p.data) {
+		p.pos = len(p.data)
+		return p.errf("unexpected EOF after '<'")
+	}
+	switch p.data[p.pos+1] {
+	case '/':
+		return p.endTag()
+	case '!':
+		return p.bangConstruct()
+	case '?':
+		return p.procInst()
+	default:
+		return p.startTag()
+	}
+}
+
+func (p *parser) startTag() error {
+	if len(p.stack) == 0 && p.seenRoot {
+		return p.errf("content after root element")
+	}
+	p.pos++ // consume '<'
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	var attrs []Attr
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return p.errf("unexpected EOF in start tag <%s>", name)
+		}
+		switch p.data[p.pos] {
+		case '>':
+			p.pos++
+			p.stack = append(p.stack, name)
+			return p.h.StartElement(name, attrs)
+		case '/':
+			if p.pos+1 >= len(p.data) || p.data[p.pos+1] != '>' {
+				return p.errf("expected '/>' in empty-element tag <%s>", name)
+			}
+			p.pos += 2
+			if len(p.stack) == 0 {
+				p.seenRoot = true
+			}
+			if err := p.h.StartElement(name, attrs); err != nil {
+				return err
+			}
+			return p.h.EndElement(name)
+		default:
+			a, err := p.attribute(name)
+			if err != nil {
+				return err
+			}
+			attrs = append(attrs, a)
+		}
+	}
+}
+
+func (p *parser) attribute(elem string) (Attr, error) {
+	name, err := p.name()
+	if err != nil {
+		return Attr{}, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.data) || p.data[p.pos] != '=' {
+		return Attr{}, p.errf("attribute %q in <%s>: expected '='", name, elem)
+	}
+	p.pos++
+	p.skipSpace()
+	if p.pos >= len(p.data) || (p.data[p.pos] != '"' && p.data[p.pos] != '\'') {
+		return Attr{}, p.errf("attribute %q in <%s>: expected quoted value", name, elem)
+	}
+	quote := p.data[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.data) && p.data[p.pos] != quote {
+		if p.data[p.pos] == '<' {
+			return Attr{}, p.errf("attribute %q in <%s>: '<' in attribute value", name, elem)
+		}
+		p.pos++
+	}
+	if p.pos >= len(p.data) {
+		return Attr{}, p.errf("attribute %q in <%s>: unterminated value", name, elem)
+	}
+	raw := p.data[start:p.pos]
+	p.pos++ // closing quote
+	val, err := p.decodeEntities(raw)
+	if err != nil {
+		return Attr{}, err
+	}
+	return Attr{Name: name, Value: string(val)}, nil
+}
+
+func (p *parser) endTag() error {
+	p.pos += 2 // consume "</"
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.data) || p.data[p.pos] != '>' {
+		return p.errf("malformed end tag </%s>", name)
+	}
+	p.pos++
+	if len(p.stack) == 0 {
+		return p.errf("end tag </%s> with no open element", name)
+	}
+	top := p.stack[len(p.stack)-1]
+	if top != name {
+		return p.errf("end tag </%s> does not match open element <%s>", name, top)
+	}
+	p.stack = p.stack[:len(p.stack)-1]
+	if len(p.stack) == 0 {
+		p.seenRoot = true
+	}
+	return p.h.EndElement(name)
+}
+
+func (p *parser) bangConstruct() error {
+	rest := p.data[p.pos:]
+	switch {
+	case hasPrefix(rest, "<!--"):
+		return p.comment()
+	case hasPrefix(rest, "<![CDATA["):
+		return p.cdata()
+	case hasPrefix(rest, "<!DOCTYPE"):
+		return p.doctype()
+	default:
+		return p.errf("unsupported markup declaration")
+	}
+}
+
+func (p *parser) comment() error {
+	p.pos += 4 // "<!--"
+	end := indexBytes(p.data, p.pos, "-->")
+	if end < 0 {
+		p.pos = len(p.data)
+		return p.errf("unterminated comment")
+	}
+	p.pos = end + 3
+	return nil
+}
+
+func (p *parser) cdata() error {
+	if len(p.stack) == 0 {
+		return p.errf("CDATA section outside root element")
+	}
+	p.pos += 9 // "<![CDATA["
+	end := indexBytes(p.data, p.pos, "]]>")
+	if end < 0 {
+		p.pos = len(p.data)
+		return p.errf("unterminated CDATA section")
+	}
+	raw := p.data[p.pos:end]
+	p.pos = end + 3
+	if len(raw) == 0 {
+		return nil
+	}
+	return p.h.Text(raw)
+}
+
+func (p *parser) doctype() error {
+	// Skip to the matching '>', tracking the optional internal subset
+	// bracketed by [...] and quoted strings.
+	p.pos += len("<!DOCTYPE")
+	depth := 0
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '"', '\'':
+			quote := p.data[p.pos]
+			p.pos++
+			for p.pos < len(p.data) && p.data[p.pos] != quote {
+				p.pos++
+			}
+			if p.pos >= len(p.data) {
+				return p.errf("unterminated string in DOCTYPE")
+			}
+		case '>':
+			if depth == 0 {
+				p.pos++
+				return nil
+			}
+		}
+		p.pos++
+	}
+	return p.errf("unterminated DOCTYPE")
+}
+
+func (p *parser) procInst() error {
+	p.pos += 2 // "<?"
+	end := indexBytes(p.data, p.pos, "?>")
+	if end < 0 {
+		p.pos = len(p.data)
+		return p.errf("unterminated processing instruction")
+	}
+	p.pos = end + 2
+	return nil
+}
+
+// text handles character data up to the next '<'.
+func (p *parser) text() error {
+	start := p.pos
+	for p.pos < len(p.data) && p.data[p.pos] != '<' {
+		p.pos++
+	}
+	raw := p.data[start:p.pos]
+	if len(p.stack) == 0 {
+		// Outside the root only whitespace is permitted.
+		for _, b := range raw {
+			if !isSpace(b) {
+				p.pos = start
+				return p.errf("text outside root element")
+			}
+		}
+		return nil
+	}
+	decoded, err := p.decodeEntities(raw)
+	if err != nil {
+		return err
+	}
+	if len(decoded) == 0 {
+		return nil
+	}
+	return p.h.Text(decoded)
+}
+
+// decodeEntities resolves the predefined entities and character references.
+// When raw contains no '&' it is returned as-is (zero copy).
+func (p *parser) decodeEntities(raw []byte) ([]byte, error) {
+	amp := -1
+	for i, b := range raw {
+		if b == '&' {
+			amp = i
+			break
+		}
+	}
+	if amp < 0 {
+		return raw, nil
+	}
+	out := p.scratch[:0]
+	out = append(out, raw[:amp]...)
+	i := amp
+	for i < len(raw) {
+		b := raw[i]
+		if b != '&' {
+			out = append(out, b)
+			i++
+			continue
+		}
+		semi := -1
+		for j := i + 1; j < len(raw) && j < i+32; j++ {
+			if raw[j] == ';' {
+				semi = j
+				break
+			}
+		}
+		if semi < 0 {
+			return nil, p.errf("unterminated entity reference")
+		}
+		ent := string(raw[i+1 : semi])
+		switch ent {
+		case "lt":
+			out = append(out, '<')
+		case "gt":
+			out = append(out, '>')
+		case "amp":
+			out = append(out, '&')
+		case "apos":
+			out = append(out, '\'')
+		case "quot":
+			out = append(out, '"')
+		default:
+			if len(ent) > 1 && ent[0] == '#' {
+				r, ok := parseCharRef(ent[1:])
+				if !ok {
+					return nil, p.errf("invalid character reference &%s;", ent)
+				}
+				var buf [utf8.UTFMax]byte
+				n := utf8.EncodeRune(buf[:], r)
+				out = append(out, buf[:n]...)
+			} else {
+				// Unknown named entity: non-validating parsers may
+				// substitute; we emit U+FFFD rather than fail.
+				out = append(out, 0xEF, 0xBF, 0xBD)
+			}
+		}
+		i = semi + 1
+	}
+	p.scratch = out
+	return out, nil
+}
+
+func parseCharRef(s string) (rune, bool) {
+	if s == "" {
+		return 0, false
+	}
+	base := 10
+	if s[0] == 'x' || s[0] == 'X' {
+		base = 16
+		s = s[1:]
+		if s == "" {
+			return 0, false
+		}
+	}
+	var n uint32
+	for _, c := range []byte(s) {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, false
+		}
+		n = n*uint32(base) + d
+		if n > utf8.MaxRune {
+			return 0, false
+		}
+	}
+	r := rune(n)
+	if !utf8.ValidRune(r) || r == 0 {
+		return 0, false
+	}
+	return r, true
+}
+
+// name scans an XML name at the current position.
+func (p *parser) name() (string, error) {
+	start := p.pos
+	for p.pos < len(p.data) {
+		b := p.data[p.pos]
+		if isSpace(b) || b == '>' || b == '/' || b == '=' || b == '<' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected a name")
+	}
+	n := p.data[start:p.pos]
+	if c := n[0]; c == '-' || c == '.' || (c >= '0' && c <= '9') {
+		return "", p.errf("invalid name %q", n)
+	}
+	return string(n), nil
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.data) && isSpace(p.data[p.pos]) {
+		p.pos++
+	}
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+func hasPrefix(b []byte, s string) bool {
+	if len(b) < len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if b[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexBytes returns the index of the first occurrence of s in data at or
+// after from, or -1.
+func indexBytes(data []byte, from int, s string) int {
+	for i := from; i+len(s) <= len(data); i++ {
+		if hasPrefix(data[i:], s) {
+			return i
+		}
+	}
+	return -1
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,291 @@
+package saxml_test
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dagtest"
+	"repro/internal/saxml"
+)
+
+// events flattens a parse into a comparable trace.
+type events struct {
+	trace []string
+}
+
+func (e *events) StartElement(name string, attrs []saxml.Attr) error {
+	s := "<" + name
+	for _, a := range attrs {
+		s += fmt.Sprintf(" %s=%q", a.Name, a.Value)
+	}
+	e.trace = append(e.trace, s+">")
+	return nil
+}
+
+func (e *events) EndElement(name string) error {
+	e.trace = append(e.trace, "</"+name+">")
+	return nil
+}
+
+func (e *events) Text(data []byte) error {
+	// Coalesce adjacent text events: chunking is an implementation
+	// detail that differential comparison must ignore.
+	if n := len(e.trace); n > 0 && strings.HasPrefix(e.trace[n-1], "#") {
+		e.trace[n-1] += string(data)
+		return nil
+	}
+	e.trace = append(e.trace, "#"+string(data))
+	return nil
+}
+
+func parseTrace(t *testing.T, doc string) []string {
+	t.Helper()
+	var e events
+	if err := saxml.Parse([]byte(doc), &e); err != nil {
+		t.Fatalf("Parse(%q): %v", doc, err)
+	}
+	return e.trace
+}
+
+func TestBasicDocument(t *testing.T) {
+	got := parseTrace(t, `<a x="1"><b>hi</b><c/>tail</a>`)
+	want := []string{`<a x="1">`, `<b>`, `#hi`, `</b>`, `<c>`, `</c>`, `#tail`, `</a>`}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+}
+
+func TestPrologCommentsPI(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<!DOCTYPE a [<!ENTITY x "y">]>
+<!-- top comment -->
+<a><?pi data?><!-- inner -->text</a>
+<!-- trailing -->`
+	got := parseTrace(t, doc)
+	want := []string{`<a>`, `#text`, `</a>`}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+}
+
+func TestCDATA(t *testing.T) {
+	got := parseTrace(t, `<a>pre<![CDATA[<raw> & stuff]]>post</a>`)
+	want := []string{`<a>`, `#pre<raw> & stuffpost`, `</a>`}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+}
+
+func TestEntities(t *testing.T) {
+	got := parseTrace(t, `<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>`)
+	want := []string{`<a>`, `#<>&'"AB`, `</a>`}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+}
+
+func TestUnknownEntityBecomesReplacementChar(t *testing.T) {
+	got := parseTrace(t, `<a>&nbsp;</a>`)
+	want := []string{`<a>`, "#�", `</a>`}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+}
+
+func TestAttributeEntities(t *testing.T) {
+	got := parseTrace(t, `<a title="x &amp; y"/>`)
+	want := []string{`<a title="x & y">`, `</a>`}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+}
+
+func TestBOM(t *testing.T) {
+	got := parseTrace(t, "\xEF\xBB\xBF<a/>")
+	if len(got) != 2 {
+		t.Fatalf("trace = %v", got)
+	}
+}
+
+func TestMalformedDocuments(t *testing.T) {
+	cases := []string{
+		``,                         // no root
+		`<a>`,                      // unclosed
+		`</a>`,                     // close without open
+		`<a></b>`,                  // mismatch
+		`<a/><b/>`,                 // two roots
+		`text<a/>`,                 // text before root
+		`<a/>text`,                 // text after root
+		`<a`,                       // EOF in tag
+		`<a x=1></a>`,              // unquoted attribute
+		`<a x="1></a>`,             // unterminated attribute
+		`<a x="<"></a>`,            // '<' in attribute
+		`<a><!-- nope --</a>`,      // unterminated comment
+		`<a><![CDATA[x]></a>`,      // unterminated CDATA
+		`<a>&#xZZ;</a>`,            // bad char ref
+		`<a>&#0;</a>`,              // NUL char ref
+		`<a>&unterminated</a>`,     // entity without ';'
+		`<1tag/>`,                  // name starts with digit
+		`<a><?pi`,                  // unterminated PI
+		`<![CDATA[x]]>`,            // CDATA outside root
+		`<!DOCTYPE unterminated [`, // unterminated DOCTYPE
+	}
+	for _, doc := range cases {
+		var e events
+		if err := saxml.Parse([]byte(doc), &e); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", doc)
+		}
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	depth := 50000
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<d>")
+	}
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</d>")
+	}
+	starts := 0
+	h := &countHandler{onStart: func() { starts++ }}
+	if err := saxml.Parse([]byte(sb.String()), h); err != nil {
+		t.Fatal(err)
+	}
+	if starts != depth {
+		t.Fatalf("starts = %d, want %d", starts, depth)
+	}
+}
+
+type countHandler struct{ onStart func() }
+
+func (c *countHandler) StartElement(string, []saxml.Attr) error {
+	if c.onStart != nil {
+		c.onStart()
+	}
+	return nil
+}
+func (c *countHandler) EndElement(string) error { return nil }
+func (c *countHandler) Text([]byte) error       { return nil }
+
+type failingHandler struct {
+	countHandler
+	failAt int
+	n      int
+}
+
+func (f *failingHandler) StartElement(string, []saxml.Attr) error {
+	f.n++
+	if f.n >= f.failAt {
+		return fmt.Errorf("handler boom")
+	}
+	return nil
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	h := &failingHandler{failAt: 2}
+	err := saxml.Parse([]byte(`<a><b/></a>`), h)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want handler error", err)
+	}
+}
+
+// stdlibTrace parses with encoding/xml to the same trace format.
+func stdlibTrace(t *testing.T, doc []byte) ([]string, error) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(doc))
+	var e events
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch tok := tok.(type) {
+		case xml.StartElement:
+			var attrs []saxml.Attr
+			for _, a := range tok.Attr {
+				attrs = append(attrs, saxml.Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			_ = e.StartElement(tok.Name.Local, attrs)
+		case xml.EndElement:
+			_ = e.EndElement(tok.Name.Local)
+		case xml.CharData:
+			if len(e.trace) > 0 { // ignore whitespace outside root
+				_ = e.Text([]byte(tok))
+			}
+		}
+	}
+	return e.trace, nil
+}
+
+// TestDifferentialAgainstStdlib compares event traces with encoding/xml on
+// random documents.
+func TestDifferentialAgainstStdlib(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := dagtest.RandomXML(r, 80, 4, 5)
+		var mine events
+		if err := saxml.Parse(doc, &mine); err != nil {
+			t.Logf("saxml error on %q: %v", doc, err)
+			return false
+		}
+		std, err := stdlibTrace(t, doc)
+		if err != nil {
+			t.Logf("stdlib error on %q: %v", doc, err)
+			return false
+		}
+		if strings.Join(mine.trace, "|") != strings.Join(std, "|") {
+			t.Logf("doc: %s\nmine: %v\nstd:  %v", doc, mine.trace, std)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentialCorpusSamples(t *testing.T) {
+	// Hand-picked documents with trickier constructs.
+	docs := []string{
+		`<a><b>x</b>y<b>z</b></a>`,
+		"<a>\n  <b>multi\nline</b>\n</a>",
+		`<a at="v1" bt="v2"><c at="x"/></a>`,
+		`<a>&#x4F60;&#22909;</a>`,
+		`<a><b><c><d>deep</d></c></b></a>`,
+	}
+	for _, doc := range docs {
+		var mine events
+		if err := saxml.Parse([]byte(doc), &mine); err != nil {
+			t.Fatalf("saxml %q: %v", doc, err)
+		}
+		std, err := stdlibTrace(t, []byte(doc))
+		if err != nil {
+			t.Fatalf("stdlib %q: %v", doc, err)
+		}
+		if strings.Join(mine.trace, "|") != strings.Join(std, "|") {
+			t.Fatalf("doc %q:\nmine: %v\nstd:  %v", doc, mine.trace, std)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	err := saxml.Parse([]byte("<a>\n<b>\n</c>\n</a>"), &countHandler{})
+	var se *saxml.SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SyntaxError", err)
+	}
+	if se.Line != 3 {
+		t.Fatalf("line = %d, want 3", se.Line)
+	}
+}

@@ -1,0 +1,278 @@
+// Package shred implements the paper's closing future-work item
+// (Section 6): "we want to be able to apply some shredding and cache
+// chunks of compressed instances in secondary storage to be truly
+// scalable. Of course these chunks should be as large as they can be to
+// fit into main memory."
+//
+// A document is split at its natural record boundary — the children of the
+// root element — into chunks of a configurable number of records. Each
+// chunk is an independently compressed (and independently serialisable)
+// instance; Assemble grafts the chunks back into a single compressed
+// instance by hash-consing them into one builder, so structure shared
+// *across* chunks is re-merged and the result is exactly the instance a
+// whole-document build would have produced. The string-condition matcher
+// is threaded through the entire document during shredding, so matches
+// that span chunk boundaries mark the spine correctly.
+package shred
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/saxml"
+	"repro/internal/skeleton"
+	"repro/internal/strmatch"
+)
+
+// Shredded is a chunked compressed document.
+type Shredded struct {
+	// Chunks hold consecutive runs of the root element's children, each
+	// under a synthetic unlabelled chunk-root vertex.
+	Chunks []*dag.Instance
+	// RootTag is the document's root element tag.
+	RootTag string
+	// RootLabels / DocLabels are the schema names carried by the root
+	// element and the virtual document node (tag and string-condition
+	// marks on the spine).
+	RootLabels []string
+	DocLabels  []string
+}
+
+// Shred parses doc once, compressing each run of recordsPerChunk
+// consecutive root-element children into its own instance.
+func Shred(doc []byte, opts skeleton.Options, recordsPerChunk int) (*Shredded, error) {
+	if recordsPerChunk < 1 {
+		return nil, fmt.Errorf("shred: recordsPerChunk must be >= 1")
+	}
+	h := newShredder(opts, recordsPerChunk)
+	if err := saxml.Parse(doc, h); err != nil {
+		return nil, err
+	}
+	h.flushChunk()
+	out := &Shredded{
+		Chunks:  h.chunks,
+		RootTag: h.rootTag,
+	}
+	out.RootLabels = setToNames(h.rootLabels)
+	out.DocLabels = setToNames(h.docLabels)
+	return out, nil
+}
+
+func setToNames(m map[string]bool) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumRecords returns the total number of root-element children stored
+// (the chunk roots' expanded out-degrees).
+func (s *Shredded) NumRecords() uint64 {
+	var n uint64
+	for _, c := range s.Chunks {
+		if c.Root == dag.NilVertex {
+			continue
+		}
+		for _, e := range c.Verts[c.Root].Edges {
+			n += uint64(e.Count)
+		}
+	}
+	return n
+}
+
+// Assemble grafts all chunks into one compressed instance over the virtual
+// document node, identical to a whole-document BuildCompressed.
+func (s *Shredded) Assemble() (*dag.Instance, error) {
+	bld := dag.NewBuilder(nil)
+	schema := bld.Schema()
+	var records []dag.VertexID
+	for _, c := range s.Chunks {
+		if c.Root == dag.NilVertex {
+			continue
+		}
+		// Graft the chunk body into the shared builder, then read the
+		// chunk root's children (already in the builder's ID space) off
+		// in expanded order.
+		root := dag.Canonicalise(bld, c)
+		for _, e := range bld.Edges(root) {
+			for i := uint32(0); i < e.Count; i++ {
+				records = append(records, e.Child)
+			}
+		}
+	}
+	var rootLabels label.Set
+	for _, name := range s.RootLabels {
+		rootLabels = rootLabels.Set(schema.Intern(name))
+	}
+	rootElem := bld.Add(rootLabels, records)
+	var docLabels label.Set
+	for _, name := range s.DocLabels {
+		docLabels = docLabels.Set(schema.Intern(name))
+	}
+	doc := bld.Add(docLabels, []dag.VertexID{rootElem})
+	bld.SetRoot(doc)
+	return bld.Instance(), nil
+}
+
+// shredder is the SAX handler. Depth 0 is the virtual document node and
+// depth 1 the root element (both "spine", kept as label-name sets); depth
+// >= 2 belongs to the current chunk's builder.
+type shredder struct {
+	opts            skeleton.Options
+	recordsPerChunk int
+
+	matcher *strmatch.Automaton
+	strIDs  []string // pattern index -> schema name
+
+	// Spine state.
+	rootTag    string
+	rootLabels map[string]bool
+	docLabels  map[string]bool
+	rootStart  int64
+	depth      int
+
+	// Current chunk state.
+	bld     *dag.Builder
+	stack   []chunkFrame
+	records []dag.VertexID
+	chunks  []*dag.Instance
+}
+
+type chunkFrame struct {
+	labels    label.Set
+	children  []dag.VertexID
+	textStart int64
+	marked    label.Set
+}
+
+func newShredder(opts skeleton.Options, recordsPerChunk int) *shredder {
+	h := &shredder{
+		opts:            opts,
+		recordsPerChunk: recordsPerChunk,
+		rootLabels:      map[string]bool{},
+		docLabels:       map[string]bool{},
+	}
+	if len(opts.Strings) > 0 {
+		h.matcher = strmatch.New(opts.Strings)
+		h.strIDs = make([]string, len(opts.Strings))
+		for i, s := range opts.Strings {
+			h.strIDs[i] = skeleton.StringLabel(s)
+		}
+	}
+	h.newChunk()
+	return h
+}
+
+func (h *shredder) newChunk() {
+	h.bld = dag.NewBuilder(nil)
+	h.records = nil
+}
+
+func (h *shredder) flushChunk() {
+	if len(h.records) == 0 && len(h.chunks) > 0 {
+		return
+	}
+	root := h.bld.Add(nil, h.records)
+	h.bld.SetRoot(root)
+	h.chunks = append(h.chunks, h.bld.Instance())
+	h.newChunk()
+}
+
+// wantTag reports whether tag should be recorded, per Options.
+func (h *shredder) wantTag(tag string) bool {
+	switch h.opts.Mode {
+	case skeleton.TagsAll:
+		return true
+	case skeleton.TagsNone:
+		return false
+	default:
+		for _, t := range h.opts.Tags {
+			if t == tag {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func (h *shredder) StartElement(name string, _ []saxml.Attr) error {
+	var start int64
+	if h.matcher != nil {
+		start = h.matcher.Offset()
+	}
+	switch h.depth {
+	case 0:
+		h.rootTag = name
+		h.rootStart = start
+		if h.wantTag(name) {
+			h.rootLabels[skeleton.TagLabel(name)] = true
+		}
+	default:
+		var labels label.Set
+		if h.wantTag(name) {
+			labels = labels.Set(h.bld.Schema().Intern(skeleton.TagLabel(name)))
+		}
+		h.stack = append(h.stack, chunkFrame{labels: labels, textStart: start})
+	}
+	h.depth++
+	return nil
+}
+
+func (h *shredder) EndElement(string) error {
+	h.depth--
+	if h.depth == 0 {
+		// Root element closed; nothing to do (spine labels collected).
+		return nil
+	}
+	top := h.stack[len(h.stack)-1]
+	h.stack = h.stack[:len(h.stack)-1]
+	id := h.bld.Add(top.labels, top.children)
+	if len(h.stack) == 0 {
+		// A record (root-element child) completed.
+		h.records = append(h.records, id)
+		if len(h.records) >= h.recordsPerChunk {
+			h.flushChunk()
+		}
+		return nil
+	}
+	parent := &h.stack[len(h.stack)-1]
+	parent.children = append(parent.children, id)
+	return nil
+}
+
+func (h *shredder) Text(data []byte) error {
+	if h.matcher == nil {
+		return nil
+	}
+	h.matcher.Feed(data, h.mark)
+	return nil
+}
+
+// mark applies a string match to chunk frames (splitting sharing exactly
+// like the unsharded build) and to the spine.
+func (h *shredder) mark(m strmatch.Match) {
+	name := h.strIDs[m.Pattern]
+	for i := len(h.stack) - 1; i >= 0; i-- {
+		f := &h.stack[i]
+		if f.textStart > m.Start {
+			continue
+		}
+		if f.marked.Has(label.ID(m.Pattern)) {
+			// Frames below were marked by an earlier match; the spine
+			// was too.
+			return
+		}
+		f.marked = f.marked.Set(label.ID(m.Pattern))
+		f.labels = f.labels.Set(h.bld.Schema().Intern(name))
+	}
+	// The spine: the root element's text span starts at rootStart; the
+	// document node spans everything.
+	if h.depth >= 1 && h.rootStart <= m.Start {
+		h.rootLabels[name] = true
+	}
+	h.docLabels[name] = true
+}

@@ -1,0 +1,227 @@
+// Package skeleton turns an XML document into skeleton instances: the
+// element tree stripped of character data, with tags and string-condition
+// matches recorded as unary relations (Section 2.3 of the paper).
+//
+// BuildCompressed performs the paper's one-pass construction (Section 2.2,
+// Proposition 2.6): a single SAX scan maintaining a stack of sibling lists
+// and a hash table of already-inserted DAG nodes, so the compressed
+// instance M(T) is produced directly, in time linear in the document, and
+// the uncompressed tree never exists in memory. BuildTree builds the plain
+// tree-instance T for baselines and differential tests.
+package skeleton
+
+import (
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/saxml"
+	"repro/internal/strmatch"
+)
+
+// TagMode controls which element tags are recorded as relations, matching
+// the two rows of Figure 6 plus the per-query mode of Figure 7.
+type TagMode int
+
+const (
+	// TagsListed records only the tags listed in Options.Tags — the
+	// per-query setting used for Figure 7 ("the information included into
+	// the compressed instance was one node set for each of the tags ...
+	// appearing in the queries; all other tags were omitted").
+	TagsListed TagMode = iota
+	// TagsAll records every tag (the "+" rows of Figure 6).
+	TagsAll
+	// TagsNone erases all tags, compressing the bare tree structure (the
+	// "−" rows of Figure 6).
+	TagsNone
+)
+
+// TagLabel and StringLabel translate tag names and string patterns into the
+// schema names under which the skeleton records them. Query compilation
+// uses the same functions, so engine and skeleton always agree.
+func TagLabel(tag string) string    { return "tag:" + tag }
+func StringLabel(pat string) string { return "str:" + pat }
+
+// Options configures skeleton construction.
+type Options struct {
+	Mode TagMode
+	// Tags lists the tags to record when Mode == TagsListed.
+	Tags []string
+	// Strings lists substring conditions; an element is labelled
+	// StringLabel(s) when its string value (the concatenation of all
+	// character data in its subtree) contains s.
+	Strings []string
+}
+
+// Stats reports what a build saw, independent of compression.
+type Stats struct {
+	TreeVertices uint64 // |V_T|: number of elements in the document
+	TextBytes    uint64 // total character data fed to the matcher
+}
+
+// Instances are rooted at a virtual document vertex (XPath's root node)
+// whose single child is the document's root element. This is what makes
+// the paper's queries come out right: /ROOT/Record steps from the document
+// node to the ROOT element and below, and Q1-style /self::*[...] selects
+// the document node itself (the paper reports exactly 1 node selected).
+// The document vertex carries no tag label but does receive string-
+// condition marks (its string value is the whole document text).
+
+// BuildCompressed parses doc and returns its compressed skeleton M(T).
+func BuildCompressed(doc []byte, opts Options) (*dag.Instance, Stats, error) {
+	b := dag.NewBuilder(nil)
+	return build(doc, opts, b.Add, b.SetRoot, b.Instance, b.Schema())
+}
+
+// BuildTree parses doc and returns the uncompressed tree-instance T.
+func BuildTree(doc []byte, opts Options) (*dag.Instance, Stats, error) {
+	tb := &treeBuilder{inst: &dag.Instance{Root: dag.NilVertex, Schema: label.NewSchema()}}
+	return build(doc, opts, tb.add, tb.setRoot, tb.instance, tb.inst.Schema)
+}
+
+// treeBuilder appends vertices without hash-consing.
+type treeBuilder struct{ inst *dag.Instance }
+
+func (t *treeBuilder) add(labels label.Set, children []dag.VertexID) dag.VertexID {
+	edges := make([]dag.Edge, len(children))
+	for i, c := range children {
+		edges[i] = dag.Edge{Child: c, Count: 1}
+	}
+	id := dag.VertexID(len(t.inst.Verts))
+	t.inst.Verts = append(t.inst.Verts, dag.Vertex{Edges: edges, Labels: labels.Clone()})
+	return id
+}
+
+func (t *treeBuilder) setRoot(id dag.VertexID) { t.inst.Root = id }
+func (t *treeBuilder) instance() *dag.Instance { return t.inst }
+
+type frame struct {
+	labels    label.Set
+	children  []dag.VertexID
+	textStart int64
+	// marked[k] dedupes string-condition marking: once pattern k has
+	// been recorded on this frame, every enclosing frame already has it
+	// too (marking always walks to the top), so walks can stop early.
+	marked label.Set
+}
+
+func build(
+	doc []byte,
+	opts Options,
+	add func(label.Set, []dag.VertexID) dag.VertexID,
+	setRoot func(dag.VertexID),
+	finish func() *dag.Instance,
+	schema *label.Schema,
+) (*dag.Instance, Stats, error) {
+	h := &handler{opts: opts, add: add, schema: schema}
+
+	// Register labels up front so IDs are stable and query compilation
+	// can look them up by name.
+	switch opts.Mode {
+	case TagsListed:
+		tags := append([]string(nil), opts.Tags...)
+		sort.Strings(tags)
+		h.tagIDs = make(map[string]label.ID, len(tags))
+		for _, t := range tags {
+			h.tagIDs[t] = schema.Intern(TagLabel(t))
+		}
+	case TagsAll:
+		h.tagIDs = make(map[string]label.ID)
+	case TagsNone:
+		// no tag labels at all
+	}
+	if len(opts.Strings) > 0 {
+		h.matcher = strmatch.New(opts.Strings)
+		h.strIDs = make([]label.ID, len(opts.Strings))
+		for i, s := range opts.Strings {
+			h.strIDs[i] = schema.Intern(StringLabel(s))
+		}
+	}
+
+	// The bottom frame is the virtual document vertex.
+	h.stack = append(h.stack, frame{})
+
+	if err := saxml.Parse(doc, h); err != nil {
+		return nil, Stats{}, err
+	}
+	docFrame := h.stack[0]
+	setRoot(add(docFrame.labels, docFrame.children))
+	return finish(), h.stats, nil
+}
+
+type handler struct {
+	opts    Options
+	add     func(label.Set, []dag.VertexID) dag.VertexID
+	schema  *label.Schema
+	tagIDs  map[string]label.ID
+	matcher *strmatch.Automaton
+	strIDs  []label.ID
+
+	stack []frame
+	stats Stats
+}
+
+func (h *handler) StartElement(name string, _ []saxml.Attr) error {
+	h.stats.TreeVertices++
+	var labels label.Set
+	switch h.opts.Mode {
+	case TagsAll:
+		id, ok := h.tagIDs[name]
+		if !ok {
+			id = h.schema.Intern(TagLabel(name))
+			h.tagIDs[name] = id
+		}
+		labels = labels.Set(id)
+	case TagsListed:
+		if id, ok := h.tagIDs[name]; ok {
+			labels = labels.Set(id)
+		}
+	}
+	var start int64
+	if h.matcher != nil {
+		start = h.matcher.Offset()
+	}
+	h.stack = append(h.stack, frame{labels: labels, textStart: start})
+	return nil
+}
+
+func (h *handler) EndElement(string) error {
+	top := h.stack[len(h.stack)-1]
+	h.stack = h.stack[:len(h.stack)-1]
+	id := h.add(top.labels, top.children)
+	parent := &h.stack[len(h.stack)-1]
+	parent.children = append(parent.children, id)
+	return nil
+}
+
+func (h *handler) Text(data []byte) error {
+	h.stats.TextBytes += uint64(len(data))
+	if h.matcher == nil {
+		return nil
+	}
+	h.matcher.Feed(data, h.mark)
+	return nil
+}
+
+// mark records a pattern match on every open element whose text span
+// contains the whole match: those are exactly the frames whose textStart is
+// at or before the match start (an open element's span extends to the
+// current position, which covers the match end). textStart grows from the
+// bottom of the stack to the top, so the qualifying frames are a prefix of
+// the stack; we walk from the top down and stop early at the first frame
+// that either started after the match or was already marked with this
+// pattern (in which case all frames below were marked then too).
+func (h *handler) mark(m strmatch.Match) {
+	id := h.strIDs[m.Pattern]
+	for i := len(h.stack) - 1; i >= 0; i-- {
+		f := &h.stack[i]
+		if f.textStart > m.Start {
+			continue
+		}
+		if f.marked.Has(label.ID(m.Pattern)) {
+			break
+		}
+		f.marked = f.marked.Set(label.ID(m.Pattern))
+		f.labels = f.labels.Set(id)
+	}
+}

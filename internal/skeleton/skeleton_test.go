@@ -1,0 +1,233 @@
+package skeleton_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/dagtest"
+	"repro/internal/label"
+	"repro/internal/skeleton"
+)
+
+const fig1XML = `<bib>
+  <book><title>Foundations of Databases</title><author>Abiteboul</author><author>Hull</author><author>Vianu</author></book>
+  <paper><title>A Relational Model for Large Shared Data Banks</title><author>Codd</author></paper>
+  <paper><title>The Complexity of Relational Query Languages</title><author>Vardi</author></paper>
+</bib>`
+
+func TestBuildCompressedFigure1(t *testing.T) {
+	inst, st, err := skeleton.BuildCompressed([]byte(fig1XML), skeleton.Options{Mode: skeleton.TagsAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.TreeVertices != 12 {
+		t.Fatalf("tree vertices = %d, want 12", st.TreeVertices)
+	}
+	if inst.NumVertices() != 6 {
+		t.Fatalf("compressed vertices = %d, want 6 (incl. document vertex)\n%s", inst.NumVertices(), inst)
+	}
+	if !dag.Minimal(inst) {
+		t.Fatal("one-pass construction must produce the minimal instance")
+	}
+}
+
+func TestOnePassMatchesCompressAfterBuild(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := dagtest.RandomXML(r, 120, 4, 3)
+		opts := skeleton.Options{Mode: skeleton.TagsAll}
+		direct, _, err := skeleton.BuildCompressed(doc, opts)
+		if err != nil {
+			return false
+		}
+		tree, _, err := skeleton.BuildTree(doc, opts)
+		if err != nil {
+			return false
+		}
+		indirect := dag.Compress(tree)
+		return direct.NumVertices() == indirect.NumVertices() &&
+			direct.NumEdges() == indirect.NumEdges() &&
+			dag.Equivalent(direct, indirect)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagModes(t *testing.T) {
+	doc := []byte(`<a><b>x</b><c>y</c></a>`)
+
+	all, _, err := skeleton.BuildCompressed(doc, skeleton.Options{Mode: skeleton.TagsAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Schema.Lookup(skeleton.TagLabel("b")) == label.Invalid {
+		t.Fatal("TagsAll missed a tag")
+	}
+
+	none, _, err := skeleton.BuildCompressed(doc, skeleton.Options{Mode: skeleton.TagsNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With tags erased, b and c leaves become bisimilar: doc, a, leaf.
+	if none.NumVertices() != 3 {
+		t.Fatalf("TagsNone vertices = %d, want 3\n%s", none.NumVertices(), none)
+	}
+
+	listed, _, err := skeleton.BuildCompressed(doc, skeleton.Options{
+		Mode: skeleton.TagsListed, Tags: []string{"b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listed.Schema.Lookup(skeleton.TagLabel("b")) == label.Invalid {
+		t.Fatal("TagsListed missed a listed tag")
+	}
+	if listed.Schema.Lookup(skeleton.TagLabel("c")) != label.Invalid {
+		t.Fatal("TagsListed recorded an unlisted tag")
+	}
+	// b is labelled, c is not: doc, a, b, c.
+	if listed.NumVertices() != 4 {
+		t.Fatalf("TagsListed vertices = %d, want 4\n%s", listed.NumVertices(), listed)
+	}
+}
+
+func TestStringConditionMarking(t *testing.T) {
+	doc := []byte(`<r><a>hello</a><b><c>hel</c><d>lo</d></b><e>nothing</e></r>`)
+	inst, _, err := skeleton.BuildCompressed(doc, skeleton.Options{
+		Mode:    skeleton.TagsAll,
+		Strings: []string{"hello"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid := inst.Schema.Lookup(skeleton.StringLabel("hello"))
+	if sid == label.Invalid {
+		t.Fatal("string label missing")
+	}
+	// Matching tree nodes: <a> (own text), <b> (concatenation of c+d
+	// spans the match), <r> and the document node (contain everything).
+	// Not <c>, <d>, <e>.
+	if got, want := inst.CountSelectedTree(sid), uint64(4); got != want {
+		t.Fatalf("matched nodes = %d, want %d\n%s", got, want, inst)
+	}
+	for _, tag := range []string{"r", "a", "b"} {
+		tid := inst.Schema.Lookup(skeleton.TagLabel(tag))
+		found := false
+		for i := range inst.Verts {
+			if inst.Verts[i].Labels.Has(tid) && inst.Verts[i].Labels.Has(sid) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("tag %s should have a matching vertex", tag)
+		}
+	}
+	for _, tag := range []string{"c", "d", "e"} {
+		tid := inst.Schema.Lookup(skeleton.TagLabel(tag))
+		for i := range inst.Verts {
+			if inst.Verts[i].Labels.Has(tid) && inst.Verts[i].Labels.Has(sid) {
+				t.Errorf("tag %s must not match", tag)
+			}
+		}
+	}
+}
+
+func TestStringConditionAcrossSiblingBoundary(t *testing.T) {
+	// "xy" spans from <a>'s text into <b>'s text: only the common
+	// ancestor's string value contains it.
+	doc := []byte(`<r><a>x</a><b>y</b></r>`)
+	inst, _, err := skeleton.BuildCompressed(doc, skeleton.Options{
+		Mode:    skeleton.TagsAll,
+		Strings: []string{"xy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid := inst.Schema.Lookup(skeleton.StringLabel("xy"))
+	if got := inst.CountSelectedTree(sid); got != 2 {
+		t.Fatalf("matched nodes = %d, want 2 (root element and document node)\n%s", got, inst)
+	}
+	rid := inst.Schema.Lookup(skeleton.TagLabel("r"))
+	aid := inst.Schema.Lookup(skeleton.TagLabel("a"))
+	for i := range inst.Verts {
+		ls := inst.Verts[i].Labels
+		if ls.Has(aid) && ls.Has(sid) {
+			t.Fatal("leaf must not carry the match")
+		}
+		if ls.Has(rid) && !ls.Has(sid) {
+			t.Fatal("root element must carry the match")
+		}
+	}
+}
+
+func TestStringConditionRepeatedMatches(t *testing.T) {
+	// The same pattern twice inside one element must mark it once, and
+	// marking must still reach new ancestors of later matches.
+	doc := []byte(`<r><a>foo foo</a><b>foo</b></r>`)
+	inst, _, err := skeleton.BuildCompressed(doc, skeleton.Options{
+		Mode:    skeleton.TagsAll,
+		Strings: []string{"foo"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid := inst.Schema.Lookup(skeleton.StringLabel("foo"))
+	// r, a, b and the document node all match.
+	if got := inst.CountSelectedTree(sid); got != 4 {
+		t.Fatalf("matched nodes = %d, want 3\n%s", got, inst)
+	}
+}
+
+func TestStringConditionSplitsSharing(t *testing.T) {
+	// Two structurally identical subtrees, only one containing the
+	// pattern: they must NOT share a vertex.
+	doc := []byte(`<r><a>match</a><a>other</a></r>`)
+	inst, _, err := skeleton.BuildCompressed(doc, skeleton.Options{
+		Mode:    skeleton.TagsAll,
+		Strings: []string{"match"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// doc + r + two distinct a-vertices.
+	if inst.NumVertices() != 4 {
+		t.Fatalf("vertices = %d, want 4\n%s", inst.NumVertices(), inst)
+	}
+
+	// Without the condition they share.
+	plain, _, err := skeleton.BuildCompressed(doc, skeleton.Options{Mode: skeleton.TagsAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumVertices() != 3 {
+		t.Fatalf("vertices = %d, want 3\n%s", plain.NumVertices(), plain)
+	}
+}
+
+func TestBuildTreeIsTree(t *testing.T) {
+	tree, st, err := skeleton.BuildTree([]byte(fig1XML), skeleton.Options{Mode: skeleton.TagsAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dag.IsTree(tree) {
+		t.Fatal("BuildTree did not produce a tree")
+	}
+	if uint64(tree.NumVertices()) != st.TreeVertices+1 {
+		t.Fatalf("tree vertices %d != stats %d + document node", tree.NumVertices(), st.TreeVertices)
+	}
+}
+
+func TestMalformedInputFails(t *testing.T) {
+	if _, _, err := skeleton.BuildCompressed([]byte(`<a><b></a>`), skeleton.Options{}); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, _, err := skeleton.BuildCompressed(nil, skeleton.Options{}); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+}

@@ -1,0 +1,39 @@
+package xpath_test
+
+import (
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+// FuzzParseCompile: parser and compiler must never panic; every
+// successfully parsed query must compile, and the printed normal form must
+// re-parse.
+func FuzzParseCompile(f *testing.F) {
+	seeds := []string{
+		`/a/b`, `//a`, `//a[b and not(c["x"])]/d`,
+		`/self::*[a/b]`, `//a[/b/c or "lit"]`,
+		`//Record/comment[topic["T"] and following-sibling::comment/topic["D"]]`,
+		`/*`, `a`, `///`, `[`, `not(`, `"open`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		path, err := xpath.Parse(query)
+		if err != nil {
+			return
+		}
+		prog, err := xpath.Compile(path)
+		if err != nil {
+			t.Fatalf("parsed but failed to compile %q: %v", query, err)
+		}
+		if prog.Result >= prog.NumTemp {
+			t.Fatalf("result temp out of range for %q", query)
+		}
+		printed := path.String()
+		if _, err := xpath.Parse(printed); err != nil {
+			t.Fatalf("normal form %q of %q does not re-parse: %v", printed, query, err)
+		}
+	})
+}

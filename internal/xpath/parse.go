@@ -1,0 +1,433 @@
+// Package xpath provides the Core XPath front end: a parser for the
+// fragment of Section 3.1 (all eleven tree axes, node tests, nested
+// predicates with and/or/not, absolute paths in conditions, and the
+// paper's string-containment conditions written tag["substr"]), and a
+// compiler into the reverse-axis query algebra of Section 3 (Figure 3).
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// Path is a parsed location path. An absolute path starts at the document
+// root; a relative path starts at the evaluation context (for top-level
+// queries this library also uses the root as context).
+type Path struct {
+	Absolute bool
+	Steps    []Step
+}
+
+// Step is one location step: an axis, a node test ("*" or a tag name), and
+// zero or more predicates.
+type Step struct {
+	Axis  algebra.Axis
+	Test  string // "*" matches any element
+	Preds []Expr
+}
+
+// Expr is a predicate expression: one of And, Or, Not, Str, or *Path.
+type Expr interface{ exprNode() }
+
+// And is conjunction of conditions.
+type And struct{ L, R Expr }
+
+// Or is disjunction of conditions.
+type Or struct{ L, R Expr }
+
+// Not is negation of a condition.
+type Not struct{ E Expr }
+
+// Str is the paper's string-containment condition: it holds at a node whose
+// string value contains Pattern.
+type Str struct{ Pattern string }
+
+func (And) exprNode() {}
+func (Or) exprNode()  {}
+func (Not) exprNode() {}
+func (Str) exprNode() {}
+
+func (p *Path) exprNode() {}
+
+// String reconstructs query syntax (normalised: explicit axes, '//'
+// expanded to descendant-or-self steps).
+func (p *Path) String() string {
+	var sb strings.Builder
+	if p.Absolute {
+		sb.WriteByte('/')
+	}
+	for i, s := range p.Steps {
+		if i > 0 {
+			sb.WriteByte('/')
+		}
+		fmt.Fprintf(&sb, "%v::%s", s.Axis, s.Test)
+		for _, pr := range s.Preds {
+			sb.WriteByte('[')
+			sb.WriteString(exprString(pr))
+			sb.WriteByte(']')
+		}
+	}
+	return sb.String()
+}
+
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case And:
+		return "(" + exprString(e.L) + " and " + exprString(e.R) + ")"
+	case Or:
+		return "(" + exprString(e.L) + " or " + exprString(e.R) + ")"
+	case Not:
+		return "not(" + exprString(e.E) + ")"
+	case Str:
+		return fmt.Sprintf("%q", e.Pattern)
+	case *Path:
+		return e.String()
+	}
+	return "?"
+}
+
+// ParseError reports a syntax error with its position in the query string.
+type ParseError struct {
+	Query string
+	Pos   int
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xpath: %s at offset %d in %q", e.Msg, e.Pos, e.Query)
+}
+
+// Parse parses a Core XPath query.
+func Parse(query string) (*Path, error) {
+	p := &parser{lex: lexer{src: query}}
+	p.next()
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after complete query", p.tok)
+	}
+	return path, nil
+}
+
+// MustParse is Parse for tests and examples with known-good queries.
+func MustParse(query string) *Path {
+	p, err := Parse(query)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind int
+
+const (
+	tokEOF         tokKind = iota
+	tokSlash               // /
+	tokDoubleSlash         // //
+	tokName                // tag or axis name; also "and", "or", "not"
+	tokStar                // *
+	tokAxisSep             // ::
+	tokLBracket            // [
+	tokRBracket            // ]
+	tokLParen              // (
+	tokRParen              // )
+	tokString              // "..."
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) lex() (token, error) {
+	for l.pos < len(l.src) && isQSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '/':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '/' {
+			l.pos++
+			return token{tokDoubleSlash, "//", start}, nil
+		}
+		return token{tokSlash, "/", start}, nil
+	case '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case '[':
+		l.pos++
+		return token{tokLBracket, "[", start}, nil
+	case ']':
+		l.pos++
+		return token{tokRBracket, "]", start}, nil
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			l.pos += 2
+			return token{tokAxisSep, "::", start}, nil
+		}
+		return token{}, fmt.Errorf("stray ':'")
+	case '"', '\'':
+		quote := c
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("unterminated string literal")
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{tokString, text, start}, nil
+	default:
+		if !isNameByte(c) {
+			return token{}, fmt.Errorf("unexpected character %q", c)
+		}
+		for l.pos < len(l.src) && isNameByte(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokName, l.src[start:l.pos], start}, nil
+	}
+}
+
+func isQSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func isNameByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' ||
+		b == '_' || b == '-' || b == '.'
+}
+
+type parser struct {
+	lex lexer
+	tok token
+	err error
+}
+
+func (p *parser) next() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.lex()
+	if err != nil {
+		p.err = &ParseError{Query: p.lex.src, Pos: p.lex.pos, Msg: err.Error()}
+		p.tok = token{kind: tokEOF, pos: p.lex.pos}
+		return
+	}
+	p.tok = t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	if p.err != nil {
+		return p.err
+	}
+	return &ParseError{Query: p.lex.src, Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+var axisByName = map[string]algebra.Axis{
+	"self":               algebra.Self,
+	"child":              algebra.Child,
+	"parent":             algebra.Parent,
+	"descendant":         algebra.Descendant,
+	"descendant-or-self": algebra.DescendantOrSelf,
+	"ancestor":           algebra.Ancestor,
+	"ancestor-or-self":   algebra.AncestorOrSelf,
+	"following-sibling":  algebra.FollowingSibling,
+	"preceding-sibling":  algebra.PrecedingSibling,
+	"following":          algebra.Following,
+	"preceding":          algebra.Preceding,
+}
+
+// parsePath parses a path; a leading '/' or '//' marks it absolute.
+func (p *parser) parsePath() (*Path, error) {
+	path := &Path{}
+	switch p.tok.kind {
+	case tokSlash:
+		path.Absolute = true
+		p.next()
+	case tokDoubleSlash:
+		path.Absolute = true
+		// '//x' desugars to '/descendant-or-self::*/child::x'.
+		path.Steps = append(path.Steps, Step{Axis: algebra.DescendantOrSelf, Test: "*"})
+		p.next()
+	}
+	for {
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		switch p.tok.kind {
+		case tokSlash:
+			p.next()
+		case tokDoubleSlash:
+			path.Steps = append(path.Steps, Step{Axis: algebra.DescendantOrSelf, Test: "*"})
+			p.next()
+		default:
+			if len(path.Steps) == 0 {
+				return nil, p.errf("empty path")
+			}
+			return path, nil
+		}
+	}
+}
+
+func (p *parser) parseStep() (Step, error) {
+	step := Step{Axis: algebra.Child}
+	switch p.tok.kind {
+	case tokName:
+		name := p.tok.text
+		p.next()
+		if p.tok.kind == tokAxisSep {
+			axis, ok := axisByName[name]
+			if !ok {
+				return Step{}, p.errf("unknown axis %q", name)
+			}
+			step.Axis = axis
+			p.next()
+			if err := p.parseNodeTest(&step); err != nil {
+				return Step{}, err
+			}
+		} else {
+			step.Test = name
+		}
+	case tokStar:
+		step.Test = "*"
+		p.next()
+	default:
+		return Step{}, p.errf("expected a step, got %s", p.tok)
+	}
+	for p.tok.kind == tokLBracket {
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return Step{}, err
+		}
+		if p.tok.kind != tokRBracket {
+			return Step{}, p.errf("expected ']', got %s", p.tok)
+		}
+		p.next()
+		step.Preds = append(step.Preds, e)
+	}
+	return step, nil
+}
+
+func (p *parser) parseNodeTest(step *Step) error {
+	switch p.tok.kind {
+	case tokName:
+		step.Test = p.tok.text
+		p.next()
+	case tokStar:
+		step.Test = "*"
+		p.next()
+	default:
+		return p.errf("expected a node test after '::', got %s", p.tok)
+	}
+	return nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokName && p.tok.text == "or" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokName && p.tok.text == "and" {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.tok.kind {
+	case tokString:
+		s := Str{Pattern: p.tok.text}
+		p.next()
+		return s, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected ')', got %s", p.tok)
+		}
+		p.next()
+		return e, nil
+	case tokName:
+		if p.tok.text == "not" {
+			// Lookahead: 'not' followed by '(' is negation; otherwise
+			// it is a tag named "not".
+			save := *p
+			p.next()
+			if p.tok.kind == tokLParen {
+				p.next()
+				e, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				if p.tok.kind != tokRParen {
+					return nil, p.errf("expected ')' closing not(...), got %s", p.tok)
+				}
+				p.next()
+				return Not{E: e}, nil
+			}
+			*p = save
+		}
+		return p.parsePath()
+	case tokSlash, tokDoubleSlash, tokStar:
+		return p.parsePath()
+	default:
+		return nil, p.errf("expected a condition, got %s", p.tok)
+	}
+}

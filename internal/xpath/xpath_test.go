@@ -1,0 +1,240 @@
+package xpath_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/corpus"
+	"repro/internal/xpath"
+)
+
+func TestParseSimple(t *testing.T) {
+	p := xpath.MustParse(`/bib/book/author`)
+	if !p.Absolute || len(p.Steps) != 3 {
+		t.Fatalf("parse = %v", p)
+	}
+	for i, want := range []string{"bib", "book", "author"} {
+		st := p.Steps[i]
+		if st.Axis != algebra.Child || st.Test != want || len(st.Preds) != 0 {
+			t.Fatalf("step %d = %+v", i, st)
+		}
+	}
+}
+
+func TestParseDoubleSlash(t *testing.T) {
+	p := xpath.MustParse(`//a//b`)
+	// Desugars to dos::*/child::a/dos::*/child::b.
+	if len(p.Steps) != 4 {
+		t.Fatalf("steps = %d: %v", len(p.Steps), p)
+	}
+	if p.Steps[0].Axis != algebra.DescendantOrSelf || p.Steps[0].Test != "*" {
+		t.Fatalf("step 0 = %+v", p.Steps[0])
+	}
+	if p.Steps[2].Axis != algebra.DescendantOrSelf {
+		t.Fatalf("step 2 = %+v", p.Steps[2])
+	}
+}
+
+func TestParseAxes(t *testing.T) {
+	for name, axis := range map[string]algebra.Axis{
+		"self":               algebra.Self,
+		"child":              algebra.Child,
+		"parent":             algebra.Parent,
+		"descendant":         algebra.Descendant,
+		"descendant-or-self": algebra.DescendantOrSelf,
+		"ancestor":           algebra.Ancestor,
+		"ancestor-or-self":   algebra.AncestorOrSelf,
+		"following-sibling":  algebra.FollowingSibling,
+		"preceding-sibling":  algebra.PrecedingSibling,
+		"following":          algebra.Following,
+		"preceding":          algebra.Preceding,
+	} {
+		p, err := xpath.Parse("/" + name + "::x")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Steps[0].Axis != axis {
+			t.Fatalf("%s: axis = %v", name, p.Steps[0].Axis)
+		}
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	p := xpath.MustParse(`//Record[sequence/seq["MMSARGDFLN"] and protein/from["Rattus norvegicus"]]`)
+	rec := p.Steps[1]
+	if rec.Test != "Record" || len(rec.Preds) != 1 {
+		t.Fatalf("step = %+v", rec)
+	}
+	and, ok := rec.Preds[0].(xpath.And)
+	if !ok {
+		t.Fatalf("pred = %T", rec.Preds[0])
+	}
+	l, ok := and.L.(*xpath.Path)
+	if !ok || len(l.Steps) != 2 {
+		t.Fatalf("left = %#v", and.L)
+	}
+	leaf := l.Steps[1]
+	if leaf.Test != "seq" || len(leaf.Preds) != 1 {
+		t.Fatalf("leaf = %+v", leaf)
+	}
+	if s, ok := leaf.Preds[0].(xpath.Str); !ok || s.Pattern != "MMSARGDFLN" {
+		t.Fatalf("string pred = %#v", leaf.Preds[0])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// and binds tighter than or.
+	p := xpath.MustParse(`/a[b or c and d]`)
+	or, ok := p.Steps[0].Preds[0].(xpath.Or)
+	if !ok {
+		t.Fatalf("pred = %#v", p.Steps[0].Preds[0])
+	}
+	if _, ok := or.R.(xpath.And); !ok {
+		t.Fatalf("right of or = %#v", or.R)
+	}
+	// Parentheses override.
+	p2 := xpath.MustParse(`/a[(b or c) and d]`)
+	if _, ok := p2.Steps[0].Preds[0].(xpath.And); !ok {
+		t.Fatalf("pred = %#v", p2.Steps[0].Preds[0])
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	p := xpath.MustParse(`/a[not(following::*)]`)
+	n, ok := p.Steps[0].Preds[0].(xpath.Not)
+	if !ok {
+		t.Fatalf("pred = %#v", p.Steps[0].Preds[0])
+	}
+	inner, ok := n.E.(*xpath.Path)
+	if !ok || inner.Steps[0].Axis != algebra.Following {
+		t.Fatalf("inner = %#v", n.E)
+	}
+	// A tag actually named "not" still parses as a path.
+	p2 := xpath.MustParse(`/a[not]`)
+	if _, ok := p2.Steps[0].Preds[0].(*xpath.Path); !ok {
+		t.Fatalf("bare 'not' pred = %#v", p2.Steps[0].Preds[0])
+	}
+}
+
+func TestParseAbsoluteCondition(t *testing.T) {
+	p := xpath.MustParse(`/descendant::a[/descendant::b]`)
+	inner, ok := p.Steps[0].Preds[0].(*xpath.Path)
+	if !ok || !inner.Absolute {
+		t.Fatalf("pred = %#v", p.Steps[0].Preds[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, q := range []string{
+		``, `/`, `//`, `/a[`, `/a[]`, `/a]`, `/unknownaxis::b`, `/a[b or]`,
+		`/a["unterminated]`, `/a[(b]`, `/a[not(b]`, `/:`, `/a/`, `a b`,
+		`/a[b]]`,
+	} {
+		if _, err := xpath.Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := xpath.Parse(`/a[b or]`)
+	pe, ok := err.(*xpath.ParseError)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if pe.Query != `/a[b or]` || pe.Pos == 0 {
+		t.Fatalf("pe = %+v", pe)
+	}
+}
+
+func TestCompileCollectsLeaves(t *testing.T) {
+	prog, err := xpath.CompileQuery(`//Record[seq["MM"] and from["Rat"]]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(prog.Tags, ","); got != "Record,from,seq,title" {
+		t.Fatalf("tags = %q", got)
+	}
+	if got := strings.Join(prog.Strings, ","); got != "MM,Rat" {
+		t.Fatalf("strings = %q", got)
+	}
+}
+
+func TestCompileReversesConditionAxes(t *testing.T) {
+	// A purely downward surface query inside a condition must compile to
+	// upward axes only (and therefore never decompress, Corollary 3.7).
+	prog, err := xpath.CompileQuery(`/self::*[a/b/descendant::c]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Downward {
+		t.Fatalf("condition-only query compiled with downward axes:\n%s", prog)
+	}
+	for _, in := range prog.Instrs {
+		if in.Op == xpath.OpAxis && !in.Axis.Upward() && in.Axis != algebra.Self {
+			t.Fatalf("instr %v uses non-upward axis", in)
+		}
+	}
+}
+
+func TestCompileMainPathIsForward(t *testing.T) {
+	prog, err := xpath.CompileQuery(`/a/b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Downward {
+		t.Fatal("main path must use downward (child) axes")
+	}
+}
+
+func TestCompileSingleAssignment(t *testing.T) {
+	prog, err := xpath.CompileQuery(`//a[b and not(c)]/d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, in := range prog.Instrs {
+		if seen[in.Dst] {
+			t.Fatalf("temporary t%d assigned twice", in.Dst)
+		}
+		seen[in.Dst] = true
+		if in.Dst >= prog.NumTemp {
+			t.Fatalf("t%d out of range %d", in.Dst, prog.NumTemp)
+		}
+	}
+	if !seen[prog.Result] {
+		t.Fatal("result temporary never assigned")
+	}
+}
+
+func TestAllAppendixQueriesParse(t *testing.T) {
+	// Every benchmark query from the paper's appendix (adapted in the
+	// corpus catalog) must parse and compile.
+	for _, c := range corpus.Catalog() {
+		for i, q := range c.Queries {
+			prog, err := xpath.CompileQuery(q)
+			if err != nil {
+				t.Errorf("%s Q%d %q: %v", c.Name, i+1, q, err)
+				continue
+			}
+			if i == 0 && prog.Downward {
+				t.Errorf("%s Q1 should compile upward-only (tree pattern): %q", c.Name, q)
+			}
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	p := xpath.MustParse(`//a[b["x"] or not(c)]`)
+	s := p.String()
+	for _, want := range []string{"descendant-or-self::*", "child::a", `"x"`, "not("} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	// The printed form must re-parse to an equivalent program.
+	if _, err := xpath.Parse(s); err != nil {
+		t.Fatalf("round-trip parse of %q: %v", s, err)
+	}
+}
