@@ -567,6 +567,97 @@ func BenchmarkResultPaths(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelQuery measures engine.RunParallel fanning one compiled
+// query out over a corpus of documents, sweeping the worker count. On
+// multi-core hardware the wall-clock per op should drop ~linearly up to
+// the core count (the shards share nothing but the read-only program); on
+// a single core all worker counts converge. SwissProt is the largest
+// generated corpus; Q3 mixes a descendant axis with a string condition.
+func BenchmarkParallelQuery(b *testing.B) {
+	c, err := corpus.ByName("SwissProt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const docs = 8
+	prog, err := xpath.CompileQuery(c.Queries[2])
+	if err != nil {
+		b.Fatal(err)
+	}
+	insts := make([]*dag.Instance, docs)
+	var bytesTotal int64
+	for i := range insts {
+		doc := c.Generate(scaled(c.DefaultScale), benchSeed+uint64(i))
+		bytesTotal += int64(len(doc))
+		inst, _, err := skeleton.BuildCompressed(doc, skeleton.Options{
+			Mode: skeleton.TagsListed, Tags: prog.Tags, Strings: prog.Strings,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts[i] = inst
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(bytesTotal)
+			var selected uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				clones := make([]*dag.Instance, len(insts))
+				for j, inst := range insts {
+					clones[j] = inst.Clone()
+				}
+				b.StartTimer()
+				merged, err := engine.RunParallel(clones, prog, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				selected = merged.SelectedTree
+			}
+			b.ReportMetric(float64(selected), "selected")
+		})
+	}
+}
+
+// BenchmarkParallelCompress measures dag.CompressParallel (the sharded
+// hash-consing builder fed by level waves) against the sequential
+// minimiser on an uncompressed SwissProt skeleton.
+func BenchmarkParallelCompress(b *testing.B) {
+	c, err := corpus.ByName("SwissProt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := c.Generate(scaled(c.DefaultScale), benchSeed)
+	tree, _, err := skeleton.BuildTree(doc, skeleton.Options{Mode: skeleton.TagsAll})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := dag.Compress(tree.Clone()).NumVertices()
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			in := tree.Clone()
+			b.StartTimer()
+			if got := dag.Compress(in).NumVertices(); got != want {
+				b.Fatalf("compressed to %d vertices, want %d", got, want)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				in := tree.Clone()
+				b.StartTimer()
+				if got := dag.CompressParallel(in, workers).NumVertices(); got != want {
+					b.Fatalf("compressed to %d vertices, want %d", got, want)
+				}
+			}
+		})
+	}
+}
+
 func scaled(base int) int {
 	n := int(float64(base) * benchScale)
 	if n < 1 {

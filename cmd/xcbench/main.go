@@ -6,11 +6,14 @@
 //	xcbench -growth          # Theorem 3.6: decompression growth sweep
 //	xcbench -vs              # Section 6: compressed vs uncompressed engine
 //	xcbench -relational      # Introduction: O(C*R) -> O(C+log R) sweep
+//	xcbench -parallel        # parallel fan-out scaling sweep
 //	xcbench -all             # everything
 //
 // -scale multiplies every corpus's default size; -check verifies the
 // paper's qualitative invariants on the Figure 7 rows and exits non-zero
-// on violation.
+// on violation. -parallel fans every query of -corpus out over -docs
+// generated documents at worker counts 1..-workers, reporting wall-clock
+// scaling (engine.RunParallel).
 package main
 
 import (
@@ -29,16 +32,20 @@ func main() {
 		growth     = flag.Bool("growth", false, "run the decompression growth experiment (Theorem 3.6)")
 		vs         = flag.Bool("vs", false, "compare compressed engine vs uncompressed baseline (Section 6)")
 		relational = flag.Bool("relational", false, "run the relational-table compression sweep (Introduction)")
+		parallel   = flag.Bool("parallel", false, "run the parallel fan-out scaling sweep")
 		all        = flag.Bool("all", false, "run every experiment")
 		scale      = flag.Float64("scale", 1.0, "corpus size multiplier")
 		seed       = flag.Uint64("seed", 1, "corpus generation seed")
 		check      = flag.Bool("check", false, "verify the paper's qualitative invariants (with -fig7)")
+		corpusName = flag.String("corpus", "SwissProt", "corpus for the parallel sweep")
+		docs       = flag.Int("docs", 8, "documents in the parallel sweep")
+		workers    = flag.Int("workers", 8, "maximum worker count in the parallel sweep (doubling from 1)")
 	)
 	flag.Parse()
 	if *all {
-		*fig6, *fig7, *growth, *vs, *relational = true, true, true, true, true
+		*fig6, *fig7, *growth, *vs, *relational, *parallel = true, true, true, true, true, true
 	}
-	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational {
+	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -91,6 +98,18 @@ func main() {
 				r.EngineEval.Round(time.Microsecond), r.BaselineEval.Round(time.Microsecond),
 				float64(r.BaselineEval)/float64(r.EngineEval), r.Selected)
 		}
+		fmt.Println()
+	}
+
+	if *parallel {
+		fmt.Printf("=== Parallel fan-out: %s x %d documents, engine.RunParallel worker sweep ===\n", *corpusName, *docs)
+		var counts []int
+		for w := 1; w <= *workers; w *= 2 {
+			counts = append(counts, w)
+		}
+		rows, err := experiments.ParallelSweep(*corpusName, *docs, *scale, *seed, counts)
+		fatal(err)
+		experiments.PrintParallel(os.Stdout, rows)
 		fmt.Println()
 	}
 

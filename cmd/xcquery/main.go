@@ -3,9 +3,14 @@
 // time, instance sizes before and after evaluation, query time, and
 // selected node counts on the DAG and in the tree.
 //
+// When the second argument is a directory, the query is compiled once and
+// fanned out over every *.xml file in it on a pool of -workers goroutines,
+// printing one row per document plus batch totals.
+//
 // Usage:
 //
 //	xcquery [-plan] [-baseline] 'query' file.xml
+//	xcquery [-workers N] [-prepare] 'query' corpusdir/
 package main
 
 import (
@@ -25,8 +30,11 @@ func main() {
 	useBaseline := flag.Bool("baseline", false, "also evaluate on the uncompressed tree for comparison")
 	dotFile := flag.String("dot", "", "write the result instance as Graphviz DOT to this file")
 	showPaths := flag.Int("paths", 0, "print up to N selected tree-node addresses")
+	workers := flag.Int("workers", 0, "worker pool size for directory mode (0 = GOMAXPROCS)")
+	prepare := flag.Bool("prepare", false, "directory mode: pre-compress every document's tag skeleton once before querying")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: xcquery [-plan] [-baseline] 'query' file.xml")
+		fmt.Fprintln(os.Stderr, "       xcquery [-workers N] [-prepare] 'query' corpusdir/")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,6 +54,15 @@ func main() {
 		if flag.NArg() == 1 {
 			return
 		}
+	}
+
+	if fi, err := os.Stat(flag.Arg(1)); err == nil && fi.IsDir() {
+		if *useBaseline || *dotFile != "" || *showPaths > 0 {
+			fmt.Fprintln(os.Stderr, "xcquery: -baseline, -dot and -paths apply to single-file mode only")
+			os.Exit(2)
+		}
+		queryDir(query, prog, flag.Arg(1), *workers, *prepare)
+		return
 	}
 
 	data, err := os.ReadFile(flag.Arg(1))
@@ -107,5 +124,53 @@ func main() {
 		fmt.Printf("baseline build:     %v (%d nodes)\n", buildTime, tree.NumNodes())
 		fmt.Printf("baseline eval:      %v\n", evalTime)
 		fmt.Printf("baseline selected:  %d\n", baseline.Count(sel))
+	}
+}
+
+// queryDir fans the compiled query out over every *.xml file in dir.
+func queryDir(query string, prog *xpath.Program, dir string, workers int, prepare bool) {
+	pool := core.NewPool(workers)
+	n, err := pool.AddDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintf(os.Stderr, "xcquery: no *.xml files in %s\n", dir)
+		os.Exit(1)
+	}
+	if prepare {
+		t0 := time.Now()
+		if err := pool.PrepareBatch(); err != nil {
+			fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("prepared %d documents in %v (%d workers)\n", n, time.Since(t0), pool.Workers())
+	}
+
+	t0 := time.Now()
+	results := pool.RunAll(prog)
+	wall := time.Since(t0)
+
+	fmt.Printf("query:    %s\n", query)
+	fmt.Printf("corpus:   %s (%d documents, %d workers)\n", dir, n, pool.Workers())
+	fmt.Printf("%-30s %12s %12s %10s %11s\n", "document", "parse", "eval", "sel(dag)", "sel(tree)")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-30s ERROR: %v\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Printf("%-30s %12v %12v %10d %11d\n",
+			r.Name, r.Result.ParseTime.Round(time.Microsecond),
+			r.Result.EvalTime.Round(time.Microsecond),
+			r.Result.SelectedDAG, r.Result.SelectedTree)
+	}
+	s := core.Summarize(results)
+	fmt.Printf("%-30s %12v %12v %10d %11d\n", "TOTAL",
+		s.ParseTime.Round(time.Microsecond), s.EvalTime.Round(time.Microsecond),
+		s.SelectedDAG, s.SelectedTree)
+	fmt.Printf("wall-clock: %v (summed parse+eval %v)\n", wall, s.ParseTime+s.EvalTime)
+	if s.Errors > 0 {
+		os.Exit(1)
 	}
 }

@@ -6,8 +6,35 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/container"
+	"repro/internal/corpus"
 	"repro/internal/dagtest"
+	"repro/internal/skeleton"
 )
+
+// corpusSeeds encodes compressed instances distilled from the synthetic
+// corpus generators, so fuzzing starts from realistic wire images (deep
+// TreeBank recursion, wide relational TPC-D rows, shared DBLP records)
+// rather than only from toy terms.
+func corpusSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	for _, doc := range [][]byte{
+		corpus.DBLP(12, 1),
+		corpus.TreeBank(8, 1),
+		corpus.TPCD(6, 1),
+	} {
+		inst, _, err := skeleton.BuildCompressed(doc, skeleton.Options{Mode: skeleton.TagsAll})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := codec.EncodeInstance(&buf, inst); err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	return seeds
+}
 
 // FuzzDecodeInstance: arbitrary bytes must decode to a valid instance or
 // fail with an error — never panic, never return a broken instance.
@@ -18,6 +45,9 @@ func FuzzDecodeInstance(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
+	}
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed)
 	}
 	f.Add([]byte("XCI1"))
 	f.Add([]byte{})
@@ -35,8 +65,10 @@ func FuzzDecodeInstance(f *testing.F) {
 // FuzzDecodeArchive: same contract for archives; a decodable archive whose
 // containers match its skeleton must reconstruct without panicking.
 func FuzzDecodeArchive(f *testing.F) {
-	for _, doc := range []string{`<a/>`, `<a k="v">t<b>u</b></a>`} {
-		a, err := container.Split([]byte(doc))
+	docs := [][]byte{[]byte(`<a/>`), []byte(`<a k="v">t<b>u</b></a>`),
+		corpus.OMIM(3, 1), corpus.Shakespeare(1, 1)}
+	for _, doc := range docs {
+		a, err := container.Split(doc)
 		if err != nil {
 			f.Fatal(err)
 		}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/xpath"
+)
+
+// Pool fans queries out over a corpus of documents with a bounded worker
+// pool: the batch-oriented face of the library that cmd/xcquery's
+// directory mode and cmd/xcbench's parallel experiment sit on. Documents
+// are independent, so evaluation is coordination-free — workers share
+// only the compiled (read-only) program.
+//
+// A Pool is safe for concurrent use once populated: Add/AddDir must not
+// race with PrepareBatch or QueryAll, but any number of QueryAll calls
+// may run concurrently with each other (Prepared instances are never
+// mutated; every query evaluates on a copy).
+type Pool struct {
+	workers int
+	entries []*poolEntry
+}
+
+type poolEntry struct {
+	name string
+	doc  *Document
+	prep *Prepared
+}
+
+// NewPool returns an empty pool evaluating up to workers documents
+// concurrently; workers <= 0 uses GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Len returns the number of documents in the pool.
+func (p *Pool) Len() int { return len(p.entries) }
+
+// Names returns the document names in pool order.
+func (p *Pool) Names() []string {
+	out := make([]string, len(p.entries))
+	for i, e := range p.entries {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Add registers a document under name. The data is retained, not copied.
+func (p *Pool) Add(name string, doc []byte) {
+	p.entries = append(p.entries, &poolEntry{name: name, doc: Load(doc)})
+}
+
+// AddDir loads every regular *.xml file directly under dir (sorted by
+// name, so pool order is stable) and returns how many were added.
+func (p *Pool) AddDir(dir string) (int, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("core: reading corpus directory: %w", err)
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".xml") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return 0, fmt.Errorf("core: reading %s: %w", name, err)
+		}
+		p.Add(name, data)
+	}
+	return len(names), nil
+}
+
+// forEach runs fn(i) for every entry index on the worker pool.
+func (p *Pool) forEach(fn func(i int)) {
+	workers := p.workers
+	if workers > len(p.entries) {
+		workers = len(p.entries)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := range p.entries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// PrepareBatch parses and compresses every document's full tag skeleton
+// concurrently (Document.Prepare per entry). Subsequent QueryAll calls
+// then skip re-parsing for tag-only queries. The first error (in pool
+// order) is returned; documents that prepared successfully stay prepared.
+func (p *Pool) PrepareBatch() error {
+	errs := make([]error, len(p.entries))
+	p.forEach(func(i int) {
+		e := p.entries[i]
+		e.prep, errs[i] = e.doc.Prepare()
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: preparing %s: %w", p.entries[i].name, err)
+		}
+	}
+	return nil
+}
+
+// BatchResult is the outcome of one document's evaluation within a batch.
+type BatchResult struct {
+	Name   string
+	Result *Result
+	Err    error
+}
+
+// QueryAll compiles the query once and evaluates it against every
+// document on the worker pool, returning one BatchResult per document in
+// pool order. Per-document failures are reported in the results, not as
+// a call error, so one malformed document doesn't sink the batch.
+func (p *Pool) QueryAll(query string) ([]BatchResult, error) {
+	prog, err := xpath.CompileQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunAll(prog), nil
+}
+
+// RunAll evaluates a compiled program against every document on the
+// worker pool. Prepared documents (PrepareBatch) evaluate through their
+// cached instance; others re-parse per query, like Document.Run.
+func (p *Pool) RunAll(prog *xpath.Program) []BatchResult {
+	out := make([]BatchResult, len(p.entries))
+	p.forEach(func(i int) {
+		e := p.entries[i]
+		out[i].Name = e.name
+		if e.prep != nil {
+			out[i].Result, out[i].Err = e.prep.Run(prog)
+		} else {
+			out[i].Result, out[i].Err = e.doc.Run(prog)
+		}
+	})
+	return out
+}
+
+// BatchStats summarises a batch: summed Figure 7 statistics over the
+// documents that evaluated successfully, plus the error count. Times are
+// summed CPU-side costs (wall-clock is lower under parallel evaluation).
+type BatchStats struct {
+	Docs, Errors int
+
+	ParseTime, EvalTime time.Duration
+
+	VertsBefore, EdgesBefore int
+	VertsAfter, EdgesAfter   int
+	SelectedDAG              int
+	SelectedTree             uint64
+	TreeVertices             uint64
+}
+
+// Summarize folds batch results into totals.
+func Summarize(results []BatchResult) BatchStats {
+	var s BatchStats
+	for _, r := range results {
+		if r.Err != nil {
+			s.Errors++
+			continue
+		}
+		s.Docs++
+		s.ParseTime += r.Result.ParseTime
+		s.EvalTime += r.Result.EvalTime
+		s.VertsBefore += r.Result.VertsBefore
+		s.EdgesBefore += r.Result.EdgesBefore
+		s.VertsAfter += r.Result.VertsAfter
+		s.EdgesAfter += r.Result.EdgesAfter
+		s.SelectedDAG += r.Result.SelectedDAG
+		s.SelectedTree += r.Result.SelectedTree
+		s.TreeVertices += r.Result.TreeVertices
+	}
+	return s
+}

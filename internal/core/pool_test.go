@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func poolDocs() map[string][]byte {
+	return map[string][]byte{
+		"dblp1.xml": corpus.DBLP(30, 1),
+		"dblp2.xml": corpus.DBLP(30, 2),
+		"dblp3.xml": corpus.DBLP(45, 3),
+	}
+}
+
+// TestPoolMatchesSequential: QueryAll must agree, document by document,
+// with running each query through the sequential Document API — with and
+// without PrepareBatch.
+func TestPoolMatchesSequential(t *testing.T) {
+	docs := poolDocs()
+	queries := []string{
+		`/dblp/article/url`,
+		`//article[author["Codd"]]`,
+		`/dblp/article[author["Chandra"] and author["Harel"]]/title`,
+	}
+	for _, prepared := range []bool{false, true} {
+		pool := core.NewPool(4)
+		for _, name := range []string{"dblp1.xml", "dblp2.xml", "dblp3.xml"} {
+			pool.Add(name, docs[name])
+		}
+		if prepared {
+			if err := pool.PrepareBatch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, q := range queries {
+			results, err := pool.QueryAll(q)
+			if err != nil {
+				t.Fatalf("prepared=%v %q: %v", prepared, q, err)
+			}
+			if len(results) != len(docs) {
+				t.Fatalf("prepared=%v %q: %d results, want %d", prepared, q, len(results), len(docs))
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					t.Fatalf("prepared=%v %q %s: %v", prepared, q, r.Name, r.Err)
+				}
+				want, err := core.Load(docs[r.Name]).Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Result.SelectedTree != want.SelectedTree || r.Result.SelectedDAG != want.SelectedDAG {
+					t.Fatalf("prepared=%v %q %s: pool %d/%d != sequential %d/%d",
+						prepared, q, r.Name, r.Result.SelectedDAG, r.Result.SelectedTree,
+						want.SelectedDAG, want.SelectedTree)
+				}
+			}
+			s := core.Summarize(results)
+			if s.Docs != len(docs) || s.Errors != 0 {
+				t.Fatalf("prepared=%v %q: stats %+v", prepared, q, s)
+			}
+		}
+	}
+}
+
+// TestPoolAddDir loads a corpus directory, ignoring non-XML entries.
+func TestPoolAddDir(t *testing.T) {
+	dir := t.TempDir()
+	for name, doc := range poolDocs() {
+		if err := os.WriteFile(filepath.Join(dir, name), doc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not xml"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.xml"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	pool := core.NewPool(2)
+	n, err := pool.AddDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || pool.Len() != 3 {
+		t.Fatalf("added %d documents (len %d), want 3", n, pool.Len())
+	}
+	names := pool.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("pool order not sorted: %v", names)
+		}
+	}
+	results, err := pool.QueryAll(`//article`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := core.Summarize(results); s.Errors != 0 || s.SelectedTree == 0 {
+		t.Fatalf("directory batch: %+v", s)
+	}
+}
+
+// TestPoolBadDocument: a malformed document fails its own BatchResult
+// without sinking the batch.
+func TestPoolBadDocument(t *testing.T) {
+	pool := core.NewPool(2)
+	pool.Add("good.xml", corpus.DBLP(10, 1))
+	pool.Add("bad.xml", []byte(`<dblp><article>`))
+	results, err := pool.QueryAll(`//article`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goodOK, badErr bool
+	for _, r := range results {
+		switch r.Name {
+		case "good.xml":
+			goodOK = r.Err == nil
+		case "bad.xml":
+			badErr = r.Err != nil
+		}
+	}
+	if !goodOK || !badErr {
+		t.Fatalf("good ok=%v, bad errored=%v; want true/true", goodOK, badErr)
+	}
+	if s := core.Summarize(results); s.Docs != 1 || s.Errors != 1 {
+		t.Fatalf("stats %+v, want 1 doc + 1 error", s)
+	}
+}
+
+// TestPoolConcurrentQueryAll: prepared pools serve concurrent QueryAll
+// calls — the core.Pool data-race test, run with -race.
+func TestPoolConcurrentQueryAll(t *testing.T) {
+	pool := core.NewPool(3)
+	for name, doc := range poolDocs() {
+		pool.Add(name, doc)
+	}
+	if err := pool.PrepareBatch(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := pool.QueryAll(`//article[author["Codd"]]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats := core.Summarize(want)
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results, err := pool.QueryAll(`//article[author["Codd"]]`)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s := core.Summarize(results)
+			if s.Docs != wantStats.Docs || s.Errors != wantStats.Errors ||
+				s.SelectedDAG != wantStats.SelectedDAG || s.SelectedTree != wantStats.SelectedTree {
+				t.Errorf("concurrent batch diverged: %+v != %+v", s, wantStats)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,262 @@
+package dag
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/label"
+)
+
+// The parallel builder shards the hash-consing bucket table by the top
+// bits of the vertex hash. Each shard owns an independent lock, bucket
+// map and vertex arena, so concurrent Adds that hash to different shards
+// never contend — coordination-free compression across cores.
+//
+// Vertex identity during construction is an interleaved encoding:
+// the low shardBits bits select the shard, the remaining bits index the
+// shard's local arena. Encoded IDs are valid Edge.Child values between
+// Adds (published vertices are immutable); Instance() renumbers them into
+// the dense representation the rest of the system expects.
+const (
+	shardBits = 5
+	numShards = 1 << shardBits
+	shardMask = numShards - 1
+
+	// maxShardVerts bounds a shard arena so the interleaved encoding
+	// stays within the positive int32 range of VertexID.
+	maxShardVerts = 1 << (31 - shardBits)
+)
+
+type builderShard struct {
+	mu      sync.Mutex
+	verts   []Vertex
+	buckets map[uint64][]int32 // full hash -> local arena indices
+}
+
+// ParallelBuilder is a Builder that is safe for concurrent use: any number
+// of goroutines may call Add/AddEdges (and Intern) simultaneously. As with
+// Builder, children must have been added — by any goroutine — before their
+// parent, so instances are acyclic by construction and hash-consing sees
+// every duplicate.
+//
+// SetRoot and Instance must not race with in-flight Adds; call them after
+// the building goroutines have been joined.
+type ParallelBuilder struct {
+	schemaMu sync.Mutex
+	schema   *label.Schema
+	root     atomic.Int32
+	shards   [numShards]builderShard
+}
+
+// NewParallelBuilder returns a concurrent hash-consing builder over schema.
+// If schema is nil a fresh one is created.
+func NewParallelBuilder(schema *label.Schema) *ParallelBuilder {
+	if schema == nil {
+		schema = label.NewSchema()
+	}
+	b := &ParallelBuilder{schema: schema}
+	b.root.Store(int32(NilVertex))
+	for i := range b.shards {
+		b.shards[i].buckets = make(map[uint64][]int32)
+	}
+	return b
+}
+
+// Schema returns the schema of the instance under construction. The
+// returned schema must not be mutated directly while Adds are in flight;
+// use Intern.
+func (b *ParallelBuilder) Schema() *label.Schema { return b.schema }
+
+// Intern registers name in the builder's schema, serialising concurrent
+// interning. Label sets passed to Add may only reference IDs interned
+// through the builder (or present in the schema before building started).
+func (b *ParallelBuilder) Intern(name string) label.ID {
+	b.schemaMu.Lock()
+	defer b.schemaMu.Unlock()
+	return b.schema.Intern(name)
+}
+
+// Add inserts a vertex with the given labels and ordered child sequence,
+// returning a shared vertex if an identical one exists. Children are the
+// (encoded) IDs returned by earlier Adds; consecutive duplicates are
+// merged into RLE form. The children slice is not retained.
+func (b *ParallelBuilder) Add(labels label.Set, children []VertexID) VertexID {
+	edges := make([]Edge, 0, len(children))
+	for _, c := range children {
+		if n := len(edges); n > 0 && edges[n-1].Child == c {
+			edges[n-1].Count++
+		} else {
+			edges = append(edges, Edge{Child: c, Count: 1})
+		}
+	}
+	return b.addEdges(labels, edges)
+}
+
+// AddEdges is like Add but takes an already run-length-encoded edge list
+// in RLE normal form. The slice is not retained.
+func (b *ParallelBuilder) AddEdges(labels label.Set, edges []Edge) VertexID {
+	cp := make([]Edge, len(edges))
+	copy(cp, edges)
+	return b.addEdges(labels, cp)
+}
+
+// addEdges takes ownership of edges.
+func (b *ParallelBuilder) addEdges(labels label.Set, edges []Edge) VertexID {
+	labels = labels.Clone()
+	h := hashVertex(labels, edges)
+	s := &b.shards[h>>(64-shardBits)]
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, li := range s.buckets[h] {
+		v := &s.verts[li]
+		if v.Labels.Equal(labels) && edgesEqual(v.Edges, edges) {
+			return encodeID(h, li)
+		}
+	}
+	li := int32(len(s.verts))
+	if li >= maxShardVerts {
+		panic("dag: parallel builder shard overflow")
+	}
+	s.verts = append(s.verts, Vertex{Edges: edges, Labels: labels})
+	s.buckets[h] = append(s.buckets[h], li)
+	return encodeID(h, li)
+}
+
+func encodeID(h uint64, local int32) VertexID {
+	return VertexID(local<<shardBits | int32(h>>(64-shardBits)))
+}
+
+// SetRoot declares the root vertex (an ID returned by Add).
+func (b *ParallelBuilder) SetRoot(id VertexID) { b.root.Store(int32(id)) }
+
+// NumVertices returns the number of distinct vertices added so far. It is
+// approximate while Adds are in flight (shards are counted one at a time).
+func (b *ParallelBuilder) NumVertices() int {
+	n := 0
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		n += len(s.verts)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Instance finalises the build: encoded IDs are renumbered into a dense
+// vertex slice, unreachable vertices are pruned, and the result behaves
+// exactly like one produced by the sequential Builder. The builder must
+// not be used afterwards, and no Add may be concurrent with Instance.
+func (b *ParallelBuilder) Instance() *Instance {
+	root := VertexID(b.root.Load())
+	in := &Instance{Root: NilVertex, Schema: b.schema}
+	b.schema = nil
+	if root == NilVertex {
+		for i := range b.shards {
+			b.shards[i] = builderShard{}
+		}
+		return in
+	}
+
+	var offsets [numShards]int32
+	total := int32(0)
+	for i := range b.shards {
+		offsets[i] = total
+		total += int32(len(b.shards[i].verts))
+	}
+	dense := func(id VertexID) VertexID {
+		return VertexID(offsets[id&shardMask]) + id>>shardBits
+	}
+
+	in.Verts = make([]Vertex, total)
+	for i := range b.shards {
+		s := &b.shards[i]
+		for li := range s.verts {
+			v := s.verts[li]
+			for j := range v.Edges {
+				v.Edges[j].Child = dense(v.Edges[j].Child)
+			}
+			in.Verts[offsets[i]+int32(li)] = v
+		}
+		b.shards[i] = builderShard{}
+	}
+	in.Root = dense(root)
+	return pruneUnreachable(in)
+}
+
+// CompressParallel is Compress distributed over a worker pool: vertices
+// are grouped into height strata (leaves first, exactly the stratification
+// of Section 2.2's bottom-up minimisation), and every stratum is
+// hash-consed into a sharded ParallelBuilder by `workers` goroutines.
+// Within a stratum all children already have their final IDs, so the only
+// synchronisation is the builder's per-shard locks.
+//
+// The result is minimal and equivalent to in — isomorphic to Compress(in),
+// though vertex numbering may differ. workers <= 0 uses GOMAXPROCS.
+func CompressParallel(in *Instance, workers int) *Instance {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(in.Verts) == 0 {
+		return &Instance{Root: NilVertex, Schema: in.Schema.Clone()}
+	}
+
+	// Stratify by height: height(v) = 1 + max(height(children)).
+	n := len(in.Verts)
+	height := make([]int32, n)
+	maxH := int32(0)
+	order := in.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		h := int32(0)
+		for _, e := range in.Verts[v].Edges {
+			if ch := height[e.Child] + 1; ch > h {
+				h = ch
+			}
+		}
+		height[v] = h
+		if h > maxH {
+			maxH = h
+		}
+	}
+	strata := make([][]VertexID, maxH+1)
+	for i := 0; i < n; i++ {
+		strata[height[i]] = append(strata[height[i]], VertexID(i))
+	}
+
+	b := NewParallelBuilder(in.Schema.Clone())
+	remap := make([]VertexID, n)
+	for _, stratum := range strata {
+		chunk := (len(stratum) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(stratum); lo += chunk {
+			hi := lo + chunk
+			if hi > len(stratum) {
+				hi = len(stratum)
+			}
+			wg.Add(1)
+			go func(part []VertexID) {
+				defer wg.Done()
+				for _, v := range part {
+					src := &in.Verts[v]
+					// Re-normalise the RLE: merging may make
+					// consecutive runs equal.
+					edges := make([]Edge, 0, len(src.Edges))
+					for _, e := range src.Edges {
+						c := remap[e.Child]
+						if m := len(edges); m > 0 && edges[m-1].Child == c {
+							edges[m-1].Count += e.Count
+						} else {
+							edges = append(edges, Edge{Child: c, Count: e.Count})
+						}
+					}
+					remap[v] = b.addEdges(src.Labels, edges)
+				}
+			}(stratum[lo:hi])
+		}
+		wg.Wait()
+	}
+	b.SetRoot(remap[in.Root])
+	return b.Instance()
+}

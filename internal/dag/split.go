@@ -1,0 +1,61 @@
+package dag
+
+// SplitTopLevel partitions an instance into at most parts shards that can
+// be evaluated concurrently. It walks down the spine of single-run,
+// multiplicity-one edges from the root (XML instances start with a
+// document vertex whose only child is the root element) to the first
+// fan-out vertex, then gives each shard the whole spine plus a contiguous
+// slice of that vertex's child runs, in document order — so concatenating
+// the shards' top-level sequences reproduces the original sequence
+// exactly.
+//
+// Shards share no mutable state with in or with each other (each gets its
+// own schema clone and vertex storage), so they can be evaluated
+// concurrently — the coordination-free unit of parallelism for record-
+// oriented documents, where top-level subtrees are independent.
+//
+// Queries whose answers are confined to single top-level subtrees (pure
+// downward/descendant selections, per-record predicates) aggregate
+// exactly: summing per-shard selection counts reproduces the whole-
+// document counts, which TestRunParallelSplitShards asserts. Queries that
+// relate different top-level subtrees (following:: across shard
+// boundaries) or select spine vertices (which every shard repeats) do
+// not; callers own that judgement.
+//
+// An instance whose fan-out vertex has fewer child runs than parts yields
+// one shard per run; an empty instance yields nil.
+func SplitTopLevel(in *Instance, parts int) []*Instance {
+	if len(in.Verts) == 0 {
+		return nil
+	}
+
+	// Descend the single-child spine to the first fan-out vertex.
+	at := in.Root
+	seen := 0
+	for len(in.Verts[at].Edges) == 1 && in.Verts[at].Edges[0].Count == 1 && seen < len(in.Verts) {
+		at = in.Verts[at].Edges[0].Child
+		seen++
+	}
+	fanout := in.Verts[at].Edges
+	if parts > len(fanout) {
+		parts = len(fanout)
+	}
+	if parts <= 1 {
+		return []*Instance{in.Clone()}
+	}
+
+	shards := make([]*Instance, 0, parts)
+	chunk := (len(fanout) + parts - 1) / parts
+	for lo := 0; lo < len(fanout); lo += chunk {
+		hi := lo + chunk
+		if hi > len(fanout) {
+			hi = len(fanout)
+		}
+		shard := in.Clone()
+		edges := make([]Edge, hi-lo)
+		copy(edges, fanout[lo:hi])
+		shard.Verts[at].Edges = edges
+		shards = append(shards, pruneUnreachable(shard))
+	}
+	return shards
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/xpath"
+)
+
+// MergedResult aggregates the per-shard outcomes of a parallel run. The
+// slices are indexed like the input instance slice, so callers can match
+// shards back to their documents.
+type MergedResult struct {
+	// Shards holds one Result per input instance, in input order.
+	Shards []*Result
+
+	// Summed statistics across all shards, in the units of Result.
+	SelectedDAG  int
+	SelectedTree uint64
+
+	VertsBefore, EdgesBefore int
+	VertsAfter, EdgesAfter   int
+}
+
+// merge folds one shard result into the totals.
+func (m *MergedResult) merge(r *Result) {
+	m.SelectedDAG += r.SelectedDAG
+	m.SelectedTree = satAddU64(m.SelectedTree, r.SelectedTree)
+	m.VertsBefore += r.VertsBefore
+	m.EdgesBefore += r.EdgesBefore
+	m.VertsAfter += r.VertsAfter
+	m.EdgesAfter += r.EdgesAfter
+}
+
+// RunParallel evaluates one compiled program against every instance in
+// insts using a bounded pool of worker goroutines, and merges the
+// per-shard statistics. The instances may be independent documents or
+// top-level shards of one document (dag.SplitTopLevel); each must be
+// exclusively owned by the call — like Run, evaluation consumes them.
+//
+// Shards share nothing but the read-only program: every instance carries
+// its own schema, so workers never coordinate beyond the pool itself.
+// Results are deterministic — identical to running Run on each instance
+// sequentially — regardless of worker count or scheduling, which the
+// golden tests in internal/experiments assert corpus by corpus.
+//
+// workers <= 0 uses GOMAXPROCS. An error on any shard fails the whole
+// run (remaining shards still finish; the first error in input order is
+// returned).
+func RunParallel(insts []*dag.Instance, prog *xpath.Program, workers int) (*MergedResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	merged := &MergedResult{Shards: make([]*Result, len(insts))}
+	if len(insts) == 0 {
+		return merged, nil
+	}
+
+	errs := make([]error, len(insts))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				merged.Shards[i], errs[i] = Run(insts[i], prog)
+			}
+		}()
+	}
+	for i := range insts {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+	}
+	for _, r := range merged.Shards {
+		merged.merge(r)
+	}
+	return merged, nil
+}
+
+func satAddU64(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}

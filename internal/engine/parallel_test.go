@@ -1,0 +1,189 @@
+package engine_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/dagtest"
+	"repro/internal/engine"
+	"repro/internal/skeleton"
+	"repro/internal/xpath"
+)
+
+// parallelDocs is a small fleet of distinct documents.
+var parallelDocs = []string{
+	bibXML,
+	`<bib><book><title>x</title></book></bib>`,
+	`<bib><paper><author>Codd</author></paper><paper><author>Codd</author></paper></bib>`,
+	`<bib><book><author>Vardi</author><author>Codd</author></book></bib>`,
+}
+
+func buildInstances(t *testing.T, prog *xpath.Program, docs []string) []*dag.Instance {
+	t.Helper()
+	insts := make([]*dag.Instance, len(docs))
+	for i, d := range docs {
+		inst, _, err := skeleton.BuildCompressed([]byte(d), skeleton.Options{
+			Mode: skeleton.TagsListed, Tags: prog.Tags, Strings: prog.Strings,
+		})
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		insts[i] = inst
+	}
+	return insts
+}
+
+// TestRunParallelMatchesRun: for several queries and worker counts, every
+// shard of the parallel run must be byte-identical (Instance.String) to a
+// sequential Run on the same instance, and the merged stats must sum.
+func TestRunParallelMatchesRun(t *testing.T) {
+	for _, query := range []string{
+		`//author`,
+		`/bib/book/author`,
+		`//paper[author["Codd"]]`,
+		`//book[author["Vardi"] and author["Codd"]]`,
+	} {
+		prog, err := xpath.CompileQuery(query)
+		if err != nil {
+			t.Fatalf("compile %q: %v", query, err)
+		}
+		insts := buildInstances(t, prog, parallelDocs)
+		seq := make([]*engine.Result, len(insts))
+		for i, inst := range insts {
+			r, err := engine.Run(inst.Clone(), prog)
+			if err != nil {
+				t.Fatalf("%q sequential %d: %v", query, i, err)
+			}
+			seq[i] = r
+		}
+		for _, workers := range []int{1, 2, 7} {
+			clones := make([]*dag.Instance, len(insts))
+			for i, inst := range insts {
+				clones[i] = inst.Clone()
+			}
+			merged, err := engine.RunParallel(clones, prog, workers)
+			if err != nil {
+				t.Fatalf("%q workers=%d: %v", query, workers, err)
+			}
+			var wantDAG int
+			var wantTree uint64
+			for i, r := range merged.Shards {
+				if r.SelectedDAG != seq[i].SelectedDAG || r.SelectedTree != seq[i].SelectedTree ||
+					r.VertsBefore != seq[i].VertsBefore || r.EdgesBefore != seq[i].EdgesBefore ||
+					r.VertsAfter != seq[i].VertsAfter || r.EdgesAfter != seq[i].EdgesAfter {
+					t.Fatalf("%q workers=%d shard %d: %+v != sequential %+v", query, workers, i, r, seq[i])
+				}
+				if got, want := r.Instance.String(), seq[i].Instance.String(); got != want {
+					t.Fatalf("%q workers=%d shard %d: instances differ:\n%s\n----\n%s", query, workers, i, got, want)
+				}
+				wantDAG += r.SelectedDAG
+				wantTree += r.SelectedTree
+			}
+			if merged.SelectedDAG != wantDAG || merged.SelectedTree != wantTree {
+				t.Fatalf("%q workers=%d: merged %d/%d, want %d/%d",
+					query, workers, merged.SelectedDAG, merged.SelectedTree, wantDAG, wantTree)
+			}
+		}
+	}
+}
+
+// TestRunParallelSplitShards: descendant-confined queries aggregate
+// exactly over dag.SplitTopLevel shards of one document.
+func TestRunParallelSplitShards(t *testing.T) {
+	doc := `<bib>` + strings.Repeat(
+		`<book><title>t</title><author>Codd</author></book><paper><author>Vardi</author></paper>`, 9) + `</bib>`
+	for _, query := range []string{`//author`, `//book[author["Codd"]]`, `//paper/author`} {
+		prog, err := xpath.CompileQuery(query)
+		if err != nil {
+			t.Fatalf("compile %q: %v", query, err)
+		}
+		inst, _, err := skeleton.BuildCompressed([]byte(doc), skeleton.Options{
+			Mode: skeleton.TagsListed, Tags: prog.Tags, Strings: prog.Strings,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole, err := engine.Run(inst.Clone(), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := dag.SplitTopLevel(inst, 4)
+		if len(shards) < 2 {
+			t.Fatalf("%q: expected multiple shards, got %d", query, len(shards))
+		}
+		merged, err := engine.RunParallel(shards, prog, 4)
+		if err != nil {
+			t.Fatalf("%q: %v", query, err)
+		}
+		if merged.SelectedTree != whole.SelectedTree {
+			t.Fatalf("%q: sharded selection %d != whole-document %d",
+				query, merged.SelectedTree, whole.SelectedTree)
+		}
+	}
+}
+
+// TestRunParallelConcurrentCalls: many simultaneous RunParallel calls on
+// disjoint instances — the engine.Parallel data-race test, run with -race.
+func TestRunParallelConcurrentCalls(t *testing.T) {
+	prog, err := xpath.CompileQuery(`//author`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := buildInstances(t, prog, parallelDocs)
+	want, err := engine.RunParallel(cloneAll(insts), prog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			merged, err := engine.RunParallel(cloneAll(insts), prog, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if merged.SelectedTree != want.SelectedTree || merged.SelectedDAG != want.SelectedDAG {
+				t.Errorf("concurrent call diverged: %d/%d != %d/%d",
+					merged.SelectedDAG, merged.SelectedTree, want.SelectedDAG, want.SelectedTree)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func cloneAll(insts []*dag.Instance) []*dag.Instance {
+	out := make([]*dag.Instance, len(insts))
+	for i, in := range insts {
+		out[i] = in.Clone()
+	}
+	return out
+}
+
+// TestRunParallelError: a bad instruction on one shard fails the run and
+// reports the shard.
+func TestRunParallelError(t *testing.T) {
+	bad := &xpath.Program{Instrs: []xpath.Instr{{Op: xpath.OpKind(250), Dst: 0}}, NumTemp: 1}
+	insts := []*dag.Instance{dagtest.CompressedFromTerm("a(b)"), dagtest.CompressedFromTerm("a(b,b)")}
+	if _, err := engine.RunParallel(insts, bad, 2); err == nil {
+		t.Fatal("expected error from bad program, got nil")
+	}
+}
+
+// TestRunParallelEmpty: no instances is a valid no-op.
+func TestRunParallelEmpty(t *testing.T) {
+	prog, err := xpath.CompileQuery(`//a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := engine.RunParallel(nil, prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Shards) != 0 || merged.SelectedDAG != 0 {
+		t.Fatalf("empty run produced %+v", merged)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/dag"
+	"repro/internal/engine"
+	"repro/internal/skeleton"
+	"repro/internal/xpath"
+)
+
+// ParallelRow is one measurement of the parallel scaling experiment: one
+// query fanned out over a corpus of documents at a given worker count.
+type ParallelRow struct {
+	Corpus  string
+	Query   int
+	Docs    int
+	Workers int
+
+	// Wall is the wall-clock time of the fan-out (instances pre-built);
+	// Speedup is relative to the Workers=1 row of the same query.
+	Wall    time.Duration
+	Speedup float64
+
+	// Merged statistics, identical across worker counts (verified).
+	SelectedDAG  int
+	SelectedTree uint64
+}
+
+// ParallelSweep measures engine.RunParallel scaling: for every query of
+// the named corpus it generates `docs` documents (seeds seed..seed+docs-1),
+// distills one compressed instance per document over the query's schema,
+// and fans the compiled program out at each worker count, verifying that
+// the merged result is identical no matter the parallelism.
+//
+// Instance building is excluded from the timing — the sweep isolates the
+// evaluation scaling that the worker pool actually controls.
+func ParallelSweep(corpusName string, docs int, sizeScale float64, seed uint64, workerCounts []int) ([]ParallelRow, error) {
+	c, err := corpus.ByName(corpusName)
+	if err != nil {
+		return nil, err
+	}
+	if docs < 1 {
+		return nil, fmt.Errorf("parallel sweep: need at least 1 document, got %d", docs)
+	}
+	if len(workerCounts) == 0 {
+		return nil, fmt.Errorf("parallel sweep: no worker counts given")
+	}
+	generated := make([][]byte, docs)
+	for i := range generated {
+		generated[i] = c.Generate(scaled(c.DefaultScale, sizeScale), seed+uint64(i))
+	}
+
+	var rows []ParallelRow
+	for qi, q := range c.Queries {
+		prog, err := xpath.CompileQuery(q)
+		if err != nil {
+			return nil, fmt.Errorf("%s Q%d: %w", corpusName, qi+1, err)
+		}
+		insts := make([]*dag.Instance, docs)
+		for i, doc := range generated {
+			inst, _, err := skeleton.BuildCompressed(doc, skeleton.Options{
+				Mode: skeleton.TagsListed, Tags: prog.Tags, Strings: prog.Strings,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s Q%d doc %d: %w", corpusName, qi+1, i, err)
+			}
+			insts[i] = inst
+		}
+
+		var base *engine.MergedResult
+		var baseWall time.Duration
+		for _, w := range workerCounts {
+			clones := make([]*dag.Instance, docs)
+			for i, inst := range insts {
+				clones[i] = inst.Clone()
+			}
+			t0 := time.Now()
+			merged, err := engine.RunParallel(clones, prog, w)
+			if err != nil {
+				return nil, fmt.Errorf("%s Q%d workers=%d: %w", corpusName, qi+1, w, err)
+			}
+			wall := time.Since(t0)
+			if base == nil {
+				base, baseWall = merged, wall
+			} else if merged.SelectedDAG != base.SelectedDAG ||
+				merged.SelectedTree != base.SelectedTree ||
+				merged.VertsAfter != base.VertsAfter ||
+				merged.EdgesAfter != base.EdgesAfter {
+				return nil, fmt.Errorf("%s Q%d workers=%d: merged result diverges from workers=%d",
+					corpusName, qi+1, w, workerCounts[0])
+			}
+			rows = append(rows, ParallelRow{
+				Corpus: corpusName, Query: qi + 1, Docs: docs, Workers: w,
+				Wall:         wall,
+				Speedup:      float64(baseWall) / float64(wall),
+				SelectedDAG:  merged.SelectedDAG,
+				SelectedTree: merged.SelectedTree,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintParallel renders sweep rows as a table.
+func PrintParallel(w io.Writer, rows []ParallelRow) {
+	fmt.Fprintf(w, "%-12s %3s %5s %8s %12s %8s %10s %11s\n",
+		"corpus", "Q", "docs", "workers", "wall", "speedup", "sel(dag)", "sel(tree)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %3d %5d %8d %12v %7.2fx %10d %11d\n",
+			r.Corpus, r.Query, r.Docs, r.Workers,
+			r.Wall.Round(time.Microsecond), r.Speedup, r.SelectedDAG, r.SelectedTree)
+	}
+}

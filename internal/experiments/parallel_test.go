@@ -1,0 +1,145 @@
+package experiments_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dag"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/skeleton"
+	"repro/internal/xpath"
+)
+
+// goldenScale keeps the golden sweep fast while exercising every
+// generator's planted query structures.
+const goldenScale = 0.05
+
+// shardCase is one (corpus, query) instance with its sequential result.
+type shardCase struct {
+	corpus string
+	qnum   int
+	inst   *dag.Instance
+	prog   *xpath.Program
+	seq    *engine.Result
+}
+
+func buildGoldenCases(t *testing.T) []*shardCase {
+	t.Helper()
+	var cases []*shardCase
+	for _, c := range corpus.Catalog() {
+		scale := int(float64(c.DefaultScale) * goldenScale)
+		if scale < 1 {
+			scale = 1
+		}
+		doc := c.Generate(scale, 1)
+		for qi, q := range c.Queries {
+			prog, err := xpath.CompileQuery(q)
+			if err != nil {
+				t.Fatalf("%s Q%d: %v", c.Name, qi+1, err)
+			}
+			inst, _, err := skeleton.BuildCompressed(doc, skeleton.Options{
+				Mode: skeleton.TagsListed, Tags: prog.Tags, Strings: prog.Strings,
+			})
+			if err != nil {
+				t.Fatalf("%s Q%d: %v", c.Name, qi+1, err)
+			}
+			seq, err := engine.Run(inst.Clone(), prog)
+			if err != nil {
+				t.Fatalf("%s Q%d: %v", c.Name, qi+1, err)
+			}
+			cases = append(cases, &shardCase{corpus: c.Name, qnum: qi + 1, inst: inst, prog: prog, seq: seq})
+		}
+	}
+	return cases
+}
+
+// TestParallelGoldenAllCorpora is the golden equivalence suite: for EVERY
+// corpus generator and EVERY experiment query, engine.RunParallel (at
+// several worker counts) must produce output byte-identical to the
+// sequential engine — same selection sizes, same vertex/edge counts, and
+// the same partially decompressed instance, vertex for vertex.
+func TestParallelGoldenAllCorpora(t *testing.T) {
+	for _, sc := range buildGoldenCases(t) {
+		sc := sc
+		t.Run(fmt.Sprintf("%s/Q%d", sc.corpus, sc.qnum), func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				merged, err := engine.RunParallel([]*dag.Instance{sc.inst.Clone()}, sc.prog, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				r := merged.Shards[0]
+				if r.SelectedDAG != sc.seq.SelectedDAG || r.SelectedTree != sc.seq.SelectedTree {
+					t.Fatalf("workers=%d: selected %d/%d, sequential %d/%d",
+						workers, r.SelectedDAG, r.SelectedTree, sc.seq.SelectedDAG, sc.seq.SelectedTree)
+				}
+				if r.VertsBefore != sc.seq.VertsBefore || r.EdgesBefore != sc.seq.EdgesBefore ||
+					r.VertsAfter != sc.seq.VertsAfter || r.EdgesAfter != sc.seq.EdgesAfter {
+					t.Fatalf("workers=%d: sizes %d/%d->%d/%d, sequential %d/%d->%d/%d",
+						workers, r.VertsBefore, r.EdgesBefore, r.VertsAfter, r.EdgesAfter,
+						sc.seq.VertsBefore, sc.seq.EdgesBefore, sc.seq.VertsAfter, sc.seq.EdgesAfter)
+				}
+				if got, want := r.Instance.String(), sc.seq.Instance.String(); got != want {
+					t.Fatalf("workers=%d: result instance differs from sequential engine", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelGoldenBatched runs the whole catalog's (corpus, query)
+// instances through ONE RunParallel batch — shards from different corpora
+// with different schemas evaluating side by side — and checks every shard
+// against its sequential result.
+func TestParallelGoldenBatched(t *testing.T) {
+	cases := buildGoldenCases(t)
+	// All cases share a program only per-shard; RunParallel takes one
+	// program, so batch per query number across corpora is not possible
+	// in a single call. Instead batch all shards of each corpus's query
+	// set that share a program: group by (corpus, query) is singleton,
+	// so exercise the multi-shard path with replicated instances.
+	for _, sc := range cases {
+		const replicas = 5
+		insts := make([]*dag.Instance, replicas)
+		for i := range insts {
+			insts[i] = sc.inst.Clone()
+		}
+		merged, err := engine.RunParallel(insts, sc.prog, 3)
+		if err != nil {
+			t.Fatalf("%s Q%d: %v", sc.corpus, sc.qnum, err)
+		}
+		if merged.SelectedDAG != replicas*sc.seq.SelectedDAG ||
+			merged.SelectedTree != uint64(replicas)*sc.seq.SelectedTree {
+			t.Fatalf("%s Q%d: merged %d/%d, want %dx sequential %d/%d",
+				sc.corpus, sc.qnum, merged.SelectedDAG, merged.SelectedTree,
+				replicas, sc.seq.SelectedDAG, sc.seq.SelectedTree)
+		}
+		for i, r := range merged.Shards {
+			if r.Instance.String() != sc.seq.Instance.String() {
+				t.Fatalf("%s Q%d shard %d: instance differs from sequential", sc.corpus, sc.qnum, i)
+			}
+		}
+	}
+}
+
+// TestParallelSweepConsistency: the sweep itself verifies merged-result
+// equality across worker counts; this exercises it end to end on a small
+// corpus and sanity-checks the row shape.
+func TestParallelSweepConsistency(t *testing.T) {
+	rows, err := experiments.ParallelSweep("DBLP", 3, 0.02, 1, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5*3 {
+		t.Fatalf("got %d rows, want %d", len(rows), 5*3)
+	}
+	for _, r := range rows {
+		if r.Docs != 3 || r.Wall <= 0 || r.Speedup <= 0 {
+			t.Fatalf("malformed row %+v", r)
+		}
+		if r.Workers == 1 && r.Speedup != 1.0 {
+			t.Fatalf("workers=1 row must have speedup 1.0: %+v", r)
+		}
+	}
+}

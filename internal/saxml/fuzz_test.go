@@ -3,6 +3,7 @@ package saxml_test
 import (
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/saxml"
 )
 
@@ -31,6 +32,12 @@ func FuzzParse(f *testing.F) {
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
+	// Realistic documents from the corpus generators: escaped narrative
+	// text, deep recursion, and record-oriented regularity.
+	f.Add(corpus.DBLP(6, 1))
+	f.Add(corpus.TreeBank(4, 1))
+	f.Add(corpus.XMark(2, 1))
+	f.Add(corpus.Shakespeare(1, 1))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h := &fuzzHandler{}
 		err := saxml.Parse(data, h)
