@@ -15,6 +15,8 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/baseline"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/shred"
 	"repro/internal/skeleton"
+	"repro/internal/store"
 	"repro/internal/xpath"
 )
 
@@ -652,6 +655,65 @@ func BenchmarkParallelCompress(b *testing.B) {
 				b.StartTimer()
 				if got := dag.CompressParallel(in, workers).NumVertices(); got != want {
 					b.Fatalf("compressed to %d vertices, want %d", got, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreQuery measures the archive-store serving path on the
+// largest generated corpus (SwissProt): every corpus query fanned over a
+// packed store with warm caches versus parse-per-query evaluation of the
+// same XML at the same parallelism. The acceptance target is warm serving
+// >= 5x faster than re-parsing for every query — tag-only queries clone
+// the cached instance, and string-condition queries hit the prepared
+// merged-instance memo, so neither touches XML (or even the containers).
+func BenchmarkStoreQuery(b *testing.B) {
+	c, err := corpus.ByName("SwissProt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const docs = 4
+	dir := b.TempDir()
+	pool := core.NewPool(0)
+	var totalBytes int64
+	for i := 0; i < docs; i++ {
+		doc := c.Generate(scaled(c.DefaultScale), benchSeed+uint64(i))
+		totalBytes += int64(len(doc))
+		pool.Add(fmt.Sprintf("doc%d", i), doc)
+		a, err := container.Split(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := codec.EncodeArchive(&buf, a); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("doc%d%s", i, store.Ext)), buf.Bytes(), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for qi, q := range c.Queries {
+		if _, err := s.QueryAll(q); err != nil { // warm caches
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Q%d/reparse", qi+1), func(b *testing.B) {
+			b.SetBytes(totalBytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.QueryAll(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Q%d/store", qi+1), func(b *testing.B) {
+			b.SetBytes(totalBytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.QueryAll(q); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -1,80 +1,176 @@
-// xcarchive packs an XML document into the compressed archive format
-// (compressed skeleton + XMILL-style value containers) and unpacks it
+// xcarchive packs XML documents into the compressed archive format
+// (compressed skeleton + XMILL-style value containers) and unpacks them
 // back.
 //
-//	xcarchive pack   doc.xml  doc.xca
-//	xcarchive unpack doc.xca  doc.xml
-//	xcarchive stat   doc.xca
+//	xcarchive pack     doc.xml  doc.xca
+//	xcarchive pack-dir corpusdir/ archivedir/   # every *.xml -> name.xca
+//	xcarchive unpack   doc.xca  doc.xml
+//	xcarchive stat     doc.xca                  # sizes incl. per-container bytes
+//
+// pack-dir builds the on-disk layout xcserve serves from. unpack decodes
+// the whole archive in memory and refuses files larger than -maxmem
+// (default 1 GiB) rather than silently exhausting memory; all decode
+// errors name the offending file.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/codec"
 	"repro/internal/container"
 )
 
+var maxMem = flag.Int64("maxmem", 1<<30, "refuse to unpack archive files larger than this many bytes (0 = no limit)")
+
 func main() {
-	if len(os.Args) < 3 {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
 		usage()
+		os.Exit(2)
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "pack":
-		if len(os.Args) != 4 {
+		if len(args) != 3 {
 			usage()
+			os.Exit(2)
 		}
-		data, err := os.ReadFile(os.Args[2])
-		fatal(err)
-		a, err := container.Split(data)
-		fatal(err)
-		out, err := os.Create(os.Args[3])
-		fatal(err)
-		fatal(codec.EncodeArchive(out, a))
-		fatal(out.Close())
-		st, err := os.Stat(os.Args[3])
-		fatal(err)
-		fmt.Printf("packed %d bytes -> %d bytes (%.1f%%); skeleton %d vertices / %d edges, %d containers\n",
-			len(data), st.Size(), 100*float64(st.Size())/float64(len(data)),
-			a.Skeleton.NumVertices(), a.Skeleton.NumEdges(), a.Store.NumContainers())
+		pack(args[1], args[2])
+	case "pack-dir":
+		if len(args) != 3 {
+			usage()
+			os.Exit(2)
+		}
+		packDir(args[1], args[2])
 	case "unpack":
-		if len(os.Args) != 4 {
+		if len(args) != 3 {
 			usage()
+			os.Exit(2)
 		}
-		in, err := os.Open(os.Args[2])
-		fatal(err)
-		a, err := codec.DecodeArchive(in)
-		fatal(err)
-		fatal(in.Close())
-		out, err := os.Create(os.Args[3])
-		fatal(err)
-		fatal(a.Reconstruct(out))
-		fatal(out.Close())
+		unpack(args[1], args[2])
 	case "stat":
-		in, err := os.Open(os.Args[2])
-		fatal(err)
-		a, err := codec.DecodeArchive(in)
-		fatal(err)
-		fatal(in.Close())
-		fmt.Printf("skeleton:   %d vertices, %d edges (tree size %d)\n",
-			a.Skeleton.NumVertices(), a.Skeleton.NumEdges(), a.Skeleton.TreeSize())
-		fmt.Printf("containers: %d, %d value bytes\n", a.Store.NumContainers(), a.Store.TotalBytes())
-		for _, k := range a.Store.Keys() {
-			fmt.Printf("  %-40s %6d chunks\n", k, len(a.Store.Chunks(k)))
-		}
+		stat(args[1])
 	default:
 		usage()
+		os.Exit(2)
+	}
+}
+
+// packOne reads src, splits it into an archive, writes dst and returns
+// the archive with the in/out byte counts.
+func packOne(src, dst string) (a *container.Archive, inBytes, outBytes int64) {
+	data, err := os.ReadFile(src)
+	fatal(err)
+	a, err = container.Split(data)
+	fatalf(src, err)
+	out, err := os.Create(dst)
+	fatal(err)
+	fatalf(dst, codec.EncodeArchive(out, a))
+	fatal(out.Close())
+	st, err := os.Stat(dst)
+	fatal(err)
+	return a, int64(len(data)), st.Size()
+}
+
+func pack(src, dst string) {
+	a, in, out := packOne(src, dst)
+	fmt.Printf("%s: %d bytes -> %d bytes (%.1f%%); skeleton %d vertices / %d edges, %d containers\n",
+		src, in, out, 100*float64(out)/float64(in),
+		a.Skeleton.NumVertices(), a.Skeleton.NumEdges(), a.Store.NumContainers())
+}
+
+// packDir packs every *.xml directly under srcDir into dstDir/name.xca —
+// the corpus-to-store build step for xcserve.
+func packDir(srcDir, dstDir string) {
+	des, err := os.ReadDir(srcDir)
+	fatal(err)
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".xml") {
+			names = append(names, de.Name())
+		}
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no *.xml files in %s", srcDir))
+	}
+	sort.Strings(names)
+	fatal(os.MkdirAll(dstDir, 0o755))
+	var inBytes, outBytes int64
+	for _, name := range names {
+		src := filepath.Join(srcDir, name)
+		dst := filepath.Join(dstDir, strings.TrimSuffix(name, ".xml")+".xca")
+		_, in, out := packOne(src, dst)
+		inBytes += in
+		outBytes += out
+		fmt.Printf("%-40s %10d -> %10d bytes (%5.1f%%)\n",
+			name, in, out, 100*float64(out)/float64(in))
+	}
+	fmt.Printf("packed %d documents: %d -> %d bytes (%.1f%%) into %s\n",
+		len(names), inBytes, outBytes, 100*float64(outBytes)/float64(inBytes), dstDir)
+}
+
+func unpack(src, dst string) {
+	fi, err := os.Stat(src)
+	fatal(err)
+	if *maxMem > 0 && fi.Size() > *maxMem {
+		fatal(fmt.Errorf("%s: archive is %d bytes, over the -maxmem guard of %d (unpacking decodes the whole archive in memory; raise -maxmem to proceed)",
+			src, fi.Size(), *maxMem))
+	}
+	in, err := os.Open(src)
+	fatal(err)
+	a, err := codec.DecodeArchive(in)
+	fatalf(src, err)
+	fatal(in.Close())
+	out, err := os.Create(dst)
+	fatal(err)
+	fatalf(dst, a.Reconstruct(out))
+	fatal(out.Close())
+}
+
+func stat(src string) {
+	in, err := os.Open(src)
+	fatal(err)
+	st, err := codec.StatArchive(in)
+	fatalf(src, err)
+	fatal(in.Close())
+	fmt.Printf("skeleton:   %d vertices, %d edges (tree size %d), %d schema names\n",
+		st.SkeletonVertices, st.SkeletonEdges, st.TreeSize, st.SchemaLen)
+	fmt.Printf("containers: %d, %d value bytes\n", len(st.Containers), st.ValueBytes)
+	for _, c := range st.Containers {
+		fmt.Printf("  %-44s %8d chunks %10d bytes\n", c.Key, c.Chunks, c.Bytes)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xcarchive pack doc.xml doc.xca | unpack doc.xca doc.xml | stat doc.xca")
-	os.Exit(2)
+	fmt.Fprintln(os.Stderr, `usage: xcarchive [flags] command args...
+
+  pack     doc.xml doc.xca      pack one document
+  pack-dir srcdir/ dstdir/      pack every *.xml into dstdir (the xcserve store layout)
+  unpack   doc.xca doc.xml      reconstruct the XML (guarded by -maxmem)
+  stat     doc.xca              sizes, incl. per-container chunk/byte counts
+
+flags:`)
+	flag.PrintDefaults()
 }
 
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xcarchive: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// fatalf is fatal with the file the error concerns, so a corrupt archive
+// in a batch names itself.
+func fatalf(path string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xcarchive: %s: %v\n", path, err)
 		os.Exit(1)
 	}
 }

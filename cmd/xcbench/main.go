@@ -7,13 +7,17 @@
 //	xcbench -vs              # Section 6: compressed vs uncompressed engine
 //	xcbench -relational      # Introduction: O(C*R) -> O(C+log R) sweep
 //	xcbench -parallel        # parallel fan-out scaling sweep
+//	xcbench -storebench      # archive-store serving vs parse-per-query
 //	xcbench -all             # everything
 //
 // -scale multiplies every corpus's default size; -check verifies the
 // paper's qualitative invariants on the Figure 7 rows and exits non-zero
 // on violation. -parallel fans every query of -corpus out over -docs
 // generated documents at worker counts 1..-workers, reporting wall-clock
-// scaling (engine.RunParallel).
+// scaling (engine.RunParallel). -storebench packs the same corpus into a
+// temporary archive directory and compares warm cached-store serving
+// (internal/store) against parse-per-query evaluation, sweeping worker
+// counts and cache budgets (full corpus and one quarter of it).
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 		vs         = flag.Bool("vs", false, "compare compressed engine vs uncompressed baseline (Section 6)")
 		relational = flag.Bool("relational", false, "run the relational-table compression sweep (Introduction)")
 		parallel   = flag.Bool("parallel", false, "run the parallel fan-out scaling sweep")
+		storebench = flag.Bool("storebench", false, "run the archive-store serving sweep")
 		all        = flag.Bool("all", false, "run every experiment")
 		scale      = flag.Float64("scale", 1.0, "corpus size multiplier")
 		seed       = flag.Uint64("seed", 1, "corpus generation seed")
@@ -43,9 +48,9 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*fig6, *fig7, *growth, *vs, *relational, *parallel = true, true, true, true, true, true
+		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench = true, true, true, true, true, true, true
 	}
-	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel {
+	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -110,6 +115,18 @@ func main() {
 		rows, err := experiments.ParallelSweep(*corpusName, *docs, *scale, *seed, counts)
 		fatal(err)
 		experiments.PrintParallel(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	if *storebench {
+		fmt.Printf("=== Archive store: %s x %d documents, warm serving vs parse-per-query ===\n", *corpusName, *docs)
+		var counts []int
+		for w := 1; w <= *workers; w *= 2 {
+			counts = append(counts, w)
+		}
+		rows, err := experiments.StoreSweep(*corpusName, *docs, *scale, *seed, counts, []float64{1.0, 0.25})
+		fatal(err)
+		experiments.PrintStore(os.Stdout, rows)
 		fmt.Println()
 	}
 

@@ -1,0 +1,83 @@
+// xcserve serves Core XPath queries over a directory of .xca archives —
+// the long-running face of the system: documents live in compressed
+// storage, are decoded lazily into an LRU cache under a byte budget, and
+// queries are answered from the cached compressed instances without ever
+// re-parsing (or even holding) XML.
+//
+//	xcarchive pack-dir corpus/ archives/
+//	xcserve -store archives/ -addr :8344
+//
+// Endpoints (all GET, all JSON):
+//
+//	/query?doc=NAME&q=XPATH[&max=N]  one document
+//	/query?q=XPATH[&max=N]           fan out over the whole catalog
+//	/docs                            the catalog with per-document sizes
+//	/stats                           cache hit/miss/eviction counters
+//
+// Because cached documents are immutable, the read path needs no locking:
+// every request handler goroutine queries its own copy-on-evaluate
+// instance, and fan-outs spread over a bounded worker pool
+// (engine.RunParallel) sized by -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		dir        = flag.String("store", "", "directory of .xca archives to serve (required)")
+		addr       = flag.String("addr", ":8344", "listen address")
+		workers    = flag.Int("workers", 0, "fan-out worker bound (0 = GOMAXPROCS)")
+		cacheBytes = flag.Int64("cache-bytes", store.DefaultCacheBytes, "decoded-document cache budget in bytes")
+		progCache  = flag.Int("query-cache", store.DefaultProgramCache, "compiled-query cache entries")
+		maxPaths   = flag.Int("max-paths", 100, "cap on result addresses per response")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s, err := store.Open(*dir, store.Options{
+		CacheBytes:   *cacheBytes,
+		Workers:      *workers,
+		ProgramCache: *progCache,
+	})
+	if err != nil {
+		log.Fatalf("xcserve: %v", err)
+	}
+	if s.Len() == 0 {
+		log.Printf("xcserve: warning: no %s archives in %s (pack some with: xcarchive pack-dir)", store.Ext, *dir)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           store.NewHandler(s, store.ServerOptions{MaxPaths: *maxPaths}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("xcserve: serving %d document(s) from %s on %s (workers=%d, cache=%s)",
+		s.Len(), *dir, *addr, s.Workers(), humanBytes(*cacheBytes))
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("xcserve: %v", err)
+	}
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,79 +1,98 @@
-// Store: the storage side of the architecture — split a document into a
-// compressed skeleton plus XMILL-style value containers, persist it in the
-// binary archive format, load it back, reconstruct the XML, and run
-// repeated queries against a prepared (cached) document using the common-
-// extension merge instead of re-parsing.
+// Store: the storage side of the architecture — split documents into
+// compressed skeletons plus XMILL-style value containers, persist them as
+// a directory of archives, and serve repeated queries from the archive
+// store: lazy decode into an LRU cache, string conditions distilled by
+// replaying archive events, no XML anywhere on the serve path. This is
+// the library face of what cmd/xcserve exposes over HTTP.
 //
 //	go run ./examples/store
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"repro/internal/codec"
 	"repro/internal/container"
-	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/store"
 )
 
 func main() {
-	c, err := corpus.ByName("Baseball")
-	if err != nil {
+	// All work happens in run so that errors exit through a normal
+	// return path and the deferred temp-dir cleanup actually runs.
+	if err := run(); err != nil {
 		log.Fatal(err)
 	}
-	data := c.Generate(4, 9)
-	fmt.Printf("document: %d bytes\n", len(data))
+}
 
-	// 1. Split into skeleton + containers.
-	a, err := container.Split(data)
+func run() error {
+	dir, err := os.MkdirTemp("", "xca-example")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("skeleton: %d vertices, %d edges (tree size %d); %d containers, %d value bytes\n",
-		a.Skeleton.NumVertices(), a.Skeleton.NumEdges(), a.Skeleton.TreeSize(),
-		a.Store.NumContainers(), a.Store.TotalBytes())
+	defer os.RemoveAll(dir)
 
-	// 2. Persist to the binary archive format and load it back.
-	var packed bytes.Buffer
-	if err := codec.EncodeArchive(&packed, a); err != nil {
-		log.Fatal(err)
+	// 1. Pack a small corpus of documents into name.xca archives
+	// (cmd/xcarchive's pack-dir mode does this from *.xml files).
+	for _, seed := range []uint64{9, 10, 11} {
+		c, err := corpus.ByName("Baseball")
+		if err != nil {
+			return err
+		}
+		data := c.Generate(4, seed)
+		a, err := container.Split(data)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("season-%d%s", seed, store.Ext)))
+		if err != nil {
+			return err
+		}
+		if err := codec.EncodeArchive(f, a); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("packed season-%d: %d bytes of XML -> archive (skeleton %d vertices, %d containers)\n",
+			seed, len(data), a.Skeleton.NumVertices(), a.Store.NumContainers())
 	}
-	fmt.Printf("archive:  %d bytes on disk (%.1f%% of the XML)\n",
-		packed.Len(), 100*float64(packed.Len())/float64(len(data)))
-	loaded, err := codec.DecodeArchive(bytes.NewReader(packed.Bytes()))
+
+	// 2. Open the directory as a store: archives are catalogued now and
+	// decoded lazily, on first query, into a byte-budgeted LRU cache.
+	s, err := store.Open(dir, store.Options{CacheBytes: 64 << 20})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	fmt.Printf("\nstore: %d document(s): %v\n\n", s.Len(), s.Names())
 
-	// 3. Reconstruct the document from the archive.
-	var rebuilt bytes.Buffer
-	if err := loaded.Reconstruct(&rebuilt); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("reconstructed: %d bytes of XML\n\n", rebuilt.Len())
-
-	// 4. Query the reconstructed document through a prepared handle:
-	// the tag skeleton is compressed once; string conditions are
-	// distilled per query and merged in via the common-extension
-	// algorithm (Section 2.3 of the paper).
-	doc := core.Load(rebuilt.Bytes())
-	prep, err := doc.Prepare()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("prepared instance: %d vertices, %d edges\n", prep.BaseVertices(), prep.BaseEdges())
+	// 3. Serve queries. Tag-only queries clone the cached instance;
+	// string conditions are distilled from the value containers (and then
+	// memoised), so the XML is never re-parsed — it never even exists.
 	for _, q := range []string{
-		`/SEASON/LEAGUE/DIVISION/TEAM/PLAYER`,          // tag-only: no parse at all
-		`//PLAYER[THROWS["Right"]]`,                    // string condition: distil + merge
+		`/SEASON/LEAGUE/DIVISION/TEAM/PLAYER`,          // tag-only: clone + evaluate
+		`//PLAYER[THROWS["Right"]]`,                    // string condition: distil from containers + merge
 		`//TEAM[TEAM_CITY["Atlanta"]]/PLAYER/POSITION`, // both
 	} {
-		res, err := prep.Query(q)
+		results, err := s.QueryAll(q)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-46s -> %5d node(s)  (prep %v, eval %v)\n",
-			q, res.SelectedTree, res.ParseTime.Round(1000), res.EvalTime.Round(1000))
+		var total uint64
+		for _, r := range results {
+			if r.Err != nil {
+				return r.Err
+			}
+			total += r.Result.SelectedTree
+		}
+		fmt.Printf("%-46s -> %5d node(s) across %d docs\n", q, total, len(results))
 	}
+
+	st := s.Stats()
+	fmt.Printf("\ncache: %d/%d docs decoded (%d decode(s), %d hit(s)); %d queries served\n",
+		st.Loaded, st.Docs, st.DocMisses, st.DocHits, st.Queries)
+	return nil
 }

@@ -273,6 +273,20 @@ func EncodeArchive(w io.Writer, a *container.Archive) error {
 
 // DecodeArchive reads a container archive.
 func DecodeArchive(r io.Reader) (*container.Archive, error) {
+	store := container.NewStore()
+	skel, err := decodeArchive(r, func(key, chunk string) {
+		store.Append(key, chunk)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &container.Archive{Skeleton: skel, Store: store}, nil
+}
+
+// decodeArchive decodes the archive framing, handing every container chunk
+// to sink in encoding order. It is shared by DecodeArchive (which retains
+// the chunks) and StatArchive (which only tallies them).
+func decodeArchive(r io.Reader, sink func(key, chunk string)) (*dag.Instance, error) {
 	br := &reader{r: bufio.NewReader(r)}
 	if err := br.expect(archiveMagic); err != nil {
 		return nil, err
@@ -288,7 +302,6 @@ func DecodeArchive(r io.Reader) (*container.Archive, error) {
 	if err != nil {
 		return nil, err
 	}
-	store := container.NewStore()
 	nCont, err := br.length()
 	if err != nil {
 		return nil, err
@@ -307,8 +320,54 @@ func DecodeArchive(r io.Reader) (*container.Archive, error) {
 			if err != nil {
 				return nil, err
 			}
-			store.Append(key, chunk)
+			sink(key, chunk)
 		}
 	}
-	return &container.Archive{Skeleton: skel, Store: store}, nil
+	return skel, nil
+}
+
+// ContainerStat describes one value container of an archive.
+type ContainerStat struct {
+	Key    string // container name (root-to-node tag path)
+	Chunks int    // number of stored values
+	Bytes  int64  // summed value length
+}
+
+// ArchiveStat summarises an encoded archive without materialising it.
+type ArchiveStat struct {
+	SkeletonVertices int
+	SkeletonEdges    int
+	TreeSize         uint64 // expanded tree size represented by the skeleton
+	SchemaLen        int
+	Containers       []ContainerStat // in encoding (first-use) order
+	ValueBytes       int64           // total across containers
+}
+
+// StatArchive reads an encoded archive from r and reports its sizes —
+// skeleton dimensions and per-container chunk and byte counts — decoding
+// the value containers in a streaming pass that never retains them. This
+// is the cheap "open and stat" operation the archive store uses to
+// catalogue a directory without paying for full decodes.
+func StatArchive(r io.Reader) (*ArchiveStat, error) {
+	st := &ArchiveStat{}
+	index := make(map[string]int)
+	skel, err := decodeArchive(r, func(key, chunk string) {
+		i, ok := index[key]
+		if !ok {
+			i = len(st.Containers)
+			index[key] = i
+			st.Containers = append(st.Containers, ContainerStat{Key: key})
+		}
+		st.Containers[i].Chunks++
+		st.Containers[i].Bytes += int64(len(chunk))
+		st.ValueBytes += int64(len(chunk))
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.SkeletonVertices = skel.NumVertices()
+	st.SkeletonEdges = skel.NumEdges()
+	st.TreeSize = skel.TreeSize()
+	st.SchemaLen = skel.Schema.Len()
+	return st, nil
 }

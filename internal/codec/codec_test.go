@@ -180,3 +180,52 @@ func TestEncodedSizeIsCompact(t *testing.T) {
 		t.Fatalf("encoded skeleton = %d bytes for a %d byte document; want tiny", buf.Len(), sb.Len())
 	}
 }
+
+func TestStatArchiveMatchesFullDecode(t *testing.T) {
+	doc := []byte(`<bib><book year="1995"><title>T1</title><author>A</author></book><book year="2001"><title>T2</title><author>B</author></book></bib>`)
+	a, err := container.Split(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := codec.EncodeArchive(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	st, err := codec.StatArchive(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SkeletonVertices != a.Skeleton.NumVertices() || st.SkeletonEdges != a.Skeleton.NumEdges() {
+		t.Fatalf("skeleton sizes = %d/%d, want %d/%d",
+			st.SkeletonVertices, st.SkeletonEdges, a.Skeleton.NumVertices(), a.Skeleton.NumEdges())
+	}
+	if st.TreeSize != a.Skeleton.TreeSize() {
+		t.Fatalf("tree size = %d, want %d", st.TreeSize, a.Skeleton.TreeSize())
+	}
+	keys := a.Store.Keys()
+	if len(st.Containers) != len(keys) {
+		t.Fatalf("containers = %d, want %d", len(st.Containers), len(keys))
+	}
+	var wantBytes int64
+	for i, k := range keys {
+		cs := st.Containers[i]
+		chunks := a.Store.Chunks(k)
+		var b int64
+		for _, c := range chunks {
+			b += int64(len(c))
+		}
+		wantBytes += b
+		if cs.Key != k || cs.Chunks != len(chunks) || cs.Bytes != b {
+			t.Fatalf("container %d = %+v, want {%s %d %d}", i, cs, k, len(chunks), b)
+		}
+	}
+	if st.ValueBytes != wantBytes {
+		t.Fatalf("value bytes = %d, want %d", st.ValueBytes, wantBytes)
+	}
+}
+
+func TestStatArchiveRejectsCorruption(t *testing.T) {
+	if _, err := codec.StatArchive(bytes.NewReader([]byte("NOPE"))); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -83,6 +83,16 @@ func (s *Store) Chunks(key string) []string {
 	return nil
 }
 
+// NumChunks returns the total number of stored chunks across all
+// containers (every text occurrence and attribute value in the document).
+func (s *Store) NumChunks() int {
+	n := 0
+	for _, c := range s.data {
+		n += len(c)
+	}
+	return n
+}
+
 // TotalBytes returns the summed length of all stored chunks.
 func (s *Store) TotalBytes() int {
 	n := 0
@@ -218,17 +228,12 @@ func classify(in *dag.Instance) ([]vertexInfo, error) {
 // Reconstruct writes the document the archive represents. The output is
 // canonically encoded (escaped text, double-quoted attributes, explicit
 // end tags); it parses to the same element structure, attributes and
-// character data as the original input.
+// character data as the original input. It is the archive's event replay
+// (Events) rendered back to XML.
 func (a *Archive) Reconstruct(w io.Writer) error {
-	infos, err := classify(a.Skeleton)
-	if err != nil {
-		return err
-	}
 	bw := bufio.NewWriter(w)
-	if a.Skeleton.Root != dag.NilVertex {
-		if err := a.emit(bw, infos, a.Skeleton.Root, make(map[string]int, a.Store.NumContainers())); err != nil {
-			return err
-		}
+	if err := a.Events(&xmlWriter{bw: bw}); err != nil {
+		return err
 	}
 	return bw.Flush()
 }

@@ -1,0 +1,124 @@
+package container_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/container"
+	"repro/internal/corpus"
+	"repro/internal/dag"
+	"repro/internal/dagtest"
+	"repro/internal/saxml"
+	"repro/internal/skeleton"
+)
+
+// eventLog records a SAX stream for comparison.
+type eventLog struct {
+	events []string
+}
+
+func (l *eventLog) StartElement(name string, attrs []saxml.Attr) error {
+	e := "<" + name
+	for _, a := range attrs {
+		e += " " + a.Name + "=" + a.Value
+	}
+	l.events = append(l.events, e+">")
+	return nil
+}
+func (l *eventLog) EndElement(name string) error {
+	l.events = append(l.events, "</"+name+">")
+	return nil
+}
+func (l *eventLog) Text(data []byte) error {
+	l.events = append(l.events, "T:"+string(data))
+	return nil
+}
+
+// TestEventsMatchParse: replaying an archive must produce the event stream
+// of parsing the original document (modulo whitespace outside the root,
+// which Split drops, and text chunking, which both sides preserve).
+func TestEventsMatchParse(t *testing.T) {
+	doc := []byte(`<bib><book year="1995" ed="2"><title>T&amp;1</title><author>A</author></book>` +
+		`<book year="1995" ed="2"><title>T&amp;1</title><author>A</author></book>mixed<![CDATA[<raw>]]></bib>`)
+	var parsed eventLog
+	if err := saxml.Parse(doc, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	a, err := container.Split(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed eventLog
+	if err := a.Events(&replayed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.events) != len(replayed.events) {
+		t.Fatalf("parsed %d events, replayed %d:\n%v\nvs\n%v",
+			len(parsed.events), len(replayed.events), parsed.events, replayed.events)
+	}
+	for i := range parsed.events {
+		if parsed.events[i] != replayed.events[i] {
+			t.Fatalf("event %d: parsed %q, replayed %q", i, parsed.events[i], replayed.events[i])
+		}
+	}
+}
+
+// TestEventsDistillEquivalence: skeleton instances distilled from replayed
+// events must equal the ones built from the XML, for full-tag and
+// string-condition builds alike, on every corpus.
+func TestEventsDistillEquivalence(t *testing.T) {
+	for _, c := range corpus.Catalog() {
+		scale := c.DefaultScale / 100
+		if scale < 2 {
+			scale = 2
+		}
+		doc := c.Generate(scale, 11)
+		a, err := container.Split(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		for _, opts := range []skeleton.Options{
+			{Mode: skeleton.TagsAll},
+			{Mode: skeleton.TagsNone, Strings: []string{"a", "Codd", "TISSUE"}},
+		} {
+			want, _, err := skeleton.BuildCompressed(doc, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			got, _, err := skeleton.BuildCompressedFrom(a.Events, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			if !dag.Equivalent(want, got) {
+				t.Errorf("%s mode %v: replayed instance differs from parsed instance", c.Name, opts.Mode)
+			}
+		}
+	}
+}
+
+// TestPropertyEventsDistill fuzzes random documents through the same
+// equivalence.
+func TestPropertyEventsDistill(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := dagtest.RandomXML(r, 60, 3, 3)
+		a, err := container.Split(doc)
+		if err != nil {
+			return false
+		}
+		opts := skeleton.Options{Mode: skeleton.TagsAll}
+		want, _, err := skeleton.BuildCompressed(doc, opts)
+		if err != nil {
+			return false
+		}
+		got, _, err := skeleton.BuildCompressedFrom(a.Events, opts)
+		if err != nil {
+			return false
+		}
+		return dag.Equivalent(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -74,11 +74,11 @@ func (a *Archive) ExtractSubtree(address string) ([]byte, error) {
 
 	var out bytes.Buffer
 	bw := bufio.NewWriter(&out)
-	cursors := make(map[string]int, len(offsets))
+	cursors := make([]int, len(offsets))
 	for ci, off := range offsets {
-		cursors[a.Store.keys[ci]] = int(off)
+		cursors[ci] = int(off)
 	}
-	if err := a.emit(bw, infos, v, cursors); err != nil {
+	if err := a.replay(v, infos, cursors, &xmlWriter{bw: bw}); err != nil {
 		return nil, err
 	}
 	if err := bw.Flush(); err != nil {
@@ -116,89 +116,6 @@ func (a *Archive) consumption(infos []vertexInfo) []map[int]uint64 {
 		cons[v] = m
 	}
 	return cons
-}
-
-// emit is Reconstruct's walk factored out to start from an arbitrary
-// vertex with pre-positioned cursors.
-func (a *Archive) emit(bw *bufio.Writer, infos []vertexInfo, v dag.VertexID, cursors map[string]int) error {
-	next := func(key string) (string, error) {
-		i, ok := a.Store.index[key]
-		if !ok {
-			return "", fmt.Errorf("container: missing container %q", key)
-		}
-		c := cursors[key]
-		if c >= len(a.Store.data[i]) {
-			return "", fmt.Errorf("container: container %q exhausted", key)
-		}
-		cursors[key] = c + 1
-		return a.Store.data[i][c], nil
-	}
-
-	in := a.Skeleton
-	var walk func(v dag.VertexID) error
-	walk = func(v dag.VertexID) error {
-		info := infos[v]
-		switch info.kind {
-		case kindDoc:
-			for _, e := range in.Verts[v].Edges {
-				for i := uint32(0); i < e.Count; i++ {
-					if err := walk(e.Child); err != nil {
-						return err
-					}
-				}
-			}
-			return nil
-		case kindText:
-			chunk, err := next(info.name)
-			if err != nil {
-				return err
-			}
-			escapeText(bw, chunk)
-			return nil
-		case kindAttr:
-			return fmt.Errorf("container: attribute vertex outside start tag")
-		}
-		bw.WriteByte('<')
-		bw.WriteString(info.name)
-		edges := in.Verts[v].Edges
-		rest := 0
-	attrLoop:
-		for _, e := range edges {
-			for i := uint32(0); i < e.Count; i++ {
-				if infos[e.Child].kind != kindAttr {
-					break attrLoop
-				}
-				val, err := next(infos[e.Child].key)
-				if err != nil {
-					return err
-				}
-				bw.WriteByte(' ')
-				bw.WriteString(infos[e.Child].name)
-				bw.WriteString(`="`)
-				escapeAttr(bw, val)
-				bw.WriteByte('"')
-				rest++
-			}
-		}
-		bw.WriteByte('>')
-		skipped := 0
-		for _, e := range edges {
-			for i := uint32(0); i < e.Count; i++ {
-				if skipped < rest {
-					skipped++
-					continue
-				}
-				if err := walk(e.Child); err != nil {
-					return err
-				}
-			}
-		}
-		bw.WriteString("</")
-		bw.WriteString(info.name)
-		bw.WriteByte('>')
-		return nil
-	}
-	return walk(v)
 }
 
 func parseAddress(address string) ([]int, error) {

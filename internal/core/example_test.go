@@ -59,6 +59,38 @@ func ExampleDocument_Prepare() {
 	// //paper[author["Vardi"]] -> 1
 }
 
+func ExamplePool_QueryAll() {
+	// A corpus of three small libraries, queried as a batch: the query is
+	// compiled once and fanned out over the documents on a worker pool.
+	pool := core.NewPool(2)
+	pool.Add("lib-a", []byte(`<lib><paper><author>Codd</author></paper></lib>`))
+	pool.Add("lib-b", []byte(`<lib><paper><author>Vardi</author></paper><paper><author>Codd</author></paper></lib>`))
+	pool.Add("lib-c", []byte(`<lib><book><author>Hull</author></book></lib>`))
+
+	// PrepareBatch pre-compresses every document's tag skeleton so
+	// repeated queries skip re-parsing (optional but typical).
+	if err := pool.PrepareBatch(); err != nil {
+		log.Fatal(err)
+	}
+	results, err := pool.QueryAll(`//paper[author["Codd"]]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("%s: %d\n", r.Name, r.Result.SelectedTree)
+	}
+	sum := core.Summarize(results)
+	fmt.Printf("total: %d match(es) in %d document(s)\n", sum.SelectedTree, sum.Docs)
+	// Output:
+	// lib-a: 1
+	// lib-b: 1
+	// lib-c: 0
+	// total: 2 match(es) in 3 document(s)
+}
+
 func ExampleCompile() {
 	prog, err := core.Compile(`/self::*[bib/book/author]`)
 	if err != nil {

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/dag"
@@ -20,15 +23,36 @@ import (
 //
 // Queries without string conditions run directly on a copy of the cached
 // instance, skipping the XML parse entirely. Queries with string
-// conditions distill a strings-only instance in one text scan and merge it
-// into the cached tag instance with dag.CommonExtension.
+// conditions distill a strings-only instance in one text scan, merge it
+// into the cached tag instance with dag.CommonExtension, and memoise the
+// merged instance keyed by the query's string-condition set — so repeated
+// queries over the same conditions (a server's hot queries) also evaluate
+// on a copy, with no scan at all. The memo is a small FIFO
+// (mergedCacheCap entries); each entry costs about one base instance.
 //
-// A Prepared value is safe for concurrent use: the cached instance is
-// never mutated (every query works on a copy or a fresh extension).
+// A Prepared value is safe for concurrent use: cached instances are never
+// mutated (every query works on a copy or a fresh extension), and the
+// memo index is guarded by a mutex.
 type Prepared struct {
-	doc  *Document
-	base *dag.Instance
+	base    *dag.Instance
+	distill Distiller
+
+	mu     sync.Mutex
+	merged map[string]*dag.Instance // string-set key -> merged base+marks
+	order  []string                 // FIFO eviction order for merged
 }
+
+// mergedCacheCap bounds how many distinct string-condition sets a
+// Prepared memoises.
+const mergedCacheCap = 8
+
+// A Distiller produces a compressed instance over just the given string
+// patterns (the skeleton.TagsNone + Strings build) for the same document a
+// Prepared's base instance represents. Document.Prepare distils by
+// re-scanning the XML source; storage-backed documents (internal/store)
+// distil by replaying archive events, with no XML involved. A Distiller
+// must be safe for concurrent use.
+type Distiller func(patterns []string) (*dag.Instance, error)
 
 // Prepare parses the document once, compressing its skeleton with all
 // tags recorded.
@@ -37,14 +61,107 @@ func (d *Document) Prepare() (*Prepared, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: preparing document: %w", err)
 	}
-	return &Prepared{doc: d, base: base}, nil
+	return NewPrepared(base, func(patterns []string) (*dag.Instance, error) {
+		inst, _, err := skeleton.BuildCompressed(d.source, skeleton.Options{
+			Mode:    skeleton.TagsNone,
+			Strings: patterns,
+		})
+		return inst, err
+	}), nil
 }
+
+// NewPrepared wraps an externally built full-tag instance (skeleton mode
+// TagsAll, e.g. distilled from a stored archive) and its string-condition
+// distiller as a Prepared document. base is retained, not copied: the
+// caller must not mutate it afterwards. distill may be nil, in which case
+// queries with string conditions fail.
+func NewPrepared(base *dag.Instance, distill Distiller) *Prepared {
+	return &Prepared{base: base, distill: distill}
+}
+
+// CloneBase returns a copy of the cached full-tag instance, for callers
+// that evaluate compiled programs on it directly — e.g. fanning one
+// program over many prepared documents with engine.RunParallel, which
+// consumes its input instances.
+func (p *Prepared) CloneBase() *dag.Instance { return p.base.Clone() }
 
 // BaseVertices returns the size of the cached instance, for reporting.
 func (p *Prepared) BaseVertices() int { return p.base.NumVertices() }
 
+// TreeVertices returns |V_T| of the prepared document: the number of
+// elements it contains, excluding the virtual document vertex.
+func (p *Prepared) TreeVertices() uint64 { return p.base.TreeSize() - 1 }
+
 // BaseEdges returns the edge count of the cached instance.
 func (p *Prepared) BaseEdges() int { return p.base.NumEdges() }
+
+// mergedFor returns the base instance extended with marks for the given
+// string conditions, distilling and merging on first use and memoising
+// the result. Relations are matched by name, so the instance for a
+// string set serves every program over that set.
+func (p *Prepared) mergedFor(patterns []string) (*dag.Instance, error) {
+	key := mergeKey(patterns)
+	p.mu.Lock()
+	m := p.merged[key]
+	p.mu.Unlock()
+	if m != nil {
+		return m, nil
+	}
+
+	// Distill a compressed instance over just the string conditions (one
+	// scan of the text or the archive containers), then merge.
+	if p.distill == nil {
+		return nil, fmt.Errorf("core: prepared document has no string distiller for conditions %q", patterns)
+	}
+	strInst, err := p.distill(patterns)
+	if err != nil {
+		return nil, fmt.Errorf("core: distilling string conditions: %w", err)
+	}
+	m, err = dag.CommonExtension(p.base, strInst)
+	if err != nil {
+		return nil, fmt.Errorf("core: merging string conditions: %w", err)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if existing, ok := p.merged[key]; ok {
+		// A concurrent distillation won; both instances are equivalent —
+		// keep the published one.
+		return existing, nil
+	}
+	if p.merged == nil {
+		p.merged = make(map[string]*dag.Instance)
+	}
+	for len(p.order) >= mergedCacheCap {
+		delete(p.merged, p.order[0])
+		p.order = p.order[1:]
+	}
+	p.merged[key] = m
+	p.order = append(p.order, key)
+	return m, nil
+}
+
+// MemoSize reports the summed size (vertices, edges) of the memoised
+// merged instances, for callers that account prepared-document memory —
+// e.g. the archive store charges it against its cache budget after
+// string-condition queries.
+func (p *Prepared) MemoSize() (verts, edges int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.merged {
+		verts += m.NumVertices()
+		edges += m.NumEdges()
+	}
+	return verts, edges
+}
+
+// mergeKey canonicalises a pattern set. Patterns cannot contain NUL (they
+// come from XML text), so it is collision-free.
+func mergeKey(patterns []string) string {
+	ps := append([]string(nil), patterns...)
+	sort.Strings(ps)
+	return strings.Join(ps, "\x00")
+}
 
 // Query parses, compiles and evaluates a query against the prepared
 // document.
@@ -65,19 +182,11 @@ func (p *Prepared) Run(prog *xpath.Program) (*Result, error) {
 	if len(prog.Strings) == 0 {
 		inst = p.base.Clone()
 	} else {
-		// Distill a compressed instance over just the string conditions
-		// (one scan of the text), then merge.
-		strInst, _, err := skeleton.BuildCompressed(p.doc.source, skeleton.Options{
-			Mode:    skeleton.TagsNone,
-			Strings: prog.Strings,
-		})
+		m, err := p.mergedFor(prog.Strings)
 		if err != nil {
-			return nil, fmt.Errorf("core: distilling string conditions: %w", err)
+			return nil, err
 		}
-		inst, err = dag.CommonExtension(p.base, strInst)
-		if err != nil {
-			return nil, fmt.Errorf("core: merging string conditions: %w", err)
-		}
+		inst = m.Clone()
 	}
 	prepTime := time.Since(t0)
 
@@ -97,7 +206,7 @@ func (p *Prepared) Run(prog *xpath.Program) (*Result, error) {
 		EdgesAfter:   er.EdgesAfter,
 		SelectedDAG:  er.SelectedDAG,
 		SelectedTree: er.SelectedTree,
-		TreeVertices: p.base.TreeSize() - 1, // exclude the document vertex
+		TreeVertices: p.TreeVertices(),
 		Instance:     er.Instance,
 		Label:        er.Label,
 	}, nil

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/dag"
 	"repro/internal/xpath"
@@ -16,6 +17,12 @@ import (
 type MergedResult struct {
 	// Shards holds one Result per input instance, in input order.
 	Shards []*Result
+
+	// Walls holds each shard's evaluation wall-clock time, indexed like
+	// Shards — the per-query cost a serving layer reports per document
+	// (summed CPU-side cost exceeds the fan-out's wall-clock under
+	// parallelism).
+	Walls []time.Duration
 
 	// Summed statistics across all shards, in the units of Result.
 	SelectedDAG  int
@@ -57,7 +64,10 @@ func RunParallel(insts []*dag.Instance, prog *xpath.Program, workers int) (*Merg
 	if workers > len(insts) {
 		workers = len(insts)
 	}
-	merged := &MergedResult{Shards: make([]*Result, len(insts))}
+	merged := &MergedResult{
+		Shards: make([]*Result, len(insts)),
+		Walls:  make([]time.Duration, len(insts)),
+	}
 	if len(insts) == 0 {
 		return merged, nil
 	}
@@ -70,7 +80,9 @@ func RunParallel(insts []*dag.Instance, prog *xpath.Program, workers int) (*Merg
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				t0 := time.Now()
 				merged.Shards[i], errs[i] = Run(insts[i], prog)
+				merged.Walls[i] = time.Since(t0)
 			}
 		}()
 	}

@@ -67,16 +67,33 @@ type Stats struct {
 // The document vertex carries no tag label but does receive string-
 // condition marks (its string value is the whole document text).
 
+// Feed is a source of SAX events: it drives the given handler through one
+// document-order traversal. saxml.Parse over an XML buffer is the usual
+// source; container.Archive.Events replays the same events from compressed
+// storage without any XML in memory.
+type Feed func(saxml.Handler) error
+
 // BuildCompressed parses doc and returns its compressed skeleton M(T).
 func BuildCompressed(doc []byte, opts Options) (*dag.Instance, Stats, error) {
+	return BuildCompressedFrom(func(h saxml.Handler) error { return saxml.Parse(doc, h) }, opts)
+}
+
+// BuildCompressedFrom builds the compressed skeleton M(T) from an
+// arbitrary event source instead of an XML buffer. The construction —
+// including tag recording and on-the-fly string-condition matching — is
+// byte-for-byte the one BuildCompressed performs, so instances distilled
+// from replayed storage agree exactly with instances distilled from the
+// original document.
+func BuildCompressedFrom(feed Feed, opts Options) (*dag.Instance, Stats, error) {
 	b := dag.NewBuilder(nil)
-	return build(doc, opts, b.Add, b.SetRoot, b.Instance, b.Schema())
+	return build(feed, opts, b.Add, b.SetRoot, b.Instance, b.Schema())
 }
 
 // BuildTree parses doc and returns the uncompressed tree-instance T.
 func BuildTree(doc []byte, opts Options) (*dag.Instance, Stats, error) {
 	tb := &treeBuilder{inst: &dag.Instance{Root: dag.NilVertex, Schema: label.NewSchema()}}
-	return build(doc, opts, tb.add, tb.setRoot, tb.instance, tb.inst.Schema)
+	return build(func(h saxml.Handler) error { return saxml.Parse(doc, h) },
+		opts, tb.add, tb.setRoot, tb.instance, tb.inst.Schema)
 }
 
 // treeBuilder appends vertices without hash-consing.
@@ -106,7 +123,7 @@ type frame struct {
 }
 
 func build(
-	doc []byte,
+	feed Feed,
 	opts Options,
 	add func(label.Set, []dag.VertexID) dag.VertexID,
 	setRoot func(dag.VertexID),
@@ -141,7 +158,7 @@ func build(
 	// The bottom frame is the virtual document vertex.
 	h.stack = append(h.stack, frame{})
 
-	if err := saxml.Parse(doc, h); err != nil {
+	if err := feed(h); err != nil {
 		return nil, Stats{}, err
 	}
 	docFrame := h.stack[0]

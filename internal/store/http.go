@@ -1,0 +1,213 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ServerOptions configures the HTTP face of a Store.
+type ServerOptions struct {
+	// MaxPaths caps how many result addresses a single response may carry
+	// (the `max` query parameter is clamped to it). <= 0 selects 100.
+	MaxPaths int
+}
+
+// NewHandler wraps a Store in the xcserve HTTP API:
+//
+//	GET /query?doc=NAME&q=XPATH[&max=N]  evaluate against one document
+//	GET /query?q=XPATH[&max=N]           fan out over every document
+//	GET /docs                            the catalog
+//	GET /stats                           cache and query counters
+//
+// All responses are JSON; errors are {"error": "..."} with a matching
+// status code. The handler is safe for concurrent use — it adds no state
+// of its own beyond the start time, and the Store is coordination-free on
+// the read path.
+func NewHandler(s *Store, opts ServerOptions) http.Handler {
+	if opts.MaxPaths <= 0 {
+		opts.MaxPaths = 100
+	}
+	h := &handler{store: s, opts: opts, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", h.query)
+	mux.HandleFunc("/docs", h.docs)
+	mux.HandleFunc("/stats", h.stats)
+	return mux
+}
+
+type handler struct {
+	store *Store
+	opts  ServerOptions
+	start time.Time
+}
+
+// QueryResponse is the /query response for a single document.
+type QueryResponse struct {
+	Doc     string   `json:"doc"`
+	Query   string   `json:"query"`
+	Matches uint64   `json:"matches"` // tree nodes selected
+	Paths   []string `json:"paths"`   // up to `max` tree addresses, document order
+
+	// Engine statistics for the evaluation (the Figure 7 columns).
+	SelectedDAG int   `json:"selected_dag"`
+	VertsBefore int   `json:"verts_before"`
+	EdgesBefore int   `json:"edges_before"`
+	VertsAfter  int   `json:"verts_after"`
+	EdgesAfter  int   `json:"edges_after"`
+	PrepNanos   int64 `json:"prep_ns"` // string distillation + merge; 0 for tag-only
+	EvalNanos   int64 `json:"eval_ns"`
+}
+
+// FanoutResponse is the /query response when no document is named: one
+// query evaluated against the whole catalog.
+type FanoutResponse struct {
+	Query        string          `json:"query"`
+	Docs         []QueryResponse `json:"docs"`
+	Failed       []FanoutError   `json:"failed,omitempty"`
+	TotalMatches uint64          `json:"total_matches"`
+	WallNanos    int64           `json:"wall_ns"`
+	Workers      int             `json:"workers"`
+}
+
+// FanoutError reports one document that failed during a fan-out.
+type FanoutError struct {
+	Doc   string `json:"doc"`
+	Error string `json:"error"`
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	max := h.opts.MaxPaths
+	if m := r.URL.Query().Get("max"); m != "" {
+		n, err := strconv.Atoi(m)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad max parameter %q", m))
+			return
+		}
+		if n < max {
+			max = n
+		}
+	}
+
+	if name := r.URL.Query().Get("doc"); name != "" {
+		res, err := h.store.Query(name, q)
+		if err != nil {
+			httpError(w, statusFor(h.store, name), err)
+			return
+		}
+		writeJSON(w, toResponse(name, q, res, max))
+		return
+	}
+
+	t0 := time.Now()
+	results, err := h.store.QueryAll(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := FanoutResponse{Query: q, Docs: []QueryResponse{}, WallNanos: int64(time.Since(t0)), Workers: h.store.Workers()}
+	// max caps the addresses of the whole response, not of each document:
+	// documents early in catalog order consume the budget first.
+	remaining := max
+	for _, br := range results {
+		if br.Err != nil {
+			resp.Failed = append(resp.Failed, FanoutError{Doc: br.Name, Error: br.Err.Error()})
+			continue
+		}
+		qr := toResponse(br.Name, q, br.Result, remaining)
+		remaining -= len(qr.Paths)
+		resp.Docs = append(resp.Docs, qr)
+		resp.TotalMatches += br.Result.SelectedTree
+	}
+	writeJSON(w, resp)
+}
+
+func toResponse(name, q string, res *core.Result, max int) QueryResponse {
+	paths := res.Paths(max)
+	if paths == nil {
+		paths = []string{}
+	}
+	return QueryResponse{
+		Doc:         name,
+		Query:       q,
+		Matches:     res.SelectedTree,
+		Paths:       paths,
+		SelectedDAG: res.SelectedDAG,
+		VertsBefore: res.VertsBefore,
+		EdgesBefore: res.EdgesBefore,
+		VertsAfter:  res.VertsAfter,
+		EdgesAfter:  res.EdgesAfter,
+		PrepNanos:   int64(res.ParseTime),
+		EvalNanos:   int64(res.EvalTime),
+	}
+}
+
+// DocsResponse is the /docs response.
+type DocsResponse struct {
+	Count int       `json:"count"`
+	Docs  []DocInfo `json:"docs"`
+}
+
+func (h *handler) docs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, DocsResponse{Count: h.store.Len(), Docs: h.store.Docs()})
+}
+
+// StatsResponse is the /stats response: store statistics plus server
+// uptime.
+type StatsResponse struct {
+	Stats
+	UptimeNanos int64 `json:"uptime_ns"`
+	Workers     int   `json:"workers"`
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, StatsResponse{
+		Stats:       h.store.Stats(),
+		UptimeNanos: int64(time.Since(h.start)),
+		Workers:     h.store.Workers(),
+	})
+}
+
+// statusFor distinguishes "no such document" (404) from query and
+// evaluation failures (400).
+func statusFor(s *Store, name string) int {
+	if s.Has(name) {
+		return http.StatusBadRequest
+	}
+	return http.StatusNotFound
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

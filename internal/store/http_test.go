@@ -1,0 +1,218 @@
+package store_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/store"
+)
+
+func newTestServer(t *testing.T, docs map[string][]byte, opts store.Options) (*httptest.Server, *store.Store) {
+	t.Helper()
+	s, err := store.Open(packDir(t, docs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(store.NewHandler(s, store.ServerOptions{}))
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+func getJSON(t *testing.T, rawURL string, out any) int {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+	return resp.StatusCode
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	c, err := corpus.ByName("DBLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := c.Generate(40, 3)
+	srv, _ := newTestServer(t, map[string][]byte{"dblp": doc}, store.Options{})
+
+	q := `//article[author["Codd"]]`
+	want, err := core.Load(doc).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got store.QueryResponse
+	status := getJSON(t, srv.URL+"/query?doc=dblp&q="+url.QueryEscape(q), &got)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if got.Matches != want.SelectedTree {
+		t.Fatalf("served %d matches, direct %d", got.Matches, want.SelectedTree)
+	}
+	if len(got.Paths) == 0 || got.Paths[0] != want.Paths(1)[0] {
+		t.Fatalf("served paths %v, direct %v", got.Paths, want.Paths(1))
+	}
+
+	// max caps the returned paths, not the match count.
+	status = getJSON(t, srv.URL+"/query?doc=dblp&max=1&q="+url.QueryEscape(`//author`), &got)
+	if status != http.StatusOK || len(got.Paths) != 1 || got.Matches <= 1 {
+		t.Fatalf("max=1: status %d, %d paths, %d matches", status, len(got.Paths), got.Matches)
+	}
+}
+
+func TestQueryEndpointFanout(t *testing.T) {
+	c, err := corpus.ByName("DBLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string][]byte{
+		"a": c.Generate(20, 1),
+		"b": c.Generate(20, 2),
+		"c": c.Generate(20, 3),
+	}
+	srv, s := newTestServer(t, docs, store.Options{Workers: 3})
+
+	var got store.FanoutResponse
+	status := getJSON(t, srv.URL+"/query?q="+url.QueryEscape(`//author`), &got)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(got.Docs) != 3 || len(got.Failed) != 0 {
+		t.Fatalf("fan-out over %d docs, %d failed", len(got.Docs), len(got.Failed))
+	}
+	var wantTotal uint64
+	for name := range docs {
+		res, err := s.Query(name, `//author`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTotal += res.SelectedTree
+	}
+	if got.TotalMatches != wantTotal {
+		t.Fatalf("total %d, want %d", got.TotalMatches, wantTotal)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	srv, _ := newTestServer(t, map[string][]byte{"a": []byte(`<a><b/></a>`)}, store.Options{})
+	var e map[string]string
+	if status := getJSON(t, srv.URL+"/query", &e); status != http.StatusBadRequest || e["error"] == "" {
+		t.Fatalf("missing q: status %d, %v", status, e)
+	}
+	if status := getJSON(t, srv.URL+"/query?doc=nope&q=//a", &e); status != http.StatusNotFound {
+		t.Fatalf("unknown doc: status %d", status)
+	}
+	if status := getJSON(t, srv.URL+"/query?doc=a&q="+url.QueryEscape("///"), &e); status != http.StatusBadRequest {
+		t.Fatalf("bad query: status %d", status)
+	}
+	if status := getJSON(t, srv.URL+"/query?doc=a&max=-1&q=//a", &e); status != http.StatusBadRequest {
+		t.Fatalf("bad max: status %d", status)
+	}
+	resp, err := http.Post(srv.URL+"/query?doc=a&q=//a", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST: status %d", resp.StatusCode)
+	}
+}
+
+func TestDocsAndStatsEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, map[string][]byte{
+		"a": []byte(`<a><b/></a>`),
+		"b": []byte(`<b><c x="1"/>text</b>`),
+	}, store.Options{})
+
+	var docs store.DocsResponse
+	if status := getJSON(t, srv.URL+"/docs", &docs); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if docs.Count != 2 || len(docs.Docs) != 2 || docs.Docs[0].Name != "a" {
+		t.Fatalf("docs = %+v", docs)
+	}
+	if docs.Docs[0].Loaded {
+		t.Fatal("doc loaded before any query")
+	}
+
+	var q store.QueryResponse
+	getJSON(t, srv.URL+"/query?doc=b&q="+url.QueryEscape("//c"), &q)
+
+	var stats store.StatsResponse
+	if status := getJSON(t, srv.URL+"/stats", &stats); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if stats.Docs != 2 || stats.Loaded != 1 || stats.Queries != 1 || stats.DocMisses != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	getJSON(t, srv.URL+"/docs", &docs)
+	if !docs.Docs[1].Loaded || docs.Docs[1].TreeVertices == 0 || docs.Docs[1].Containers == 0 {
+		t.Fatalf("loaded row = %+v", docs.Docs[1])
+	}
+}
+
+// TestConcurrentHTTPQueries drives the full HTTP stack from many clients
+// at once against one store (run under -race in CI).
+func TestConcurrentHTTPQueries(t *testing.T) {
+	docs := smallCorpora(t)
+	srv, s := newTestServer(t, docs, store.Options{Workers: 4})
+	names := s.Names()
+	queries := []string{`//author`, `//PLAYER`, `//article[author["Codd"]]`}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				name := names[(g+i)%len(names)]
+				q := queries[(g+i)%len(queries)]
+				var out store.QueryResponse
+				resp, err := http.Get(srv.URL + "/query?doc=" + url.QueryEscape(name) + "&q=" + url.QueryEscape(q))
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s %s: status %d: %s", name, q, resp.StatusCode, body)
+					return
+				}
+				if err := json.Unmarshal(body, &out); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Queries != 80 {
+		t.Fatalf("served %d queries, want 80", st.Queries)
+	}
+}

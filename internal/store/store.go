@@ -1,0 +1,575 @@
+// Package store manages a directory of .xca archives as a served catalog:
+// the persistent serving layer the paper's Section 6 sketches ("cache
+// chunks of compressed instances in secondary storage"). A Store opens the
+// directory lazily — archives are catalogued by file size up front and
+// decoded only when first queried — and keeps decoded documents in an LRU
+// cache under a byte budget, alongside an LRU cache of compiled query
+// programs.
+//
+// The serving path never touches XML. A cached document is the decoded
+// archive (compressed skeleton + value containers) plus a core.Prepared
+// full-tag instance rebuilt from it; string conditions are distilled by
+// replaying the archive's SAX events (container.Archive.Events) through the
+// same one-pass construction used at parse time, so results are identical
+// to querying the original document, byte for byte.
+//
+// Cached documents are immutable, which makes the read path
+// coordination-free: any number of Query/QueryAll calls may run
+// concurrently (the only shared mutable state is the cache index, touched
+// briefly per lookup), and eviction simply drops a reference — in-flight
+// queries keep using the document they already hold.
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/engine"
+	"repro/internal/skeleton"
+	"repro/internal/xpath"
+)
+
+// Ext is the archive file extension a Store catalogues.
+const Ext = ".xca"
+
+// Default limits applied when Options fields are zero.
+const (
+	DefaultCacheBytes   = 256 << 20 // decoded-document budget
+	DefaultProgramCache = 256       // compiled programs retained
+)
+
+// Options configures a Store.
+type Options struct {
+	// CacheBytes is the (approximate) byte budget for decoded documents.
+	// The most recently used document is always retained, so one document
+	// larger than the whole budget is still servable. <= 0 selects
+	// DefaultCacheBytes.
+	CacheBytes int64
+	// Workers bounds QueryAll's fan-out concurrency. <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// ProgramCache is the number of compiled query programs retained.
+	// <= 0 selects DefaultProgramCache.
+	ProgramCache int
+}
+
+// Store serves queries from a directory of archives. It is safe for
+// concurrent use.
+type Store struct {
+	dir     string
+	budget  int64
+	workers int
+	progCap int
+
+	queries atomic.Uint64
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	names    []string // sorted
+	lru      *list.List
+	curBytes int64
+
+	progs   map[string]*list.Element
+	progLRU *list.List
+
+	docHits, docMisses, evictions uint64
+	progHits, progMisses          uint64
+}
+
+// entry is one catalogued archive file.
+type entry struct {
+	name      string
+	path      string
+	fileBytes int64
+
+	// loadMu serialises decoding of this archive, so concurrent first
+	// queries pay for one decode, not N.
+	loadMu sync.Mutex
+
+	// doc, elem and charged are guarded by Store.mu. doc == nil means not
+	// loaded. charged is what this entry currently counts against the
+	// budget: the load-time estimate plus the document's merged-instance
+	// memo (re-estimated after string-condition queries).
+	doc     *Doc
+	elem    *list.Element
+	charged int64
+}
+
+// Doc is a decoded, immutable, queryable document. Handles stay valid
+// after cache eviction (eviction only drops the Store's reference).
+type Doc struct {
+	name     string
+	archive  *container.Archive
+	prep     *core.Prepared
+	memBytes int64
+}
+
+// Name returns the catalog name (the archive file name without Ext).
+func (d *Doc) Name() string { return d.name }
+
+// MemBytes is the document's estimated in-memory size, the unit of the
+// cache budget.
+func (d *Doc) MemBytes() int64 { return d.memBytes }
+
+// Prepared returns the document's prepared query handle.
+func (d *Doc) Prepared() *core.Prepared { return d.prep }
+
+// Run evaluates a compiled program on the cached document.
+func (d *Doc) Run(prog *xpath.Program) (*core.Result, error) { return d.prep.Run(prog) }
+
+// Open catalogues every *.xca file directly under dir. Archives are not
+// decoded yet; the first query against each document pays its decode.
+func Open(dir string, opts Options) (*Store, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading archive directory: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		budget:  opts.CacheBytes,
+		workers: opts.Workers,
+		progCap: opts.ProgramCache,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		progs:   make(map[string]*list.Element),
+		progLRU: list.New(),
+	}
+	if s.budget <= 0 {
+		s.budget = DefaultCacheBytes
+	}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if s.progCap <= 0 {
+		s.progCap = DefaultProgramCache
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), Ext) {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		fi, err := de.Info()
+		if err != nil {
+			return nil, fmt.Errorf("store: stat %s: %w", path, err)
+		}
+		name := strings.TrimSuffix(de.Name(), Ext)
+		s.entries[name] = &entry{name: name, path: path, fileBytes: fi.Size()}
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	return s, nil
+}
+
+// Dir returns the directory the store serves.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of catalogued documents.
+func (s *Store) Len() int { return len(s.names) }
+
+// Workers returns the fan-out concurrency bound.
+func (s *Store) Workers() int { return s.workers }
+
+// Names returns the catalogued document names in sorted order.
+func (s *Store) Names() []string { return append([]string(nil), s.names...) }
+
+// Doc returns the decoded document named name, loading and caching it on
+// first use. Concurrent callers for the same document share one decode.
+func (s *Store) Doc(name string) (*Doc, error) {
+	s.mu.Lock()
+	e, ok := s.entries[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: no document %q", name)
+	}
+	if d := s.touchLocked(e); d != nil {
+		s.mu.Unlock()
+		return d, nil
+	}
+	s.mu.Unlock()
+
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	// A concurrent loader may have finished while we waited.
+	s.mu.Lock()
+	if d := s.touchLocked(e); d != nil {
+		s.mu.Unlock()
+		return d, nil
+	}
+	s.mu.Unlock()
+
+	d, err := loadDoc(e.name, e.path)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	e.doc = d
+	e.elem = s.lru.PushFront(e)
+	e.charged = d.memBytes
+	s.curBytes += e.charged
+	s.docMisses++
+	s.evictLocked()
+	s.mu.Unlock()
+	return d, nil
+}
+
+// Has reports whether name is in the catalog. The catalog is immutable
+// after Open, so no lock is needed.
+func (s *Store) Has(name string) bool {
+	_, ok := s.entries[name]
+	return ok
+}
+
+// recharge re-estimates a cached document's footprint after a
+// string-condition query may have grown its merged-instance memo
+// (core.Prepared memoises up to a few base-instance-sized merges), and
+// charges the difference against the budget.
+func (s *Store) recharge(name string, d *Doc) {
+	mv, me := d.prep.MemoSize()
+	charge := d.memBytes + int64(mv)*vertexOverhead + int64(me)*edgeBytes
+	e := s.entries[name]
+	s.mu.Lock()
+	if e.doc == d && charge != e.charged {
+		s.curBytes += charge - e.charged
+		e.charged = charge
+		s.evictLocked()
+	}
+	s.mu.Unlock()
+}
+
+// touchLocked returns e's document and refreshes its recency, or nil if e
+// is not loaded. Caller holds s.mu.
+func (s *Store) touchLocked(e *entry) *Doc {
+	if e.doc == nil {
+		return nil
+	}
+	s.lru.MoveToFront(e.elem)
+	s.docHits++
+	return e.doc
+}
+
+// evictLocked drops least-recently-used documents until the budget is met,
+// always retaining the most recent one so a single oversized document
+// remains servable. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	for s.curBytes > s.budget && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		s.curBytes -= e.charged
+		e.doc = nil
+		e.elem = nil
+		e.charged = 0
+		s.evictions++
+	}
+}
+
+// loadDoc decodes one archive file and rebuilds its prepared instance by
+// replaying archive events — no XML is parsed or even present.
+func loadDoc(name, path string) (*Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	a, err := codec.DecodeArchive(f)
+	closeErr := f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("store: decoding %s: %w", path, err)
+	}
+	if closeErr != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, closeErr)
+	}
+	base, _, err := skeleton.BuildCompressedFrom(a.Events, skeleton.Options{Mode: skeleton.TagsAll})
+	if err != nil {
+		return nil, fmt.Errorf("store: rebuilding skeleton of %s: %w", path, err)
+	}
+	prep := core.NewPrepared(base, func(patterns []string) (*dag.Instance, error) {
+		inst, _, err := skeleton.BuildCompressedFrom(a.Events, skeleton.Options{
+			Mode:    skeleton.TagsNone,
+			Strings: patterns,
+		})
+		return inst, err
+	})
+	return &Doc{
+		name:     name,
+		archive:  a,
+		prep:     prep,
+		memBytes: archiveMemBytes(a) + instanceMemBytes(base),
+	}, nil
+}
+
+// Rough per-object overheads for the cache's byte accounting. The budget
+// is a sizing knob, not an allocator: estimates only need to scale with
+// the real footprint.
+const (
+	vertexOverhead = 56 // Vertex struct, slice headers, label set
+	edgeBytes      = 8  // dag.Edge
+	stringOverhead = 16 // string header
+)
+
+func instanceMemBytes(in *dag.Instance) int64 {
+	b := int64(in.NumVertices())*vertexOverhead + int64(in.NumEdges())*edgeBytes
+	for _, name := range in.Schema.Names() {
+		b += int64(len(name)) + stringOverhead
+	}
+	return b
+}
+
+func archiveMemBytes(a *container.Archive) int64 {
+	return instanceMemBytes(a.Skeleton) +
+		int64(a.Store.TotalBytes()) +
+		int64(a.Store.NumChunks())*stringOverhead
+}
+
+// Program returns the compiled form of query, caching compilations in an
+// LRU keyed by the query text. Programs are schema-independent (relations
+// are resolved by name at evaluation time), so one cached program serves
+// every document in the store.
+func (s *Store) Program(query string) (*xpath.Program, error) {
+	s.mu.Lock()
+	if el, ok := s.progs[query]; ok {
+		s.progLRU.MoveToFront(el)
+		s.progHits++
+		prog := el.Value.(*progEntry).prog
+		s.mu.Unlock()
+		return prog, nil
+	}
+	s.progMisses++
+	s.mu.Unlock()
+
+	prog, err := xpath.CompileQuery(query)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if _, ok := s.progs[query]; !ok {
+		s.progs[query] = s.progLRU.PushFront(&progEntry{query: query, prog: prog})
+		for s.progLRU.Len() > s.progCap {
+			back := s.progLRU.Back()
+			pe := back.Value.(*progEntry)
+			s.progLRU.Remove(back)
+			delete(s.progs, pe.query)
+		}
+	}
+	s.mu.Unlock()
+	return prog, nil
+}
+
+type progEntry struct {
+	query string
+	prog  *xpath.Program
+}
+
+// Query evaluates one query against one document, through both caches.
+func (s *Store) Query(name, query string) (*core.Result, error) {
+	prog, err := s.Program(query)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.Doc(name)
+	if err != nil {
+		return nil, err
+	}
+	s.queries.Add(1)
+	res, err := d.Run(prog)
+	if err == nil && len(prog.Strings) > 0 {
+		s.recharge(name, d)
+	}
+	return res, err
+}
+
+// QueryAll evaluates one query against every catalogued document and
+// returns one result per document in name order, like core.Pool.QueryAll.
+// Documents are loaded (or fetched from cache) concurrently; tag-only
+// programs then fan out over clones of the cached instances with
+// engine.RunParallel — the coordination-free read path: shards share
+// nothing but the read-only program. Programs with string conditions
+// distil per document on the same worker pool. Per-document failures are
+// reported in the results, not as a call error.
+func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
+	prog, err := s.Program(query)
+	if err != nil {
+		return nil, err
+	}
+	names := s.Names()
+	out := make([]core.BatchResult, len(names))
+	docs := make([]*Doc, len(names))
+	s.forEach(len(names), func(i int) {
+		out[i].Name = names[i]
+		docs[i], out[i].Err = s.Doc(names[i])
+	})
+	s.queries.Add(uint64(len(names)))
+
+	if len(prog.Strings) > 0 {
+		s.forEach(len(names), func(i int) {
+			if out[i].Err == nil {
+				out[i].Result, out[i].Err = docs[i].Run(prog)
+				if out[i].Err == nil {
+					s.recharge(names[i], docs[i])
+				}
+			}
+		})
+		return out, nil
+	}
+
+	// Tag-only: evaluate on clones of the cached full-tag instances
+	// (cloned on the worker pool too — a serial clone phase would cap
+	// fan-out scaling before RunParallel even starts).
+	clones := make([]*dag.Instance, len(names))
+	s.forEach(len(names), func(i int) {
+		if out[i].Err == nil {
+			clones[i] = docs[i].prep.CloneBase()
+		}
+	})
+	var insts []*dag.Instance
+	var idx []int
+	for i, cl := range clones {
+		if cl != nil {
+			insts = append(insts, cl)
+			idx = append(idx, i)
+		}
+	}
+	merged, err := engine.RunParallel(insts, prog, s.workers)
+	if err != nil {
+		return nil, err
+	}
+	for k, shard := range merged.Shards {
+		i := idx[k]
+		out[i].Result = &core.Result{
+			EvalTime:     merged.Walls[k],
+			VertsBefore:  shard.VertsBefore,
+			EdgesBefore:  shard.EdgesBefore,
+			VertsAfter:   shard.VertsAfter,
+			EdgesAfter:   shard.EdgesAfter,
+			SelectedDAG:  shard.SelectedDAG,
+			SelectedTree: shard.SelectedTree,
+			TreeVertices: docs[i].prep.TreeVertices(),
+			Instance:     shard.Instance,
+			Label:        shard.Label,
+		}
+	}
+	return out, nil
+}
+
+// forEach runs fn(i) for i in [0, n) on the store's worker pool.
+func (s *Store) forEach(n int, fn func(i int)) {
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Stats is a point-in-time snapshot of the store's caches and counters.
+type Stats struct {
+	Docs   int `json:"docs"`   // catalogued archives
+	Loaded int `json:"loaded"` // currently decoded and cached
+
+	CacheBytes  int64 `json:"cache_bytes"`  // estimated bytes of cached documents
+	BudgetBytes int64 `json:"budget_bytes"` // configured budget
+
+	DocHits   uint64 `json:"doc_hits"`
+	DocMisses uint64 `json:"doc_misses"` // decodes performed
+	Evictions uint64 `json:"evictions"`
+
+	ProgramsCached int    `json:"programs_cached"`
+	ProgramHits    uint64 `json:"program_hits"`
+	ProgramMisses  uint64 `json:"program_misses"`
+
+	Queries uint64 `json:"queries"` // per-document evaluations served
+}
+
+// Stats returns current cache statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Docs:           len(s.names),
+		Loaded:         s.lru.Len(),
+		CacheBytes:     s.curBytes,
+		BudgetBytes:    s.budget,
+		DocHits:        s.docHits,
+		DocMisses:      s.docMisses,
+		Evictions:      s.evictions,
+		ProgramsCached: s.progLRU.Len(),
+		ProgramHits:    s.progHits,
+		ProgramMisses:  s.progMisses,
+		Queries:        s.queries.Load(),
+	}
+}
+
+// DocInfo is one catalog row: file-level facts always, decoded sizes when
+// the document is currently cached.
+type DocInfo struct {
+	Name      string `json:"name"`
+	File      string `json:"file"`
+	FileBytes int64  `json:"file_bytes"`
+	Loaded    bool   `json:"loaded"`
+
+	// Populated only when Loaded.
+	MemBytes         int64  `json:"mem_bytes,omitempty"`
+	SkeletonVertices int    `json:"skeleton_vertices,omitempty"`
+	SkeletonEdges    int    `json:"skeleton_edges,omitempty"`
+	TreeVertices     uint64 `json:"tree_vertices,omitempty"`
+	Containers       int    `json:"containers,omitempty"`
+	ValueBytes       int64  `json:"value_bytes,omitempty"`
+}
+
+// Docs returns the catalog in name order.
+func (s *Store) Docs() []DocInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DocInfo, 0, len(s.names))
+	for _, name := range s.names {
+		e := s.entries[name]
+		info := DocInfo{
+			Name:      e.name,
+			File:      e.path,
+			FileBytes: e.fileBytes,
+			Loaded:    e.doc != nil,
+		}
+		if d := e.doc; d != nil {
+			info.MemBytes = e.charged
+			info.SkeletonVertices = d.archive.Skeleton.NumVertices()
+			info.SkeletonEdges = d.archive.Skeleton.NumEdges()
+			info.TreeVertices = d.prep.TreeVertices()
+			info.Containers = d.archive.Store.NumContainers()
+			info.ValueBytes = int64(d.archive.Store.TotalBytes())
+		}
+		out = append(out, info)
+	}
+	return out
+}
