@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/container"
 )
@@ -66,15 +67,15 @@ func main() {
 // the archive with the in/out byte counts.
 func packOne(src, dst string) (a *container.Archive, inBytes, outBytes int64) {
 	data, err := os.ReadFile(src)
-	fatal(err)
+	cli.Fatal(err)
 	a, err = container.Split(data)
-	fatalf(src, err)
+	cli.Fatalf(src, err)
 	out, err := os.Create(dst)
-	fatal(err)
-	fatalf(dst, codec.EncodeArchive(out, a))
-	fatal(out.Close())
+	cli.Fatal(err)
+	cli.Fatalf(dst, codec.EncodeArchive(out, a))
+	cli.Fatal(out.Close())
 	st, err := os.Stat(dst)
-	fatal(err)
+	cli.Fatal(err)
 	return a, int64(len(data)), st.Size()
 }
 
@@ -89,7 +90,7 @@ func pack(src, dst string) {
 // the corpus-to-store build step for xcserve.
 func packDir(srcDir, dstDir string) {
 	des, err := os.ReadDir(srcDir)
-	fatal(err)
+	cli.Fatal(err)
 	var names []string
 	for _, de := range des {
 		if !de.IsDir() && strings.HasSuffix(de.Name(), ".xml") {
@@ -97,10 +98,10 @@ func packDir(srcDir, dstDir string) {
 		}
 	}
 	if len(names) == 0 {
-		fatal(fmt.Errorf("no *.xml files in %s", srcDir))
+		cli.Fatal(fmt.Errorf("no *.xml files in %s", srcDir))
 	}
 	sort.Strings(names)
-	fatal(os.MkdirAll(dstDir, 0o755))
+	cli.Fatal(os.MkdirAll(dstDir, 0o755))
 	var inBytes, outBytes int64
 	for _, name := range names {
 		src := filepath.Join(srcDir, name)
@@ -117,28 +118,28 @@ func packDir(srcDir, dstDir string) {
 
 func unpack(src, dst string) {
 	fi, err := os.Stat(src)
-	fatal(err)
+	cli.Fatal(err)
 	if *maxMem > 0 && fi.Size() > *maxMem {
-		fatal(fmt.Errorf("%s: archive is %d bytes, over the -maxmem guard of %d (unpacking decodes the whole archive in memory; raise -maxmem to proceed)",
+		cli.Fatal(fmt.Errorf("%s: archive is %d bytes, over the -maxmem guard of %d (unpacking decodes the whole archive in memory; raise -maxmem to proceed)",
 			src, fi.Size(), *maxMem))
 	}
 	in, err := os.Open(src)
-	fatal(err)
+	cli.Fatal(err)
 	a, err := codec.DecodeArchive(in)
-	fatalf(src, err)
-	fatal(in.Close())
+	cli.Fatalf(src, err)
+	cli.Fatal(in.Close())
 	out, err := os.Create(dst)
-	fatal(err)
-	fatalf(dst, a.Reconstruct(out))
-	fatal(out.Close())
+	cli.Fatal(err)
+	cli.Fatalf(dst, a.Reconstruct(out))
+	cli.Fatal(out.Close())
 }
 
 func stat(src string) {
 	in, err := os.Open(src)
-	fatal(err)
+	cli.Fatal(err)
 	st, err := codec.StatArchive(in)
-	fatalf(src, err)
-	fatal(in.Close())
+	cli.Fatalf(src, err)
+	cli.Fatal(in.Close())
 	fmt.Printf("skeleton:   %d vertices, %d edges (tree size %d), %d schema names\n",
 		st.SkeletonVertices, st.SkeletonEdges, st.TreeSize, st.SchemaLen)
 	fmt.Printf("containers: %d, %d value bytes\n", len(st.Containers), st.ValueBytes)
@@ -157,20 +158,4 @@ func usage() {
 
 flags:`)
 	flag.PrintDefaults()
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xcarchive: %v\n", err)
-		os.Exit(1)
-	}
-}
-
-// fatalf is fatal with the file the error concerns, so a corrupt archive
-// in a batch names itself.
-func fatalf(path string, err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xcarchive: %s: %v\n", path, err)
-		os.Exit(1)
-	}
 }

@@ -8,6 +8,7 @@
 //	xcbench -relational      # Introduction: O(C*R) -> O(C+log R) sweep
 //	xcbench -parallel        # parallel fan-out scaling sweep
 //	xcbench -storebench      # archive-store serving vs parse-per-query
+//	xcbench -ingestbench     # ingest-while-querying: write throughput vs latency
 //	xcbench -all             # everything
 //
 // -scale multiplies every corpus's default size; -check verifies the
@@ -18,14 +19,24 @@
 // temporary archive directory and compares warm cached-store serving
 // (internal/store) against parse-per-query evaluation, sweeping worker
 // counts and cache budgets (full corpus and one quarter of it).
+// -ingestbench streams -docs documents through the write path
+// (internal/ingest) while a fixed query loop runs, reporting write
+// docs/sec, idle vs busy query latency percentiles, and WAL crash-
+// recovery time.
+//
+// -json replaces every table with machine-readable output: one JSON
+// object per experiment, {"experiment": NAME, "rows": [...]}, on stdout
+// — the format CI stores as BENCH_*.json trajectory files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -38,37 +49,61 @@ func main() {
 		relational = flag.Bool("relational", false, "run the relational-table compression sweep (Introduction)")
 		parallel   = flag.Bool("parallel", false, "run the parallel fan-out scaling sweep")
 		storebench = flag.Bool("storebench", false, "run the archive-store serving sweep")
+		ingbench   = flag.Bool("ingestbench", false, "run the ingest-while-querying sweep")
 		all        = flag.Bool("all", false, "run every experiment")
 		scale      = flag.Float64("scale", 1.0, "corpus size multiplier")
 		seed       = flag.Uint64("seed", 1, "corpus generation seed")
 		check      = flag.Bool("check", false, "verify the paper's qualitative invariants (with -fig7)")
-		corpusName = flag.String("corpus", "SwissProt", "corpus for the parallel sweep")
-		docs       = flag.Int("docs", 8, "documents in the parallel sweep")
-		workers    = flag.Int("workers", 8, "maximum worker count in the parallel sweep (doubling from 1)")
+		corpusName = flag.String("corpus", "SwissProt", "corpus for the parallel/store/ingest sweeps")
+		docs       = flag.Int("docs", 8, "documents in the parallel/store/ingest sweeps")
+		workers    = flag.Int("workers", 8, "maximum worker count in the sweeps (doubling from 1)")
+		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
 	)
 	flag.Parse()
 	if *all {
-		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench = true, true, true, true, true, true, true
+		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *ingbench = true, true, true, true, true, true, true, true
 	}
-	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench {
+	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*ingbench {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	// emit prints rows as one JSON object under -json, or runs the
+	// human-readable renderer.
+	emit := func(name string, rows any, human func()) {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(map[string]any{"experiment": name, "rows": rows}); err != nil {
+				cli.Fatal(err)
+			}
+			return
+		}
+		human()
+	}
+
+	var counts []int
+	for w := 1; w <= *workers; w *= 2 {
+		counts = append(counts, w)
+	}
+
 	if *fig6 {
-		fmt.Println("=== Figure 6: degree of compression (tags ignored '-', all tags '+') ===")
 		rows, err := experiments.Fig6(*scale, *seed)
-		fatal(err)
-		experiments.PrintFig6(os.Stdout, rows)
-		fmt.Println()
+		cli.Fatal(err)
+		emit("fig6", rows, func() {
+			fmt.Println("=== Figure 6: degree of compression (tags ignored '-', all tags '+') ===")
+			experiments.PrintFig6(os.Stdout, rows)
+			fmt.Println()
+		})
 	}
 
 	if *fig7 {
-		fmt.Println("=== Figure 7: parsing and query evaluation performance ===")
 		rows, err := experiments.Fig7(*scale, *seed)
-		fatal(err)
-		experiments.PrintFig7(os.Stdout, rows)
-		fmt.Println()
+		cli.Fatal(err)
+		emit("fig7", rows, func() {
+			fmt.Println("=== Figure 7: parsing and query evaluation performance ===")
+			experiments.PrintFig7(os.Stdout, rows)
+			fmt.Println()
+		})
 		if *check {
 			if bad := experiments.CheckFig7Invariants(rows); len(bad) > 0 {
 				for _, b := range bad {
@@ -76,68 +111,95 @@ func main() {
 				}
 				os.Exit(1)
 			}
-			fmt.Println("all Figure 7 invariants hold")
-			fmt.Println()
+			if !*jsonOut {
+				fmt.Println("all Figure 7 invariants hold")
+				fmt.Println()
+			}
 		}
 	}
 
 	if *growth {
-		fmt.Println("=== Theorem 3.6: decompression growth on a compressed complete binary tree (depth 16, 17 vertices, 65535 tree nodes) ===")
 		benign, adversarial, err := experiments.DecompressionGrowth(16, 10)
-		fatal(err)
-		fmt.Println("-- benign: plain downward chains /*/*/.../* (no decompression expected)")
-		printGrowth(benign)
-		fmt.Println("-- adversarial: k independent ancestor sibling-position conditions (~2^k growth, bounded by |T|)")
-		printGrowth(adversarial)
-		fmt.Println()
+		cli.Fatal(err)
+		// Flattened so "rows" is an array like every other experiment;
+		// Kind distinguishes the two sweeps.
+		type growthRow struct {
+			Kind string
+			experiments.GrowthPoint
+		}
+		var rows []growthRow
+		for _, p := range benign {
+			rows = append(rows, growthRow{"benign", p})
+		}
+		for _, p := range adversarial {
+			rows = append(rows, growthRow{"adversarial", p})
+		}
+		emit("growth", rows, func() {
+			fmt.Println("=== Theorem 3.6: decompression growth on a compressed complete binary tree (depth 16, 17 vertices, 65535 tree nodes) ===")
+			fmt.Println("-- benign: plain downward chains /*/*/.../* (no decompression expected)")
+			printGrowth(benign)
+			fmt.Println("-- adversarial: k independent ancestor sibling-position conditions (~2^k growth, bounded by |T|)")
+			printGrowth(adversarial)
+			fmt.Println()
+		})
 	}
 
 	if *vs {
-		fmt.Println("=== Section 6: pure evaluation time, compressed instance vs uncompressed tree ===")
 		rows, err := experiments.VsBaseline(*scale, *seed)
-		fatal(err)
-		fmt.Printf("%-12s %3s %14s %14s %10s %10s\n", "corpus", "Q", "compressed", "uncompressed", "speedup", "selected")
-		for _, r := range rows {
-			fmt.Printf("%-12s %3d %14v %14v %9.2fx %10d\n",
-				r.Corpus, r.Query,
-				r.EngineEval.Round(time.Microsecond), r.BaselineEval.Round(time.Microsecond),
-				float64(r.BaselineEval)/float64(r.EngineEval), r.Selected)
-		}
-		fmt.Println()
+		cli.Fatal(err)
+		emit("vs_baseline", rows, func() {
+			fmt.Println("=== Section 6: pure evaluation time, compressed instance vs uncompressed tree ===")
+			fmt.Printf("%-12s %3s %14s %14s %10s %10s\n", "corpus", "Q", "compressed", "uncompressed", "speedup", "selected")
+			for _, r := range rows {
+				fmt.Printf("%-12s %3d %14v %14v %9.2fx %10d\n",
+					r.Corpus, r.Query,
+					r.EngineEval.Round(time.Microsecond), r.BaselineEval.Round(time.Microsecond),
+					float64(r.BaselineEval)/float64(r.EngineEval), r.Selected)
+			}
+			fmt.Println()
+		})
 	}
 
 	if *parallel {
-		fmt.Printf("=== Parallel fan-out: %s x %d documents, engine.RunParallel worker sweep ===\n", *corpusName, *docs)
-		var counts []int
-		for w := 1; w <= *workers; w *= 2 {
-			counts = append(counts, w)
-		}
 		rows, err := experiments.ParallelSweep(*corpusName, *docs, *scale, *seed, counts)
-		fatal(err)
-		experiments.PrintParallel(os.Stdout, rows)
-		fmt.Println()
+		cli.Fatal(err)
+		emit("parallel", rows, func() {
+			fmt.Printf("=== Parallel fan-out: %s x %d documents, engine.RunParallel worker sweep ===\n", *corpusName, *docs)
+			experiments.PrintParallel(os.Stdout, rows)
+			fmt.Println()
+		})
 	}
 
 	if *storebench {
-		fmt.Printf("=== Archive store: %s x %d documents, warm serving vs parse-per-query ===\n", *corpusName, *docs)
-		var counts []int
-		for w := 1; w <= *workers; w *= 2 {
-			counts = append(counts, w)
-		}
 		rows, err := experiments.StoreSweep(*corpusName, *docs, *scale, *seed, counts, []float64{1.0, 0.25})
-		fatal(err)
-		experiments.PrintStore(os.Stdout, rows)
-		fmt.Println()
+		cli.Fatal(err)
+		emit("store", rows, func() {
+			fmt.Printf("=== Archive store: %s x %d documents, warm serving vs parse-per-query ===\n", *corpusName, *docs)
+			experiments.PrintStore(os.Stdout, rows)
+			fmt.Println()
+		})
+	}
+
+	if *ingbench {
+		rows, err := experiments.IngestSweep(*corpusName, *docs, *scale, *seed, counts)
+		cli.Fatal(err)
+		emit("ingest", rows, func() {
+			fmt.Printf("=== Live ingestion: %s x %d documents streamed while querying ===\n", *corpusName, *docs)
+			experiments.PrintIngest(os.Stdout, rows)
+			fmt.Println()
+		})
 	}
 
 	if *relational {
-		fmt.Println("=== Introduction: R x 8 relational table, O(C*R) tree vs O(C) compressed edges ===")
 		pts, err := experiments.RelationalSweep([]int{10, 100, 1000, 10000, 100000}, 8)
-		fatal(err)
-		fmt.Printf("%8s %6s %14s %14s %14s\n", "rows", "cols", "tree verts", "dag verts", "dag edges")
-		for _, p := range pts {
-			fmt.Printf("%8d %6d %14d %14d %14d\n", p.Rows, p.Cols, p.TreeVertices, p.DagVertices, p.DagEdges)
-		}
+		cli.Fatal(err)
+		emit("relational", pts, func() {
+			fmt.Println("=== Introduction: R x 8 relational table, O(C*R) tree vs O(C) compressed edges ===")
+			fmt.Printf("%8s %6s %14s %14s %14s\n", "rows", "cols", "tree verts", "dag verts", "dag edges")
+			for _, p := range pts {
+				fmt.Printf("%8d %6d %14d %14d %14d\n", p.Rows, p.Cols, p.TreeVertices, p.DagVertices, p.DagEdges)
+			}
+		})
 	}
 }
 
@@ -147,12 +209,5 @@ func printGrowth(pts []experiments.GrowthPoint) {
 		fmt.Printf("%6d %12d %12d %14d %9.1fx\n",
 			p.Steps, p.VertsBefore, p.VertsAfter, p.TreeSize,
 			float64(p.VertsAfter)/float64(p.VertsBefore))
-	}
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xcbench: %v\n", err)
-		os.Exit(1)
 	}
 }

@@ -6,6 +6,9 @@
 //
 // where <corpus> is one of the Figure 6 datasets (SwissProt, DBLP,
 // TreeBank, OMIM, XMark, Shakespeare, Baseball, TPC-D).
+//
+// All failure paths exit non-zero with the corpus or stream the error
+// concerns.
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/corpus"
 )
 
@@ -37,16 +41,12 @@ func main() {
 		os.Exit(2)
 	}
 	c, err := corpus.ByName(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xcgen: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Fatal(err)
 	s := *scale
 	if s == 0 {
 		s = c.DefaultScale
 	}
 	if _, err := os.Stdout.Write(c.Generate(s, *seed)); err != nil {
-		fmt.Fprintf(os.Stderr, "xcgen: %v\n", err)
-		os.Exit(1)
+		cli.Fatalf("stdout", err)
 	}
 }

@@ -11,6 +11,9 @@
 //
 //	xcquery [-plan] [-baseline] 'query' file.xml
 //	xcquery [-workers N] [-prepare] 'query' corpusdir/
+//
+// Every failure path exits non-zero, naming the file or directory the
+// error concerns.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/xpath"
@@ -45,10 +49,7 @@ func main() {
 	query := flag.Arg(0)
 
 	prog, err := xpath.CompileQuery(query)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Fatal(err)
 	if *plan {
 		fmt.Print(prog.String())
 		if flag.NArg() == 1 {
@@ -66,15 +67,9 @@ func main() {
 	}
 
 	data, err := os.ReadFile(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Fatal(err)
 	res, err := core.Load(data).Run(prog)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Fatalf(flag.Arg(1), err)
 
 	fmt.Printf("query:              %s\n", query)
 	fmt.Printf("document:           %s (%d bytes, %d elements)\n", flag.Arg(1), len(data), res.TreeVertices)
@@ -92,34 +87,19 @@ func main() {
 	}
 	if *dotFile != "" {
 		f, err := os.Create(*dotFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
-			os.Exit(1)
-		}
-		if err := dag.WriteDOT(f, res.Instance, query); err != nil {
-			fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
-			os.Exit(1)
-		}
+		cli.Fatal(err)
+		cli.Fatalf(*dotFile, dag.WriteDOT(f, res.Instance, query))
+		cli.Fatalf(*dotFile, f.Close())
 	}
 
 	if *useBaseline {
 		t0 := time.Now()
 		tree, err := baseline.Build(data, prog.Strings)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xcquery: baseline: %v\n", err)
-			os.Exit(1)
-		}
+		cli.Fatalf(flag.Arg(1)+": baseline", err)
 		buildTime := time.Since(t0)
 		t1 := time.Now()
 		sel, err := baseline.Eval(tree, prog)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xcquery: baseline: %v\n", err)
-			os.Exit(1)
-		}
+		cli.Fatalf(flag.Arg(1)+": baseline", err)
 		evalTime := time.Since(t1)
 		fmt.Printf("baseline build:     %v (%d nodes)\n", buildTime, tree.NumNodes())
 		fmt.Printf("baseline eval:      %v\n", evalTime)
@@ -131,20 +111,13 @@ func main() {
 func queryDir(query string, prog *xpath.Program, dir string, workers int, prepare bool) {
 	pool := core.NewPool(workers)
 	n, err := pool.AddDir(dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Fatalf(dir, err)
 	if n == 0 {
-		fmt.Fprintf(os.Stderr, "xcquery: no *.xml files in %s\n", dir)
-		os.Exit(1)
+		cli.Fatalf(dir, fmt.Errorf("no *.xml files"))
 	}
 	if prepare {
 		t0 := time.Now()
-		if err := pool.PrepareBatch(); err != nil {
-			fmt.Fprintf(os.Stderr, "xcquery: %v\n", err)
-			os.Exit(1)
-		}
+		cli.Fatalf(dir, pool.PrepareBatch())
 		fmt.Printf("prepared %d documents in %v (%d workers)\n", n, time.Since(t0), pool.Workers())
 	}
 

@@ -6,28 +6,42 @@
 //
 //	xcarchive pack-dir corpus/ archives/
 //	xcserve -store archives/ -addr :8344
+//	xcserve -store archives/ -ingest            # read-write
 //
-// Endpoints (all GET, all JSON):
+// Read endpoints (GET, JSON):
 //
 //	/query?doc=NAME&q=XPATH[&max=N]  one document
 //	/query?q=XPATH[&max=N]           fan out over the whole catalog
 //	/docs                            the catalog with per-document sizes
-//	/stats                           cache hit/miss/eviction counters
+//	/stats                           cache, query and ingest counters
+//
+// With -ingest, the write path (internal/ingest) comes up too: documents
+// POSTed to /docs/NAME are WAL-logged, compressed into the memtable and
+// immediately queryable; a background compactor turns them into .xca
+// archives in the store directory. DELETE /docs/NAME tombstones; POST
+// /flush forces compaction.
 //
 // Because cached documents are immutable, the read path needs no locking:
 // every request handler goroutine queries its own copy-on-evaluate
 // instance, and fan-outs spread over a bounded worker pool
-// (engine.RunParallel) sized by -workers.
+// (engine.RunParallel) sized by -workers. On SIGINT/SIGTERM the server
+// stops accepting connections, drains in-flight queries, and flushes the
+// ingest WAL into archives before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/store"
 )
 
@@ -39,6 +53,14 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", store.DefaultCacheBytes, "decoded-document cache budget in bytes")
 		progCache  = flag.Int("query-cache", store.DefaultProgramCache, "compiled-query cache entries")
 		maxPaths   = flag.Int("max-paths", 100, "cap on result addresses per response")
+
+		ingestOn     = flag.Bool("ingest", false, "enable the write path (POST /docs/NAME, DELETE /docs/NAME, POST /flush)")
+		walDir       = flag.String("wal", "", "WAL directory (default <store>/wal)")
+		walSync      = flag.Bool("wal-sync", true, "fsync the WAL on every write (off: faster, a crash can lose recent writes)")
+		memBytes     = flag.Int64("memtable-bytes", ingest.DefaultMemTableBytes, "seal the memtable for compaction past this estimated size")
+		compactEvery = flag.Duration("compact-interval", 15*time.Second, "also compact on this interval (0 = only on memtable pressure and /flush)")
+		maxBody      = flag.Int64("max-doc-bytes", 64<<20, "largest accepted POST body")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -54,20 +76,67 @@ func main() {
 	if err != nil {
 		log.Fatalf("xcserve: %v", err)
 	}
-	if s.Len() == 0 {
-		log.Printf("xcserve: warning: no %s archives in %s (pack some with: xcarchive pack-dir)", store.Ext, *dir)
+	if s.Len() == 0 && !*ingestOn {
+		log.Printf("xcserve: warning: no %s archives in %s (pack some with: xcarchive pack-dir, or restart with -ingest and POST documents)", store.Ext, *dir)
+	}
+
+	var ing *ingest.Ingester
+	serverOpts := store.ServerOptions{MaxPaths: *maxPaths, MaxBodyBytes: *maxBody}
+	if *ingestOn {
+		wd := *walDir
+		if wd == "" {
+			wd = filepath.Join(*dir, "wal")
+		}
+		ing, err = ingest.Open(ingest.Options{
+			WALDir:          wd,
+			Store:           s,
+			Sync:            *walSync,
+			MemTableBytes:   *memBytes,
+			CompactInterval: *compactEvery,
+		})
+		if err != nil {
+			log.Fatalf("xcserve: %v", err)
+		}
+		serverOpts.Ingest = ing
+		ist := ing.Stats()
+		log.Printf("xcserve: ingest enabled (wal=%s sync=%v memtable=%s); replayed %d WAL record(s)",
+			wd, *walSync, humanBytes(*memBytes), ist.Replayed)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           store.NewHandler(s, store.ServerOptions{MaxPaths: *maxPaths}),
+		Handler:           store.NewHandler(s, serverOpts),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("xcserve: serving %d document(s) from %s on %s (workers=%d, cache=%s)",
 		s.Len(), *dir, *addr, s.Workers(), humanBytes(*cacheBytes))
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// drain in-flight requests, then flush the ingest WAL into archives.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
 		log.Fatalf("xcserve: %v", err)
+	case <-ctx.Done():
 	}
+	stop()
+	log.Printf("xcserve: shutting down: draining in-flight queries (up to %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("xcserve: drain: %v", err)
+	}
+	if ing != nil {
+		log.Printf("xcserve: flushing ingest WAL to archives")
+		if err := ing.Close(); err != nil {
+			log.Fatalf("xcserve: ingest close: %v", err)
+		}
+	}
+	log.Printf("xcserve: bye")
 }
 
 func humanBytes(n int64) string {

@@ -5,12 +5,15 @@
 // Usage:
 //
 //	xcstat file.xml [file2.xml ...]
+//
+// Every failure names the file it concerns and exits non-zero.
 package main
 
 import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/skeleton"
 )
@@ -24,20 +27,14 @@ func main() {
 		"file", "|V_T|", "|V_M(T)|", "|E_M(T)|", "ratio", "tags")
 	for _, path := range os.Args[1:] {
 		data, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xcstat: %v\n", err)
-			os.Exit(1)
-		}
+		cli.Fatal(err)
 		doc := core.Load(data)
 		for _, mode := range []struct {
 			m    skeleton.TagMode
 			sign string
 		}{{skeleton.TagsNone, "-"}, {skeleton.TagsAll, "+"}} {
 			st, err := doc.Stats(mode.m)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "xcstat: %s: %v\n", path, err)
-				os.Exit(1)
-			}
+			cli.Fatalf(path, err)
 			fmt.Printf("%-24s %12d %12d %12d %9.1f%%  %s\n",
 				path, st.TreeVertices, st.DagVertices, st.DagEdges, 100*st.Ratio, mode.sign)
 		}

@@ -1,0 +1,31 @@
+// Package cli holds the shared scaffolding of the cmd/ binaries:
+// uniform fatal-error reporting — every failure path exits non-zero with
+// the binary's name as prefix and, where it applies, the file or
+// resource the error concerns.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// prog is the invoked binary's name, the prefix of every error line.
+var prog = filepath.Base(os.Args[0])
+
+// Fatal prints "prog: err" to stderr and exits 1 when err is non-nil.
+func Fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		os.Exit(1)
+	}
+}
+
+// Fatalf is Fatal with the file or resource the error concerns, so a
+// failing item in a batch names itself: "prog: path: err".
+func Fatalf(path string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", prog, path, err)
+		os.Exit(1)
+	}
+}

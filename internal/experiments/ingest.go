@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ingest"
+	"repro/internal/store"
+)
+
+// IngestRow is one measurement of the live-ingestion experiment: a fixed
+// query workload against one pre-archived document while `Docs` fresh
+// documents stream through the write path, at a given query-side worker
+// count.
+type IngestRow struct {
+	Corpus  string
+	Docs    int // documents ingested during the busy phase
+	Workers int
+
+	// Write throughput: wall-clock for the ingest loop (parse + compress
+	// + WAL append + memtable publish per document).
+	WriteWall       time.Duration
+	WriteDocsPerSec float64
+	DocBytes        int64 // average raw size of one ingested document
+
+	// Query-latency interference: the same single-document query loop
+	// measured with the write path idle and with it streaming. The
+	// queried document never changes, so any latency delta is the
+	// ingest subsystem's interference, not extra query work.
+	QueriesIdle, QueriesBusy int
+	IdleP50, IdleP99         time.Duration
+	BusyP50, BusyP99         time.Duration
+
+	// FlushWall drains the whole memtable to .xca archives; RecoveryWall
+	// is a simulated crash at peak memtable (no flush) followed by
+	// reopen + WAL replay of `Recovered` documents.
+	FlushWall    time.Duration
+	RecoveryWall time.Duration
+	Recovered    int
+}
+
+// ingestIdleQueries is the idle-phase sample count per row.
+const ingestIdleQueries = 40
+
+// IngestSweep measures the write path against the read path: for each
+// worker count it archives one seed document, measures baseline query
+// latency against it, then replays the same query loop while `docs`
+// generated documents stream through Add — reporting write docs/sec,
+// idle vs busy p50/p99, flush (compaction) time, and crash-recovery
+// (WAL replay) time. The WAL runs without per-write fsync so the
+// measurement exercises the pipeline, not the disk's flush latency.
+func IngestSweep(corpusName string, docs int, sizeScale float64, seed uint64, workerCounts []int) ([]IngestRow, error) {
+	c, err := corpus.ByName(corpusName)
+	if err != nil {
+		return nil, err
+	}
+	if docs < 1 {
+		return nil, fmt.Errorf("ingest sweep: need at least 1 document, got %d", docs)
+	}
+	if len(workerCounts) == 0 {
+		return nil, fmt.Errorf("ingest sweep: no worker counts given")
+	}
+
+	seedDoc := c.Generate(scaled(c.DefaultScale, sizeScale), seed)
+	want, err := core.Load(seedDoc).Query(c.Queries[1])
+	if err != nil {
+		return nil, fmt.Errorf("ingest sweep: golden query: %w", err)
+	}
+	generated := make([][]byte, docs)
+	var genBytes int64
+	for i := range generated {
+		generated[i] = c.Generate(scaled(c.DefaultScale, sizeScale), seed+1+uint64(i))
+		genBytes += int64(len(generated[i]))
+	}
+
+	var rows []IngestRow
+	for _, w := range workerCounts {
+		row, err := ingestRun(c, seedDoc, want.SelectedTree, generated, w)
+		if err != nil {
+			return nil, err
+		}
+		row.Corpus = corpusName
+		row.DocBytes = genBytes / int64(docs)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ingestRun performs one row's measurement.
+func ingestRun(c corpus.Corpus, seedDoc []byte, wantSel uint64, generated [][]byte, workers int) (IngestRow, error) {
+	row := IngestRow{Docs: len(generated), Workers: workers}
+	dir, err := os.MkdirTemp("", "xcingest-sweep")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	storeDir := filepath.Join(dir, "store")
+	if err := os.MkdirAll(storeDir, 0o755); err != nil {
+		return row, err
+	}
+
+	s, err := store.Open(storeDir, store.Options{Workers: workers})
+	if err != nil {
+		return row, err
+	}
+	ing, err := ingest.Open(ingest.Options{
+		WALDir: filepath.Join(dir, "wal"),
+		Store:  s,
+	})
+	if err != nil {
+		return row, err
+	}
+	if err := ing.Add("seed", seedDoc); err != nil {
+		return row, err
+	}
+	if err := ing.Flush(); err != nil { // the seed serves from an archive
+		return row, err
+	}
+
+	query := func() (time.Duration, error) {
+		t0 := time.Now()
+		res, err := s.Query("seed", c.Queries[1])
+		if err != nil {
+			return 0, err
+		}
+		if res.SelectedTree != wantSel {
+			return 0, fmt.Errorf("ingest sweep: seed query drifted: %d matches, want %d", res.SelectedTree, wantSel)
+		}
+		return time.Since(t0), nil
+	}
+
+	// Idle phase: the write path exists but is quiescent.
+	idle := make([]time.Duration, 0, ingestIdleQueries)
+	for i := 0; i < ingestIdleQueries; i++ {
+		d, err := query()
+		if err != nil {
+			return row, err
+		}
+		idle = append(idle, d)
+	}
+
+	// Busy phase: stream every document through Add while the same
+	// query loop runs.
+	var (
+		writeErr  error
+		writeWall time.Duration
+		done      = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		t0 := time.Now()
+		for i, doc := range generated {
+			if err := ing.Add(fmt.Sprintf("live%04d", i), doc); err != nil {
+				writeErr = err
+				return
+			}
+		}
+		writeWall = time.Since(t0)
+	}()
+	// Query first, check the writer after: even when a tiny corpus
+	// ingests within one query round-trip, at least one sample overlaps
+	// the write burst. No padding afterwards — padded samples would run
+	// against an idle write path and dilute the interference metric.
+	var busy []time.Duration
+	for {
+		d, err := query()
+		if err != nil {
+			return row, err
+		}
+		busy = append(busy, d)
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+	if writeErr != nil {
+		return row, writeErr
+	}
+
+	t0 := time.Now()
+	if err := ing.Flush(); err != nil {
+		return row, err
+	}
+	row.FlushWall = time.Since(t0)
+
+	// Crash recovery: re-ingest everything (memtable + WAL only), kill,
+	// and time reopen + replay.
+	for i, doc := range generated {
+		if err := ing.Add(fmt.Sprintf("crash%04d", i), doc); err != nil {
+			return row, err
+		}
+	}
+	ing.Kill()
+	t1 := time.Now()
+	s2, err := store.Open(storeDir, store.Options{Workers: workers})
+	if err != nil {
+		return row, err
+	}
+	ing2, err := ingest.Open(ingest.Options{
+		WALDir: filepath.Join(dir, "wal"),
+		Store:  s2,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.RecoveryWall = time.Since(t1)
+	row.Recovered = ing2.Stats().Replayed
+	if err := ing2.Close(); err != nil {
+		return row, err
+	}
+
+	row.WriteWall = writeWall
+	row.WriteDocsPerSec = float64(len(generated)) / writeWall.Seconds()
+	row.QueriesIdle, row.QueriesBusy = len(idle), len(busy)
+	row.IdleP50, row.IdleP99 = percentile(idle, 50), percentile(idle, 99)
+	row.BusyP50, row.BusyP99 = percentile(busy, 50), percentile(busy, 99)
+	return row, nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of samples.
+func percentile(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// PrintIngest renders sweep rows as a table.
+func PrintIngest(w io.Writer, rows []IngestRow) {
+	fmt.Fprintf(w, "%-12s %5s %8s %10s %12s %10s %10s %10s %10s %10s %10s\n",
+		"corpus", "docs", "workers", "docs/sec", "avg doc", "idle p50", "idle p99", "busy p50", "busy p99", "flush", "recovery")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %5d %8d %10.1f %12d %10v %10v %10v %10v %10v %10v\n",
+			r.Corpus, r.Docs, r.Workers, r.WriteDocsPerSec, r.DocBytes,
+			r.IdleP50.Round(time.Microsecond), r.IdleP99.Round(time.Microsecond),
+			r.BusyP50.Round(time.Microsecond), r.BusyP99.Round(time.Microsecond),
+			r.FlushWall.Round(time.Millisecond), r.RecoveryWall.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestIngestSweepSmall(t *testing.T) {
+	rows, err := IngestSweep("DBLP", 2, 0.02, 1, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.WriteDocsPerSec <= 0 || r.WriteWall <= 0 {
+			t.Errorf("row %+v: no write throughput measured", r)
+		}
+		if r.QueriesIdle == 0 || r.QueriesBusy == 0 {
+			t.Errorf("row %+v: missing latency samples", r)
+		}
+		if r.IdleP50 <= 0 || r.BusyP99 < r.BusyP50 {
+			t.Errorf("row %+v: inconsistent percentiles", r)
+		}
+		if r.Recovered != 2 {
+			t.Errorf("row %+v: recovered %d docs, want 2", r, r.Recovered)
+		}
+		if r.RecoveryWall <= 0 || r.FlushWall <= 0 {
+			t.Errorf("row %+v: missing flush/recovery walls", r)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []time.Duration{5, 1, 4, 2, 3}
+	if p := percentile(samples, 50); p != 3 {
+		t.Errorf("p50 = %v, want 3", p)
+	}
+	if p := percentile(samples, 99); p != 5 {
+		t.Errorf("p99 = %v, want 5", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Errorf("empty p50 = %v, want 0", p)
+	}
+}
+
+func TestPrintIngest(t *testing.T) {
+	var buf bytes.Buffer
+	PrintIngest(&buf, []IngestRow{{Corpus: "DBLP", Docs: 2, Workers: 1, WriteDocsPerSec: 10}})
+	if buf.Len() == 0 || !bytes.Contains(buf.Bytes(), []byte("DBLP")) {
+		t.Fatalf("PrintIngest wrote %q", buf.String())
+	}
+}

@@ -1,0 +1,517 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/container"
+	"repro/internal/store"
+)
+
+// DefaultMemTableBytes is the seal threshold when Options leaves it zero.
+const DefaultMemTableBytes = 64 << 20
+
+// ErrClosed is returned by writes against a closed Ingester. It wraps
+// store.ErrUnavailable so the HTTP layer can answer 503 (retry later)
+// rather than a client-fault 4xx.
+var ErrClosed = fmt.Errorf("ingest: ingester is closed: %w", store.ErrUnavailable)
+
+// Options configures an Ingester.
+type Options struct {
+	// WALDir holds the write-ahead log segments. Required.
+	WALDir string
+	// Store is the serving catalog fresh documents join (as the store's
+	// live view) and compacted archives land in (under Store.Dir()).
+	// Required.
+	Store *store.Store
+	// Sync fsyncs the WAL on every write. Durable but slower; off, a
+	// crash can lose writes the OS had not flushed yet.
+	Sync bool
+	// MemTableBytes seals the active generation for compaction once its
+	// estimated size exceeds this. <= 0 selects DefaultMemTableBytes.
+	MemTableBytes int64
+	// SegmentBytes is the WAL segment rotation threshold. <= 0 selects
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// CompactInterval also seals and compacts on a timer, bounding how
+	// long a document stays WAL-only. 0 disables the timer: compaction
+	// then runs only on seal, Flush and Close.
+	CompactInterval time.Duration
+}
+
+// Ingester is the write subsystem: WAL for durability, memtable for
+// immediate visibility, background compactor for permanence. Add, Delete,
+// Flush and Stats are safe for concurrent use, and none of them ever
+// blocks the store's read path: queries reach the memtable through the
+// store.Live view, whose lookups touch the memtable mutex only for the
+// duration of a map read — WAL I/O (fsyncs, rotation) happens under a
+// separate writer lock that readers never take.
+type Ingester struct {
+	opts Options
+
+	// Lock order: walMu before mu, never the reverse. walMu serialises
+	// the writers (WAL appends, rotation, close) and guards closed; it
+	// is the lock held across disk I/O. mu guards the memtable and
+	// counters and is only ever held for map and field operations.
+	walMu  sync.Mutex
+	wal    *Log
+	closed bool
+
+	mu       sync.Mutex
+	table    *memtable
+	replayed int
+
+	ingested, deleted          uint64
+	compactions, compactedDocs uint64
+	compactErr                 error // last background-compaction failure
+
+	sealCh    chan struct{}
+	stopCh    chan struct{}
+	done      sync.WaitGroup
+	compactMu sync.Mutex // serialises compaction drains
+}
+
+// Open opens (creating if needed) the WAL under opts.WALDir, replays it
+// into a fresh memtable — crash recovery: every record that was durable
+// is queryable again before Open returns — attaches the memtable to the
+// store as its live view, and starts the background compactor.
+func Open(opts Options) (*Ingester, error) {
+	if opts.Store == nil {
+		return nil, errors.New("ingest: Options.Store is required")
+	}
+	if opts.WALDir == "" {
+		return nil, errors.New("ingest: Options.WALDir is required")
+	}
+	if opts.MemTableBytes <= 0 {
+		opts.MemTableBytes = DefaultMemTableBytes
+	}
+	ing := &Ingester{
+		opts:   opts,
+		table:  newMemtable(),
+		sealCh: make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+	}
+	wal, err := OpenLog(opts.WALDir, LogOptions{Sync: opts.Sync, SegmentBytes: opts.SegmentBytes}, func(rec Record) error {
+		ing.replayed++
+		return ing.apply(rec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ing.wal = wal
+	opts.Store.SetLive(ing)
+	ing.done.Add(1)
+	go ing.compactor()
+	return ing, nil
+}
+
+// apply replays one WAL record into the memtable (no further logging).
+func (ing *Ingester) apply(rec Record) error {
+	switch rec.Op {
+	case OpAdd:
+		d, err := buildDoc(rec.Name, rec.Data)
+		if err != nil {
+			return fmt.Errorf("ingest: replaying %q: %w", rec.Name, err)
+		}
+		ing.table.put(rec.Name, d)
+	case OpDelete:
+		ing.table.put(rec.Name, &memDoc{tomb: true})
+	default:
+		return fmt.Errorf("ingest: replaying %q: unknown op %d", rec.Name, rec.Op)
+	}
+	return nil
+}
+
+// buildDoc runs the incremental skeleton build for one document: split
+// the XML into an archive (compressed skeleton + value containers), then
+// distil the queryable instance from it — the same construction the
+// store performs when decoding an archive file, so a document served
+// from the memtable is indistinguishable from one served from disk.
+func buildDoc(name string, xml []byte) (*memDoc, error) {
+	a, err := container.Split(xml)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := store.NewDoc(name, a)
+	if err != nil {
+		return nil, err
+	}
+	return &memDoc{doc: doc, archive: a, bytes: doc.MemBytes()}, nil
+}
+
+// validateName accepts names that are safe as archive file stems: ASCII
+// letters, digits, '.', '_', '-', not empty, not starting with '.', at
+// most 200 bytes. Failures are client faults (store.ErrBadDocument).
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("ingest: %w: empty document name", store.ErrBadDocument)
+	}
+	if len(name) > 200 {
+		return fmt.Errorf("ingest: %w: document name longer than 200 bytes", store.ErrBadDocument)
+	}
+	if name[0] == '.' {
+		return fmt.Errorf("ingest: %w: document name %q starts with '.'", store.ErrBadDocument, name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("ingest: %w: document name %q contains %q (allowed: letters, digits, '.', '_', '-')", store.ErrBadDocument, name, c)
+		}
+	}
+	return nil
+}
+
+// Add ingests one XML document under name, replacing any previous
+// document with that name (live or archived). The document is parsed and
+// compressed first — invalid XML is rejected with nothing written — then
+// logged to the WAL, then published to the memtable; it is queryable when
+// Add returns and durable per the WAL's sync policy.
+func (ing *Ingester) Add(name string, xml []byte) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	d, err := buildDoc(name, xml)
+	if err != nil {
+		return fmt.Errorf("ingest: %q: %w: %v", name, store.ErrBadDocument, err)
+	}
+
+	ing.walMu.Lock()
+	defer ing.walMu.Unlock()
+	if ing.closed {
+		return ErrClosed
+	}
+	if err := ing.wal.Append(Record{Op: OpAdd, Name: name, Data: xml}); err != nil {
+		return err
+	}
+	ing.mu.Lock()
+	ing.table.put(name, d)
+	ing.ingested++
+	needSeal := ing.table.active.bytes >= ing.opts.MemTableBytes
+	ing.mu.Unlock()
+	if needSeal {
+		// The write itself is already durable and visible; a rotation
+		// failure here is a background-compaction problem (surfaced by
+		// Stats and the next Flush), not a failure of this write.
+		if err := ing.sealWALLocked(); err != nil {
+			ing.setCompactErr(err)
+		}
+	}
+	return nil
+}
+
+// Delete tombstones name: the document disappears from queries
+// immediately, and compaction removes its archive file. Deleting an
+// unknown name is an error.
+func (ing *Ingester) Delete(name string) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	ing.walMu.Lock()
+	defer ing.walMu.Unlock()
+	if ing.closed {
+		return ErrClosed
+	}
+	// Checked under walMu: no writer can add or remove the name between
+	// this check and the tombstone append. (Lock order walMu → store
+	// locks; the store never takes walMu.)
+	if !ing.opts.Store.Has(name) {
+		return fmt.Errorf("ingest: %w: no document %q", store.ErrNotFound, name)
+	}
+	if err := ing.wal.Append(Record{Op: OpDelete, Name: name}); err != nil {
+		return err
+	}
+	ing.mu.Lock()
+	ing.table.put(name, &memDoc{tomb: true})
+	ing.deleted++
+	needSeal := ing.table.active.bytes >= ing.opts.MemTableBytes
+	ing.mu.Unlock()
+	if needSeal {
+		if err := ing.sealWALLocked(); err != nil {
+			ing.setCompactErr(err) // the tombstone itself is durable and visible
+		}
+	}
+	return nil
+}
+
+// sealWALLocked rotates the WAL and moves the active generation to the
+// sealed FIFO, then pokes the compactor. Caller holds ing.walMu (so no
+// writer can interleave between the empty check, the rotation and the
+// seal); ing.mu is taken only around the memtable touches.
+func (ing *Ingester) sealWALLocked() error {
+	ing.mu.Lock()
+	empty := len(ing.table.active.docs) == 0
+	ing.mu.Unlock()
+	if empty {
+		return nil
+	}
+	boundary, err := ing.wal.Rotate()
+	if err != nil {
+		return err
+	}
+	ing.mu.Lock()
+	ing.table.seal(boundary)
+	ing.mu.Unlock()
+	select {
+	case ing.sealCh <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// compactor is the background drain loop.
+func (ing *Ingester) compactor() {
+	defer ing.done.Done()
+	var tick <-chan time.Time
+	if ing.opts.CompactInterval > 0 {
+		t := time.NewTicker(ing.opts.CompactInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ing.stopCh:
+			return
+		case <-ing.sealCh:
+		case <-tick:
+			ing.walMu.Lock()
+			var err error
+			if !ing.closed {
+				err = ing.sealWALLocked()
+			}
+			ing.walMu.Unlock()
+			if err != nil {
+				ing.setCompactErr(err)
+				continue
+			}
+		}
+		// A successful drain clears any earlier transient failure, so
+		// /stats does not report a long-resolved fault and the next
+		// Flush does not fail retroactively.
+		ing.setCompactErr(ing.drain())
+	}
+}
+
+// setCompactErr records a background failure (or clears one, on nil) for
+// Stats and the next Flush to surface.
+func (ing *Ingester) setCompactErr(err error) {
+	ing.mu.Lock()
+	ing.compactErr = err
+	ing.mu.Unlock()
+}
+
+// drain compacts every sealed generation, oldest first.
+func (ing *Ingester) drain() error {
+	ing.compactMu.Lock()
+	defer ing.compactMu.Unlock()
+	for {
+		ing.mu.Lock()
+		if len(ing.table.sealed) == 0 {
+			ing.mu.Unlock()
+			return nil
+		}
+		g := ing.table.sealed[0]
+		ing.mu.Unlock()
+
+		if err := ing.compactGeneration(g); err != nil {
+			return err
+		}
+
+		ing.mu.Lock()
+		// The generation's documents are durable as archives and already
+		// reachable through the store catalog; dropping it re-routes
+		// reads from the memtable to those archives (identical content),
+		// and the WAL prefix that fed it can go.
+		ing.table.sealed = ing.table.sealed[1:]
+		ing.compactions++
+		ing.compactedDocs += uint64(len(g.docs))
+		ing.mu.Unlock()
+		ing.walMu.Lock()
+		err := ing.wal.TruncateThrough(g.walSealed)
+		ing.walMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// compactGeneration makes one sealed generation durable: each document is
+// encoded to a temp file, fsynced and atomically renamed to name.xca in
+// the store directory, then swapped into the catalog; tombstones remove
+// the archive and catalog entry. Runs without the Ingester mutex — writes
+// and queries proceed concurrently.
+func (ing *Ingester) compactGeneration(g *generation) error {
+	names := make([]string, 0, len(g.docs))
+	for name := range g.docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	dir := ing.opts.Store.Dir()
+	for _, name := range names {
+		d := g.docs[name]
+		path := filepath.Join(dir, name+store.Ext)
+		if d.tomb {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("ingest: compacting tombstone %q: %w", name, err)
+			}
+			ing.opts.Store.RemoveArchive(name)
+			continue
+		}
+		if err := writeArchive(path, d.archive); err != nil {
+			return fmt.Errorf("ingest: compacting %q: %w", name, err)
+		}
+		// Hand the already-decoded document over as the cache seed: the
+		// first post-compaction query then serves warm instead of
+		// re-reading and re-decoding the archive it just wrote.
+		if err := ing.opts.Store.AddArchive(name, path, d.doc); err != nil {
+			return fmt.Errorf("ingest: cataloguing %q: %w", name, err)
+		}
+	}
+	return syncDir(dir)
+}
+
+// writeArchive encodes a to path via a temp file + fsync + rename, so a
+// crash leaves either the old file or the new one, never a torn archive.
+func writeArchive(path string, a *container.Archive) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".compact-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if err := codec.EncodeArchive(tmp, a); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// Flush synchronously seals the active generation and compacts every
+// sealed one: when it returns, all ingested documents live in .xca
+// archives, the memtable is empty and the WAL has been retired. A
+// pending background-compaction failure is surfaced here.
+func (ing *Ingester) Flush() error {
+	ing.walMu.Lock()
+	if ing.closed {
+		ing.walMu.Unlock()
+		return ErrClosed
+	}
+	err := ing.sealWALLocked()
+	ing.walMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := ing.drain(); err != nil {
+		return err
+	}
+	ing.mu.Lock()
+	err = ing.compactErr
+	ing.compactErr = nil
+	ing.mu.Unlock()
+	return err
+}
+
+// Close flushes, stops the compactor and closes the WAL. The Ingester
+// rejects writes afterwards; the store keeps serving its archives.
+func (ing *Ingester) Close() error {
+	flushErr := ing.Flush()
+	ing.stop()
+	ing.walMu.Lock()
+	closeErr := ing.wal.Close()
+	ing.closed = true
+	ing.walMu.Unlock()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Kill simulates a crash: the compactor stops and the WAL file
+// descriptors are dropped without flushing or compacting, leaving the
+// on-disk state exactly as a power cut would. Reopening with Open
+// replays the WAL. For tests and recovery experiments.
+func (ing *Ingester) Kill() {
+	ing.stop()
+	ing.walMu.Lock()
+	ing.wal.closeNoSync()
+	ing.closed = true
+	ing.walMu.Unlock()
+}
+
+func (ing *Ingester) stop() {
+	select {
+	case <-ing.stopCh:
+	default:
+		close(ing.stopCh)
+	}
+	ing.done.Wait()
+}
+
+// LiveDoc implements store.Live: the newest memtable view of name.
+func (ing *Ingester) LiveDoc(name string) (doc *store.Doc, deleted bool) {
+	ing.mu.Lock()
+	d, ok := ing.table.get(name)
+	ing.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if d.tomb {
+		return nil, true
+	}
+	return d.doc, false
+}
+
+// LiveNames implements store.Live: current memtable names, sorted.
+func (ing *Ingester) LiveNames() (live, deleted []string) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.table.names()
+}
+
+// Stats returns a point-in-time snapshot of the write path.
+func (ing *Ingester) Stats() store.IngestStats {
+	ing.walMu.Lock()
+	walSegs, walBytes, walSync := ing.wal.Segments(), ing.wal.SizeBytes(), ing.opts.Sync
+	ing.walMu.Unlock()
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	docs, bytes := ing.table.size()
+	st := store.IngestStats{
+		Ingested:      ing.ingested,
+		Deleted:       ing.deleted,
+		Replayed:      ing.replayed,
+		LiveDocs:      docs,
+		LiveBytes:     bytes,
+		SealedGens:    len(ing.table.sealed),
+		Compactions:   ing.compactions,
+		CompactedDocs: ing.compactedDocs,
+		WALSegments:   walSegs,
+		WALBytes:      walBytes,
+		WALSync:       walSync,
+	}
+	if ing.compactErr != nil {
+		st.LastError = ing.compactErr.Error()
+	}
+	return st
+}

@@ -1,0 +1,114 @@
+package ingest
+
+import (
+	"sort"
+
+	"repro/internal/container"
+	"repro/internal/store"
+)
+
+// memDoc is one live write: either an ingested document (doc + the
+// archive the compactor will encode) or a tombstone hiding an archived
+// document. Once published a memDoc is never mutated, so readers use it
+// without coordination.
+type memDoc struct {
+	doc     *store.Doc         // nil for tombstones
+	archive *container.Archive // what compaction writes; nil for tombstones
+	bytes   int64              // estimated in-memory size
+	tomb    bool
+}
+
+// generation is one batch of writes that seals and compacts together.
+// walSealed is the WAL segment boundary recorded at seal time: once every
+// doc of the generation is durable as an archive, segments <= walSealed
+// can be unlinked — provided all earlier generations compacted first,
+// which the FIFO compactor guarantees.
+type generation struct {
+	docs      map[string]*memDoc
+	bytes     int64
+	walSealed uint64
+}
+
+// memtable is the in-memory write buffer: an active generation receiving
+// writes plus a FIFO of sealed generations awaiting compaction. All
+// access goes through the Ingester's mutex; the table itself adds none.
+type memtable struct {
+	active *generation
+	sealed []*generation
+}
+
+func newMemtable() *memtable {
+	return &memtable{active: &generation{docs: make(map[string]*memDoc)}}
+}
+
+// put publishes a write into the active generation.
+func (m *memtable) put(name string, d *memDoc) {
+	if old, ok := m.active.docs[name]; ok {
+		m.active.bytes -= old.bytes
+	}
+	m.active.docs[name] = d
+	m.active.bytes += d.bytes
+}
+
+// get returns the newest live view of name: the active generation wins
+// over sealed ones, newer sealed generations over older.
+func (m *memtable) get(name string) (*memDoc, bool) {
+	if d, ok := m.active.docs[name]; ok {
+		return d, true
+	}
+	for i := len(m.sealed) - 1; i >= 0; i-- {
+		if d, ok := m.sealed[i].docs[name]; ok {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// seal moves the active generation onto the sealed FIFO (recording the
+// WAL boundary) and starts a fresh one. Empty generations are not sealed.
+func (m *memtable) seal(walSealed uint64) bool {
+	if len(m.active.docs) == 0 {
+		return false
+	}
+	m.active.walSealed = walSealed
+	m.sealed = append(m.sealed, m.active)
+	m.active = &generation{docs: make(map[string]*memDoc)}
+	return true
+}
+
+// names returns the live (non-tombstone) and tombstoned names across all
+// generations, each sorted. A name is classified by its newest memDoc.
+func (m *memtable) names() (live, deleted []string) {
+	seen := make(map[string]bool)
+	classify := func(g *generation) {
+		for name, d := range g.docs {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			if d.tomb {
+				deleted = append(deleted, name)
+			} else {
+				live = append(live, name)
+			}
+		}
+	}
+	classify(m.active)
+	for i := len(m.sealed) - 1; i >= 0; i-- {
+		classify(m.sealed[i])
+	}
+	sort.Strings(live)
+	sort.Strings(deleted)
+	return live, deleted
+}
+
+// docs returns the number of entries and summed bytes across generations.
+func (m *memtable) size() (docs int, bytes int64) {
+	docs = len(m.active.docs)
+	bytes = m.active.bytes
+	for _, g := range m.sealed {
+		docs += len(g.docs)
+		bytes += g.bytes
+	}
+	return docs, bytes
+}

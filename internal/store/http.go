@@ -4,18 +4,59 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 )
+
+// IngestStats is a point-in-time snapshot of the write path, reported
+// under "ingest" in /stats.
+type IngestStats struct {
+	Ingested uint64 `json:"ingested"` // documents accepted since open
+	Deleted  uint64 `json:"deleted"`  // tombstones accepted since open
+	Replayed int    `json:"replayed"` // WAL records replayed at open
+
+	LiveDocs   int   `json:"live_docs"`  // memtable entries awaiting compaction
+	LiveBytes  int64 `json:"live_bytes"` // their estimated in-memory size
+	SealedGens int   `json:"sealed_generations"`
+
+	Compactions   uint64 `json:"compactions"`
+	CompactedDocs uint64 `json:"compacted_docs"`
+
+	WALSegments int   `json:"wal_segments"`
+	WALBytes    int64 `json:"wal_bytes"`
+	WALSync     bool  `json:"wal_sync"`
+
+	LastError string `json:"last_error,omitempty"` // pending background-compaction failure
+}
+
+// Ingestor is the write API the HTTP layer drives — implemented by
+// internal/ingest.Ingester. All methods must be safe for concurrent use.
+type Ingestor interface {
+	// Add ingests one XML document under name, replacing any existing
+	// document with that name.
+	Add(name string, xml []byte) error
+	// Delete tombstones name.
+	Delete(name string) error
+	// Flush makes every ingested document durable as an archive.
+	Flush() error
+	// Stats snapshots the write path.
+	Stats() IngestStats
+}
 
 // ServerOptions configures the HTTP face of a Store.
 type ServerOptions struct {
 	// MaxPaths caps how many result addresses a single response may carry
 	// (the `max` query parameter is clamped to it). <= 0 selects 100.
 	MaxPaths int
+	// Ingest enables the write endpoints. nil serves read-only.
+	Ingest Ingestor
+	// MaxBodyBytes caps an ingested document's size. <= 0 selects 64 MiB.
+	MaxBodyBytes int64
 }
 
 // NewHandler wraps a Store in the xcserve HTTP API:
@@ -23,20 +64,31 @@ type ServerOptions struct {
 //	GET /query?doc=NAME&q=XPATH[&max=N]  evaluate against one document
 //	GET /query?q=XPATH[&max=N]           fan out over every document
 //	GET /docs                            the catalog
-//	GET /stats                           cache and query counters
+//	GET /stats                           cache, query and ingest counters
+//
+// and, when ServerOptions.Ingest is set, the write API:
+//
+//	POST   /docs/NAME   body = XML      ingest (or replace) a document
+//	DELETE /docs/NAME                   tombstone a document
+//	POST   /flush                       force compaction to archives
 //
 // All responses are JSON; errors are {"error": "..."} with a matching
 // status code. The handler is safe for concurrent use — it adds no state
-// of its own beyond the start time, and the Store is coordination-free on
-// the read path.
+// of its own beyond the start time, the Store is coordination-free on
+// the read path, and the Ingestor serialises the write path internally.
 func NewHandler(s *Store, opts ServerOptions) http.Handler {
 	if opts.MaxPaths <= 0 {
 		opts.MaxPaths = 100
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
 	}
 	h := &handler{store: s, opts: opts, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", h.query)
 	mux.HandleFunc("/docs", h.docs)
+	mux.HandleFunc("/docs/", h.doc)
+	mux.HandleFunc("/flush", h.flush)
 	mux.HandleFunc("/stats", h.stats)
 	return mux
 }
@@ -167,15 +219,113 @@ func (h *handler) docs(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	writeJSON(w, DocsResponse{Count: h.store.Len(), Docs: h.store.Docs()})
+	// One catalog snapshot for both fields, so Count always equals
+	// len(Docs) even while ingest or compaction mutates the catalog.
+	docs := h.store.Docs()
+	writeJSON(w, DocsResponse{Count: len(docs), Docs: docs})
+}
+
+// IngestResponse acknowledges a write.
+type IngestResponse struct {
+	Doc    string `json:"doc,omitempty"`
+	Status string `json:"status"`
+	Bytes  int64  `json:"bytes,omitempty"`
+}
+
+// doc handles /docs/{name}: POST/PUT ingests the request body as a
+// document, DELETE tombstones it.
+func (h *handler) doc(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/docs/")
+	if name == "" || strings.Contains(name, "/") {
+		httpError(w, http.StatusNotFound, fmt.Errorf("bad document path %q", r.URL.Path))
+		return
+	}
+	switch r.Method {
+	case http.MethodPost, http.MethodPut:
+		ing := h.ingestOr403(w)
+		if ing == nil {
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes))
+		if err != nil {
+			status := http.StatusBadRequest
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, status, fmt.Errorf("reading body: %v", err))
+			return
+		}
+		if err := ing.Add(name, body); err != nil {
+			httpError(w, ingestStatus(err), err)
+			return
+		}
+		writeJSONStatus(w, http.StatusCreated, IngestResponse{Doc: name, Status: "ingested", Bytes: int64(len(body))})
+	case http.MethodDelete:
+		ing := h.ingestOr403(w)
+		if ing == nil {
+			return
+		}
+		if err := ing.Delete(name); err != nil {
+			httpError(w, ingestStatus(err), err)
+			return
+		}
+		writeJSON(w, IngestResponse{Doc: name, Status: "deleted"})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST, PUT or DELETE only"))
+	}
+}
+
+// flush handles POST /flush: synchronous compaction to archives.
+func (h *handler) flush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	ing := h.ingestOr403(w)
+	if ing == nil {
+		return
+	}
+	if err := ing.Flush(); err != nil {
+		httpError(w, ingestStatus(err), err)
+		return
+	}
+	writeJSON(w, IngestResponse{Status: "flushed"})
+}
+
+// ingestOr403 returns the write API, or answers 403 and returns nil on a
+// read-only store.
+func (h *handler) ingestOr403(w http.ResponseWriter) Ingestor {
+	if h.opts.Ingest == nil {
+		httpError(w, http.StatusForbidden, errors.New("store is read-only (start xcserve with -ingest)"))
+		return nil
+	}
+	return h.opts.Ingest
+}
+
+// ingestStatus maps a write-path error to an HTTP status: client faults
+// (invalid name or XML) are 400s, unknown names 404, shutdown races 503,
+// anything else — WAL or compaction I/O — a 500 the client should treat
+// as retryable.
+func ingestStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadDocument):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }
 
 // StatsResponse is the /stats response: store statistics plus server
-// uptime.
+// uptime, and the write path's counters when ingest is enabled.
 type StatsResponse struct {
 	Stats
-	UptimeNanos int64 `json:"uptime_ns"`
-	Workers     int   `json:"workers"`
+	UptimeNanos int64        `json:"uptime_ns"`
+	Workers     int          `json:"workers"`
+	Ingest      *IngestStats `json:"ingest,omitempty"`
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
@@ -183,11 +333,16 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	writeJSON(w, StatsResponse{
+	resp := StatsResponse{
 		Stats:       h.store.Stats(),
 		UptimeNanos: int64(time.Since(h.start)),
 		Workers:     h.store.Workers(),
-	})
+	}
+	if h.opts.Ingest != nil {
+		ist := h.opts.Ingest.Stats()
+		resp.Ingest = &ist
+	}
+	writeJSON(w, resp)
 }
 
 // statusFor distinguishes "no such document" (404) from query and
@@ -200,7 +355,14 @@ func statusFor(s *Store, name string) int {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v)

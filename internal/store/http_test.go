@@ -1,17 +1,20 @@
 package store_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/ingest"
 	"repro/internal/store"
 )
 
@@ -214,5 +217,124 @@ func TestConcurrentHTTPQueries(t *testing.T) {
 	}
 	if st := s.Stats(); st.Queries != 80 {
 		t.Fatalf("served %d queries, want 80", st.Queries)
+	}
+}
+
+// newIngestServer wires a store over an empty directory to a live
+// ingester and serves both over HTTP.
+func newIngestServer(t *testing.T) (*httptest.Server, *store.Store, *ingest.Ingester) {
+	t.Helper()
+	s, err := store.Open(t.TempDir(), store.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := ingest.Open(ingest.Options{
+		WALDir: filepath.Join(t.TempDir(), "wal"),
+		Store:  s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ing.Close() })
+	srv := httptest.NewServer(store.NewHandler(s, store.ServerOptions{Ingest: ing}))
+	t.Cleanup(srv.Close)
+	return srv, s, ing
+}
+
+func do(t *testing.T, method, url string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestIngestEndpoints(t *testing.T) {
+	srv, s, _ := newIngestServer(t)
+	doc := []byte(`<dblp><article><author>Codd</author><title>Relational</title></article></dblp>`)
+
+	// POST a document; it must be queryable immediately (pre-compaction).
+	status, body := do(t, http.MethodPost, srv.URL+"/docs/d1", doc)
+	if status != http.StatusCreated {
+		t.Fatalf("POST status %d: %s", status, body)
+	}
+	var q store.QueryResponse
+	if st := getJSON(t, srv.URL+"/query?doc=d1&q="+url.QueryEscape(`//article[author["Codd"]]`), &q); st != http.StatusOK {
+		t.Fatalf("query status %d", st)
+	}
+	if q.Matches != 1 {
+		t.Fatalf("matches %d, want 1", q.Matches)
+	}
+
+	// The catalog lists it as live; stats carry ingest counters.
+	var docs store.DocsResponse
+	getJSON(t, srv.URL+"/docs", &docs)
+	if docs.Count != 1 || !docs.Docs[0].Live {
+		t.Fatalf("docs = %+v, want one live row", docs)
+	}
+	var stats store.StatsResponse
+	getJSON(t, srv.URL+"/stats", &stats)
+	if stats.Ingest == nil || stats.Ingest.Ingested != 1 || stats.Ingest.LiveDocs != 1 {
+		t.Fatalf("stats.Ingest = %+v", stats.Ingest)
+	}
+
+	// Flush: the document moves to an archive but serves identically.
+	if status, body = do(t, http.MethodPost, srv.URL+"/flush", nil); status != http.StatusOK {
+		t.Fatalf("flush status %d: %s", status, body)
+	}
+	getJSON(t, srv.URL+"/stats", &stats)
+	if stats.Ingest.LiveDocs != 0 || stats.Ingest.CompactedDocs != 1 {
+		t.Fatalf("post-flush stats.Ingest = %+v", stats.Ingest)
+	}
+	getJSON(t, srv.URL+"/query?doc=d1&q="+url.QueryEscape(`//article[author["Codd"]]`), &q)
+	if q.Matches != 1 {
+		t.Fatalf("post-flush matches %d, want 1", q.Matches)
+	}
+
+	// Bad input is rejected with nothing written.
+	if status, _ = do(t, http.MethodPost, srv.URL+"/docs/bad", []byte("<unclosed>")); status != http.StatusBadRequest {
+		t.Fatalf("malformed XML: status %d", status)
+	}
+	if status, _ = do(t, http.MethodPost, srv.URL+"/docs/", doc); status != http.StatusNotFound {
+		t.Fatalf("empty name: status %d", status)
+	}
+
+	// DELETE tombstones; the document disappears from queries.
+	if status, body = do(t, http.MethodDelete, srv.URL+"/docs/d1", nil); status != http.StatusOK {
+		t.Fatalf("DELETE status %d: %s", status, body)
+	}
+	if s.Has("d1") {
+		t.Fatal("d1 still visible after DELETE")
+	}
+	if status, _ = do(t, http.MethodDelete, srv.URL+"/docs/d1", nil); status != http.StatusNotFound {
+		t.Fatalf("second DELETE status %d, want 404", status)
+	}
+}
+
+func TestIngestEndpointsReadOnly(t *testing.T) {
+	srv, _ := newTestServer(t, map[string][]byte{"a": []byte(`<a/>`)}, store.Options{})
+	if status, _ := do(t, http.MethodPost, srv.URL+"/docs/x", []byte(`<x/>`)); status != http.StatusForbidden {
+		t.Fatalf("POST on read-only store: status %d, want 403", status)
+	}
+	if status, _ := do(t, http.MethodDelete, srv.URL+"/docs/a", nil); status != http.StatusForbidden {
+		t.Fatalf("DELETE on read-only store: status %d, want 403", status)
+	}
+	if status, _ := do(t, http.MethodPost, srv.URL+"/flush", nil); status != http.StatusForbidden {
+		t.Fatalf("flush on read-only store: status %d, want 403", status)
+	}
+	// Reads are unaffected.
+	var q store.QueryResponse
+	if st := getJSON(t, srv.URL+"/query?doc=a&q="+url.QueryEscape("//a"), &q); st != http.StatusOK {
+		t.Fatalf("read status %d", st)
 	}
 }

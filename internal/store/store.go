@@ -18,10 +18,18 @@
 // concurrently (the only shared mutable state is the cache index, touched
 // briefly per lookup), and eviction simply drops a reference — in-flight
 // queries keep using the document they already hold.
+//
+// A Store can also serve documents that have not reached disk as archives
+// yet: SetLive attaches a Live view (internal/ingest's memtable), and the
+// catalog becomes the union {archives ∪ live documents}, with the live
+// side winning on name collisions and live tombstones hiding archived
+// documents. The write subsystem swaps freshly compacted archives in with
+// AddArchive/RemoveArchive; readers never block on either.
 package store
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -75,6 +83,7 @@ type Store struct {
 	queries atomic.Uint64
 
 	mu       sync.Mutex
+	live     Live // optional memtable view; nil when serving archives only
 	entries  map[string]*entry
 	names    []string // sorted
 	lru      *list.List
@@ -174,18 +183,88 @@ func Open(dir string, opts Options) (*Store, error) {
 // Dir returns the directory the store serves.
 func (s *Store) Dir() string { return s.dir }
 
-// Len returns the number of catalogued documents.
-func (s *Store) Len() int { return len(s.names) }
+// Len returns the number of servable documents (archives plus live
+// documents, minus live tombstones).
+func (s *Store) Len() int { return len(s.Names()) }
 
 // Workers returns the fan-out concurrency bound.
 func (s *Store) Workers() int { return s.workers }
 
-// Names returns the catalogued document names in sorted order.
-func (s *Store) Names() []string { return append([]string(nil), s.names...) }
+// Live is a read view of documents that exist only in memory so far —
+// ingested but not yet compacted into archives. Implementations
+// (internal/ingest's memtable) must be safe for concurrent use; the
+// Store never calls them while holding its own lock.
+type Live interface {
+	// LiveDoc returns the live document named name. deleted reports a
+	// tombstone, which hides any archived document of that name.
+	LiveDoc(name string) (doc *Doc, deleted bool)
+	// LiveNames returns the current live and tombstoned names, each
+	// sorted ascending.
+	LiveNames() (live, deleted []string)
+}
 
-// Doc returns the decoded document named name, loading and caching it on
-// first use. Concurrent callers for the same document share one decode.
+// SetLive attaches the live view queries consult before the archive
+// catalog. Call before serving (xcserve attaches the ingester right
+// after Open).
+func (s *Store) SetLive(l Live) {
+	s.mu.Lock()
+	s.live = l
+	s.mu.Unlock()
+}
+
+func (s *Store) liveView() Live {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// Names returns the servable document names in sorted order: the union
+// of archived and live names, minus tombstoned ones. The live view is
+// read before the archive catalog: a document mid-compaction is added to
+// the catalog before it leaves the memtable, so with this order it shows
+// up in at least one of the two snapshots (possibly both, deduped) and
+// never disappears transiently.
+func (s *Store) Names() []string {
+	var live, deleted []string
+	if l := s.liveView(); l != nil {
+		live, deleted = l.LiveNames()
+	}
+	s.mu.Lock()
+	names := append([]string(nil), s.names...)
+	s.mu.Unlock()
+	if len(live) == 0 && len(deleted) == 0 {
+		return names
+	}
+	drop := make(map[string]bool, len(live)+len(deleted))
+	for _, n := range live {
+		drop[n] = true // re-added below, deduped
+	}
+	for _, n := range deleted {
+		drop[n] = true
+	}
+	merged := make([]string, 0, len(names)+len(live))
+	for _, n := range names {
+		if !drop[n] {
+			merged = append(merged, n)
+		}
+	}
+	merged = append(merged, live...)
+	sort.Strings(merged)
+	return merged
+}
+
+// Doc returns the decoded document named name — the live (memtable)
+// version if one exists, else the archived one, loading and caching it
+// on first use. Concurrent callers for the same archive share one
+// decode.
 func (s *Store) Doc(name string) (*Doc, error) {
+	if l := s.liveView(); l != nil {
+		if d, deleted := l.LiveDoc(name); d != nil {
+			return d, nil
+		} else if deleted {
+			return nil, fmt.Errorf("store: no document %q", name)
+		}
+	}
 	s.mu.Lock()
 	e, ok := s.entries[name]
 	if !ok {
@@ -214,21 +293,109 @@ func (s *Store) Doc(name string) (*Doc, error) {
 	}
 
 	s.mu.Lock()
-	e.doc = d
-	e.elem = s.lru.PushFront(e)
-	e.charged = d.memBytes
-	s.curBytes += e.charged
-	s.docMisses++
-	s.evictLocked()
+	// Install only if this entry is still the catalogued one: a
+	// concurrent AddArchive/RemoveArchive may have replaced it while we
+	// decoded, and charging an orphaned entry would leak budget on an
+	// object no lookup can reach. The caller still gets a valid doc.
+	if s.entries[e.name] == e {
+		e.doc = d
+		e.elem = s.lru.PushFront(e)
+		e.charged = d.memBytes
+		s.curBytes += e.charged
+		s.docMisses++
+		s.evictLocked()
+	}
 	s.mu.Unlock()
 	return d, nil
 }
 
-// Has reports whether name is in the catalog. The catalog is immutable
-// after Open, so no lock is needed.
+// Has reports whether name is currently servable (live or archived, and
+// not tombstoned).
 func (s *Store) Has(name string) bool {
+	if l := s.liveView(); l != nil {
+		if d, deleted := l.LiveDoc(name); d != nil {
+			return true
+		} else if deleted {
+			return false
+		}
+	}
+	s.mu.Lock()
 	_, ok := s.entries[name]
+	s.mu.Unlock()
 	return ok
+}
+
+// Classification sentinels for write-path errors, wrapped by
+// internal/ingest and unwrapped by the HTTP layer to pick a status code.
+var (
+	// ErrBadDocument marks client faults: invalid document name or XML.
+	ErrBadDocument = errors.New("bad document")
+	// ErrNotFound marks writes that name a document that does not exist
+	// (e.g. deleting an unknown name).
+	ErrNotFound = errors.New("no such document")
+	// ErrUnavailable marks writes rejected because the ingester has shut
+	// down; the client should retry against a live server.
+	ErrUnavailable = errors.New("ingest unavailable")
+)
+
+// AddArchive swaps a (new or replacement) archive file into the catalog
+// — the compactor's publish step. Any cached decode of a previous
+// archive under this name is dropped; in-flight queries keep the
+// document they already hold. A non-nil warm document (the compactor has
+// the decoded form in hand — byte-identical to what decoding path would
+// yield) seeds the cache, so the first post-compaction query does not
+// pay a redundant disk read + decode.
+func (s *Store) AddArchive(name, path string, warm *Doc) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("store: adding archive: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[name]; ok {
+		s.dropLocked(old)
+	} else {
+		i := sort.SearchStrings(s.names, name)
+		s.names = append(s.names, "")
+		copy(s.names[i+1:], s.names[i:])
+		s.names[i] = name
+	}
+	e := &entry{name: name, path: path, fileBytes: fi.Size()}
+	s.entries[name] = e
+	if warm != nil {
+		e.doc = warm
+		e.elem = s.lru.PushFront(e)
+		e.charged = warm.memBytes
+		s.curBytes += e.charged
+		s.evictLocked()
+	}
+	return nil
+}
+
+// RemoveArchive removes name from the archive catalog (the compactor's
+// tombstone step). Unknown names are a no-op.
+func (s *Store) RemoveArchive(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return
+	}
+	s.dropLocked(e)
+	delete(s.entries, name)
+	if i := sort.SearchStrings(s.names, name); i < len(s.names) && s.names[i] == name {
+		s.names = append(s.names[:i], s.names[i+1:]...)
+	}
+}
+
+// dropLocked forgets e's cached decode, if any. Caller holds s.mu.
+func (s *Store) dropLocked(e *entry) {
+	if e.doc == nil {
+		return
+	}
+	s.lru.Remove(e.elem)
+	s.curBytes -= e.charged
+	e.doc, e.elem, e.charged = nil, nil, 0
 }
 
 // recharge re-estimates a cached document's footprint after a
@@ -238,9 +405,10 @@ func (s *Store) Has(name string) bool {
 func (s *Store) recharge(name string, d *Doc) {
 	mv, me := d.prep.MemoSize()
 	charge := d.memBytes + int64(mv)*vertexOverhead + int64(me)*edgeBytes
-	e := s.entries[name]
 	s.mu.Lock()
-	if e.doc == d && charge != e.charged {
+	// Live (memtable) documents are not charged against the archive
+	// cache budget; the write subsystem accounts for them.
+	if e, ok := s.entries[name]; ok && e.doc == d && charge != e.charged {
 		s.curBytes += charge - e.charged
 		e.charged = charge
 		s.evictLocked()
@@ -290,9 +458,24 @@ func loadDoc(name, path string) (*Doc, error) {
 	if closeErr != nil {
 		return nil, fmt.Errorf("store: %s: %w", path, closeErr)
 	}
-	base, _, err := skeleton.BuildCompressedFrom(a.Events, skeleton.Options{Mode: skeleton.TagsAll})
+	d, err := NewDoc(name, a)
 	if err != nil {
 		return nil, fmt.Errorf("store: rebuilding skeleton of %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// NewDoc builds a servable document from an in-memory archive: the
+// full-tag instance is distilled by replaying the archive's events, and
+// string conditions distil the same way on demand — exactly what
+// decoding an archive file yields, which is what lets the write path
+// (internal/ingest) serve memtable documents that are indistinguishable
+// from archived ones. The archive is retained; the caller must not
+// mutate it afterwards.
+func NewDoc(name string, a *container.Archive) (*Doc, error) {
+	base, _, err := skeleton.BuildCompressedFrom(a.Events, skeleton.Options{Mode: skeleton.TagsAll})
+	if err != nil {
+		return nil, err
 	}
 	prep := core.NewPrepared(base, func(patterns []string) (*dag.Instance, error) {
 		inst, _, err := skeleton.BuildCompressedFrom(a.Events, skeleton.Options{
@@ -532,12 +715,14 @@ func (s *Store) Stats() Stats {
 }
 
 // DocInfo is one catalog row: file-level facts always, decoded sizes when
-// the document is currently cached.
+// the document is currently cached. Live rows describe documents still in
+// the write path's memtable — no file yet, always decoded.
 type DocInfo struct {
 	Name      string `json:"name"`
-	File      string `json:"file"`
-	FileBytes int64  `json:"file_bytes"`
+	File      string `json:"file,omitempty"`
+	FileBytes int64  `json:"file_bytes,omitempty"`
 	Loaded    bool   `json:"loaded"`
+	Live      bool   `json:"live,omitempty"`
 
 	// Populated only when Loaded.
 	MemBytes         int64  `json:"mem_bytes,omitempty"`
@@ -548,12 +733,51 @@ type DocInfo struct {
 	ValueBytes       int64  `json:"value_bytes,omitempty"`
 }
 
-// Docs returns the catalog in name order.
+// docInfo fills the decoded-size columns from d.
+func (info *DocInfo) fill(d *Doc) {
+	info.SkeletonVertices = d.archive.Skeleton.NumVertices()
+	info.SkeletonEdges = d.archive.Skeleton.NumEdges()
+	info.TreeVertices = d.prep.TreeVertices()
+	info.Containers = d.archive.Store.NumContainers()
+	info.ValueBytes = int64(d.archive.Store.TotalBytes())
+}
+
+// Docs returns the catalog in name order: archived documents (minus
+// those a live tombstone or live replacement hides) followed by, in the
+// same sorted sequence, the live ones.
 func (s *Store) Docs() []DocInfo {
+	var liveRows []DocInfo
+	hidden := make(map[string]bool)
+	if l := s.liveView(); l != nil {
+		live, deleted := l.LiveNames()
+		for _, name := range deleted {
+			hidden[name] = true
+		}
+		for _, name := range live {
+			d, deleted := l.LiveDoc(name)
+			if d == nil {
+				// Tombstoned since LiveNames: hide the stale archive row
+				// (queries for it already fail). Compacted since
+				// LiveNames: not hidden, so the freshly added archive
+				// row shows through instead.
+				if deleted {
+					hidden[name] = true
+				}
+				continue
+			}
+			hidden[name] = true
+			info := DocInfo{Name: name, Loaded: true, Live: true, MemBytes: d.MemBytes()}
+			info.fill(d)
+			liveRows = append(liveRows, info)
+		}
+	}
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]DocInfo, 0, len(s.names))
+	out := make([]DocInfo, 0, len(s.names)+len(liveRows))
 	for _, name := range s.names {
+		if hidden[name] {
+			continue
+		}
 		e := s.entries[name]
 		info := DocInfo{
 			Name:      e.name,
@@ -563,13 +787,13 @@ func (s *Store) Docs() []DocInfo {
 		}
 		if d := e.doc; d != nil {
 			info.MemBytes = e.charged
-			info.SkeletonVertices = d.archive.Skeleton.NumVertices()
-			info.SkeletonEdges = d.archive.Skeleton.NumEdges()
-			info.TreeVertices = d.prep.TreeVertices()
-			info.Containers = d.archive.Store.NumContainers()
-			info.ValueBytes = int64(d.archive.Store.TotalBytes())
+			info.fill(d)
 		}
 		out = append(out, info)
 	}
+	s.mu.Unlock()
+
+	out = append(out, liveRows...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
