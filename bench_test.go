@@ -549,6 +549,49 @@ func BenchmarkPreparedVsReparse(b *testing.B) {
 	}
 }
 
+// BenchmarkOverlayVsClone pits the zero-clone read path (Prepared.Run:
+// shared frozen base + pooled per-query overlay) against the pre-overlay
+// serving mode (deep-clone the base, run the consuming engine on the
+// copy) for every tag-only corpus query. allocs/op is the headline
+// number: the clone path allocates O(|document|) per query, the overlay
+// path O(|result|).
+func BenchmarkOverlayVsClone(b *testing.B) {
+	c, err := corpus.ByName("SwissProt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := core.Load(c.Generate(scaled(c.DefaultScale), benchSeed))
+	prep, err := doc.Prepare()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for qi, q := range c.Queries {
+		prog, err := core.Compile(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(prog.Strings) > 0 {
+			continue // the clone path lacks string marks on a tag base
+		}
+		b.Run(fmt.Sprintf("Q%d/clone", qi+1), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(prep.CloneBase(), prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Q%d/overlay", qi+1), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.Run(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkResultPaths measures decoding a selection back to tree
 // addresses (Figure 7 column 8's traversal).
 func BenchmarkResultPaths(b *testing.B) {

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// compareFiles implements `xcbench -compare old.json new.json`: both
+// files hold the -json trajectory format (one {"experiment": NAME,
+// "rows": [...]} object per line, as CI stores in BENCH_*.json). Every
+// numeric field present in the same (experiment, row index) position of
+// both files is compared; fields whose name marks them as a performance
+// metric are checked against maxRegress:
+//
+//   - lower-is-better: *Wall, *Nanos, *P50/P99, *Allocs*, Recovery*
+//   - higher-is-better: *Speedup*, *PerSec
+//
+// Other numeric fields (sizes, counts, selections) are reported when
+// they change but never fail the comparison. The return value is the
+// process exit code: 0 when no checked metric regressed by more than
+// maxRegress percent, 3 otherwise (and 2 on malformed input).
+func compareFiles(oldPath, newPath string, maxRegress float64) int {
+	oldRows, err := loadTrajectory(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcbench:", err)
+		return 2
+	}
+	newRows, err := loadTrajectory(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcbench:", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(oldRows))
+	for name := range oldRows {
+		if _, ok := newRows[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "xcbench: the two files share no experiments")
+		return 2
+	}
+	for name := range newRows {
+		if _, ok := oldRows[name]; !ok {
+			fmt.Printf("# experiment %q only in %s (skipped)\n", name, newPath)
+		}
+	}
+
+	fmt.Printf("%-12s %4s %-18s %14s %14s %9s  %s\n",
+		"experiment", "row", "field", "old", "new", "delta", "verdict")
+	regressions := 0
+	for _, name := range names {
+		or, nr := oldRows[name], newRows[name]
+		n := len(or)
+		if len(nr) != n {
+			fmt.Printf("%-12s    - %-18s %14d %14d %9s  row-count-mismatch\n",
+				name, "rows", len(or), len(nr), "-")
+			regressions++
+			if len(nr) < n {
+				n = len(nr)
+			}
+		}
+		for i := 0; i < n; i++ {
+			fields := make([]string, 0, len(or[i]))
+			for k := range or[i] {
+				fields = append(fields, k)
+			}
+			sort.Strings(fields)
+			for _, k := range fields {
+				ov, ook := toFloat(or[i][k])
+				nv, nok := toFloat(nr[i][k])
+				if !ook || !nok || ov == nv {
+					continue
+				}
+				dir := metricDirection(k)
+				var delta float64
+				if ov != 0 {
+					delta = 100 * (nv - ov) / ov
+				}
+				verdict := "info"
+				switch {
+				case dir == 0:
+					// informational field; report only notable drift
+					if ov == 0 || delta < 1 && delta > -1 {
+						continue
+					}
+				case dir < 0 && ov == 0 && nv > 0:
+					// A cost that was zero now exists: no percentage is
+					// computable, but it cannot be called ok.
+					verdict = "REGRESSION"
+					regressions++
+				case dir < 0 && ov != 0 && delta > maxRegress,
+					dir > 0 && ov != 0 && delta < -maxRegress:
+					verdict = "REGRESSION"
+					regressions++
+				default:
+					verdict = "ok"
+				}
+				fmt.Printf("%-12s %4d %-18s %14.5g %14.5g %+8.1f%%  %s\n",
+					name, i, k, ov, nv, delta, verdict)
+			}
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d metric(s) regressed beyond %.0f%%\n", regressions, maxRegress)
+		return 3
+	}
+	fmt.Printf("\nno metric regressed beyond %.0f%%\n", maxRegress)
+	return 0
+}
+
+// loadTrajectory reads one -json output file into experiment → rows.
+func loadTrajectory(path string) (map[string][]map[string]any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]map[string]any)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var obj struct {
+			Experiment string           `json:"experiment"`
+			Rows       []map[string]any `json:"rows"`
+		}
+		if err := json.Unmarshal([]byte(text), &obj); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if obj.Experiment == "" {
+			return nil, fmt.Errorf("%s:%d: object has no experiment name", path, line)
+		}
+		out[obj.Experiment] = append(out[obj.Experiment], obj.Rows...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// metricDirection classifies a field name: -1 lower-is-better, +1
+// higher-is-better, 0 informational.
+func metricDirection(field string) int {
+	for _, s := range []string{"Wall", "Nanos", "P50", "P99", "Allocs", "Recovery"} {
+		if strings.Contains(field, s) {
+			return -1
+		}
+	}
+	for _, s := range []string{"Speedup", "PerSec"} {
+		if strings.Contains(field, s) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// toFloat coerces the JSON number forms.
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case json.Number:
+		f, err := x.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}

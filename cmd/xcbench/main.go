@@ -10,6 +10,7 @@
 //	xcbench -storebench      # archive-store serving vs parse-per-query
 //	xcbench -ingestbench     # ingest-while-querying: write throughput vs latency
 //	xcbench -all             # everything
+//	xcbench -compare old.json new.json   # delta two -json trajectory files
 //
 // -scale multiplies every corpus's default size; -check verifies the
 // paper's qualitative invariants on the Figure 7 rows and exits non-zero
@@ -27,6 +28,12 @@
 // -json replaces every table with machine-readable output: one JSON
 // object per experiment, {"experiment": NAME, "rows": [...]}, on stdout
 // — the format CI stores as BENCH_*.json trajectory files.
+//
+// -compare diffs two such trajectory files field by field, prints a
+// delta table, and exits non-zero (3) when any timing/allocation metric
+// regressed — or any speedup/throughput metric dropped — by more than
+// -maxregress percent (default 25). CI's perf-smoke job runs it against
+// the uploaded BENCH_*.json artifacts.
 package main
 
 import (
@@ -58,8 +65,17 @@ func main() {
 		docs       = flag.Int("docs", 8, "documents in the parallel/store/ingest sweeps")
 		workers    = flag.Int("workers", 8, "maximum worker count in the sweeps (doubling from 1)")
 		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
+		compare    = flag.Bool("compare", false, "compare two -json trajectory files: xcbench -compare old.json new.json")
+		maxRegress = flag.Float64("maxregress", 25, "with -compare: max tolerated regression, percent")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: xcbench -compare [-maxregress N] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *maxRegress))
+	}
 	if *all {
 		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *ingbench = true, true, true, true, true, true, true, true
 	}

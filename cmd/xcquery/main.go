@@ -88,7 +88,7 @@ func main() {
 	if *dotFile != "" {
 		f, err := os.Create(*dotFile)
 		cli.Fatal(err)
-		cli.Fatalf(*dotFile, dag.WriteDOT(f, res.Instance, query))
+		cli.Fatalf(*dotFile, dag.WriteDOT(f, res.Instance(), query))
 		cli.Fatalf(*dotFile, f.Close())
 	}
 

@@ -207,11 +207,26 @@ func upwardAxis(in *dag.Instance, axis Axis, src label.ID, dstName string) (*dag
 	return in, dst
 }
 
-// memoKey identifies a (vertex, requested selection) pair during
-// copy-on-split rewrites.
-type memoKey struct {
-	v   dag.VertexID
-	sel bool
+// newMemo returns a dense (vertex, requested selection) → output vertex
+// memo table for copy-on-split rewrites: two slots per input vertex,
+// NilVertex-initialised. Dense slices replace the previous
+// map[memoKey]VertexID — rewrites probe the memo once per edge, and a
+// slice index beats a map lookup by an order of magnitude on that path.
+func newMemo(n int) []dag.VertexID {
+	memo := make([]dag.VertexID, 2*n)
+	for i := range memo {
+		memo[i] = dag.NilVertex
+	}
+	return memo
+}
+
+// memoIdx addresses the (v, sel) slot in a dense memo.
+func memoIdx(v dag.VertexID, sel bool) int {
+	i := 2 * int(v)
+	if sel {
+		i++
+	}
+	return i
 }
 
 // downwardAxis implements the recursive procedure of Figure 4, generalised
@@ -227,12 +242,12 @@ func downwardAxis(in *dag.Instance, axis Axis, src label.ID, dstName string) (*d
 		return in, dst
 	}
 	out := &dag.Instance{Schema: in.Schema}
-	memo := make(map[memoKey]dag.VertexID, len(in.Verts))
+	memo := newMemo(len(in.Verts))
 
 	var process func(v dag.VertexID, sv bool) dag.VertexID
 	process = func(v dag.VertexID, sv bool) dag.VertexID {
-		key := memoKey{v, sv}
-		if id, ok := memo[key]; ok {
+		key := memoIdx(v, sv)
+		if id := memo[key]; id != dag.NilVertex {
 			return id
 		}
 		id := dag.VertexID(len(out.Verts))
@@ -280,12 +295,12 @@ func siblingAxis(in *dag.Instance, axis Axis, src label.ID, dstName string) (*da
 		return in, dst
 	}
 	out := &dag.Instance{Schema: in.Schema}
-	memo := make(map[memoKey]dag.VertexID, len(in.Verts))
+	memo := newMemo(len(in.Verts))
 
 	var process func(v dag.VertexID, sv bool) dag.VertexID
 	process = func(v dag.VertexID, sv bool) dag.VertexID {
-		key := memoKey{v, sv}
-		if id, ok := memo[key]; ok {
+		key := memoIdx(v, sv)
+		if id := memo[key]; id != dag.NilVertex {
 			return id
 		}
 		id := dag.VertexID(len(out.Verts))

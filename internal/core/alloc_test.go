@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/xpath"
+)
+
+// TestPreparedRunAllocs is the allocation-regression bound for the
+// zero-clone read path: a warm tag-only Prepared.Run must allocate O(its
+// result) — a detached selection slice, a view and a result struct — and
+// specifically never the O(|document|) that cloning the base instance
+// cost (two allocations per vertex before this path existed). The bound
+// is generous (pool refills after a GC cost a few extra allocations) but
+// two orders of magnitude below the clone path's count on this corpus.
+func TestPreparedRunAllocs(t *testing.T) {
+	c, err := corpus.ByName("SwissProt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := core.Load(c.Generate(c.DefaultScale/4, 1))
+	prep, err := doc.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		query string
+		bound float64
+	}{
+		// Q1: condition-only (upward axes, Corollary 3.7).
+		{"upward-only", c.Queries[0], 64},
+		// Q2: a chain of child axes (downward, copy-on-write rewrites).
+		{"child-chain", c.Queries[1], 64},
+	} {
+		prog, err := core.Compile(tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(prog.Strings) > 0 {
+			t.Fatalf("%s: test needs a tag-only query", tc.name)
+		}
+		// Warm the overlay pool and the frozen base's caches.
+		if _, err := prep.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+
+		overlay := testing.AllocsPerRun(50, func() {
+			if _, err := prep.Run(prog); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if overlay > tc.bound {
+			t.Errorf("%s: overlay Prepared.Run allocates %.0f/op, want <= %.0f", tc.name, overlay, tc.bound)
+		}
+
+		clone := testing.AllocsPerRun(10, func() {
+			if _, err := engine.Run(prep.CloneBase(), prog); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if overlay*5 > clone {
+			t.Errorf("%s: overlay allocates %.0f/op vs clone path %.0f/op — want at least 5x fewer",
+				tc.name, overlay, clone)
+		}
+		t.Logf("%s: overlay %.0f allocs/op, clone %.0f allocs/op", tc.name, overlay, clone)
+	}
+}
+
+// TestOverlayConcurrentMixedRace hammers one Prepared from many
+// goroutines with a mix of tag-only queries (shared frozen base, pooled
+// overlays), string-condition queries (shared merged memo), result-path
+// decoding and lazy materialization — the shapes a serving layer runs
+// concurrently. Run with -race; results are checked against a sequential
+// golden pass.
+func TestOverlayConcurrentMixedRace(t *testing.T) {
+	c, err := corpus.ByName("Shakespeare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := core.Load(c.Generate(4, 3))
+	prep, err := doc.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type golden struct {
+		tree  uint64
+		paths []string
+	}
+	progs := make([]*xpath.Program, len(c.Queries))
+	want := make([]golden, len(c.Queries))
+	for i, q := range c.Queries {
+		progs[i], err = core.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := prep.Run(progs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = golden{res.SelectedTree, res.Paths(25)}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 256)
+	workers := 4 * runtime.GOMAXPROCS(0)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 8; round++ {
+				i := (g + round) % len(progs)
+				res, err := prep.Run(progs[i])
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if res.SelectedTree != want[i].tree {
+					errs <- "selected-tree mismatch under concurrency"
+					return
+				}
+				switch round % 3 {
+				case 0:
+					paths := res.Paths(25)
+					if len(paths) != len(want[i].paths) {
+						errs <- "paths mismatch under concurrency"
+						return
+					}
+				case 1:
+					inst := res.Instance()
+					if err := inst.Validate(); err != nil {
+						errs <- "materialized instance invalid: " + err.Error()
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/dag"
@@ -68,6 +69,14 @@ func (d *Document) Stats(mode skeleton.TagMode) (CompressionStats, error) {
 }
 
 // Result reports a query evaluation in the shape of one Figure 7 row.
+//
+// The result selection itself is carried either as a materialized
+// instance (queries that consumed a private instance) or as a detached
+// overlay view over the shared frozen base (Prepared/store queries,
+// which never clone). The counting fields are always populated; the
+// Instance accessor materializes a standalone instance lazily, and Paths
+// reads straight off whichever form is present — so a serving layer that
+// only reports counts and addresses never pays for materialization.
 type Result struct {
 	// ParseTime covers parsing, string matching and compression; EvalTime
 	// covers pure in-memory query evaluation (columns 1 and 4).
@@ -87,19 +96,65 @@ type Result struct {
 	// TreeVertices is |V_T| of the document.
 	TreeVertices uint64
 
-	// Instance is the final (partially decompressed) instance and Label
-	// the result selection within it, for callers that want to walk or
-	// serialise the result.
-	Instance *dag.Instance
-	Label    label.ID
+	mu   sync.Mutex
+	inst *dag.Instance   // materialized result instance (lazy for views)
+	lbl  label.ID        // result selection within inst
+	view *dag.ResultView // overlay result; nil for consumed-instance runs
+}
+
+// newResult wraps an engine result, deferring materialization when the
+// engine ran in overlay mode.
+func newResult(er *engine.Result) *Result {
+	return &Result{
+		VertsBefore:  er.VertsBefore,
+		EdgesBefore:  er.EdgesBefore,
+		VertsAfter:   er.VertsAfter,
+		EdgesAfter:   er.EdgesAfter,
+		SelectedDAG:  er.SelectedDAG,
+		SelectedTree: er.SelectedTree,
+		inst:         er.Instance,
+		lbl:          er.Label,
+		view:         er.View,
+	}
+}
+
+// Instance returns the final (partially decompressed) instance carrying
+// the result selection, for callers that want to walk or serialise the
+// result. Overlay results materialize it on first use (and cache it);
+// treat it as read-only — Clone before mutating or consuming it.
+func (r *Result) Instance() *dag.Instance {
+	inst, _ := r.materialize()
+	return inst
+}
+
+// Label returns the ID of the result selection within Instance().
+func (r *Result) Label() label.ID {
+	_, lbl := r.materialize()
+	return lbl
+}
+
+func (r *Result) materialize() (*dag.Instance, label.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inst == nil && r.view != nil {
+		r.inst, r.lbl = r.view.Materialize()
+	}
+	return r.inst, r.lbl
 }
 
 // Paths returns the tree addresses (1-based child positions joined with
 // '.', root = "") of up to max selected nodes, in document order — the
 // paper's result "decoding" step, computed with a traversal pruned to the
-// answer.
+// answer. Overlay results are walked directly over the shared base plus
+// the query's extension; nothing is cloned or materialized.
 func (r *Result) Paths(max int) []string {
-	return dag.SelectedPaths(r.Instance, r.Label, max)
+	r.mu.Lock()
+	view, inst, lbl := r.view, r.inst, r.lbl
+	r.mu.Unlock()
+	if inst == nil && view != nil {
+		return view.Paths(max)
+	}
+	return dag.SelectedPaths(inst, lbl, max)
 }
 
 // QueryFrom evaluates a follow-up query whose top-level relative paths
@@ -113,28 +168,21 @@ func (r *Result) Paths(max int) []string {
 // from a Prepared document) and its string conditions. Absent relations
 // select nothing.
 func (r *Result) QueryFrom(query string) (*Result, error) {
-	prog, err := xpath.CompileWithContext(query, r.Instance.Schema.Name(r.Label))
+	inst, lbl := r.materialize()
+	prog, err := xpath.CompileWithContext(query, inst.Schema.Name(lbl))
 	if err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	er, err := engine.Run(r.Instance.Clone(), prog)
+	er, err := engine.Run(inst.Clone(), prog)
 	if err != nil {
 		return nil, err
 	}
 	evalTime := time.Since(t0)
-	return &Result{
-		EvalTime:     evalTime,
-		VertsBefore:  er.VertsBefore,
-		EdgesBefore:  er.EdgesBefore,
-		VertsAfter:   er.VertsAfter,
-		EdgesAfter:   er.EdgesAfter,
-		SelectedDAG:  er.SelectedDAG,
-		SelectedTree: er.SelectedTree,
-		TreeVertices: r.TreeVertices,
-		Instance:     er.Instance,
-		Label:        er.Label,
-	}, nil
+	res := newResult(er)
+	res.EvalTime = evalTime
+	res.TreeVertices = r.TreeVertices
+	return res, nil
 }
 
 // Query parses, compiles and evaluates a Core XPath query against the
@@ -174,17 +222,9 @@ func (d *Document) Run(prog *xpath.Program) (*Result, error) {
 	}
 	evalTime := time.Since(t1)
 
-	return &Result{
-		ParseTime:    parseTime,
-		EvalTime:     evalTime,
-		VertsBefore:  er.VertsBefore,
-		EdgesBefore:  er.EdgesBefore,
-		VertsAfter:   er.VertsAfter,
-		EdgesAfter:   er.EdgesAfter,
-		SelectedDAG:  er.SelectedDAG,
-		SelectedTree: er.SelectedTree,
-		TreeVertices: st.TreeVertices,
-		Instance:     er.Instance,
-		Label:        er.Label,
-	}, nil
+	res := newResult(er)
+	res.ParseTime = parseTime
+	res.EvalTime = evalTime
+	res.TreeVertices = st.TreeVertices
+	return res, nil
 }

@@ -29,7 +29,7 @@ func TestQueryEndToEnd(t *testing.T) {
 	if res.VertsBefore <= 0 || res.VertsAfter < res.VertsBefore {
 		t.Fatalf("size accounting broken: %d -> %d", res.VertsBefore, res.VertsAfter)
 	}
-	if res.Instance == nil || !res.Instance.Verts[0].Labels.IsEmpty() && res.Label < 0 {
+	if res.Instance() == nil || !res.Instance().Verts[0].Labels.IsEmpty() && res.Label() < 0 {
 		t.Fatal("result instance/label missing")
 	}
 }

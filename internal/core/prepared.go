@@ -21,25 +21,27 @@ import (
 // merge it with the instance that holds our current intermediate result
 // using the common extensions algorithm of Section 2.3."
 //
-// Queries without string conditions run directly on a copy of the cached
-// instance, skipping the XML parse entirely. Queries with string
-// conditions distill a strings-only instance in one text scan, merge it
-// into the cached tag instance with dag.CommonExtension, and memoise the
-// merged instance keyed by the query's string-condition set — so repeated
-// queries over the same conditions (a server's hot queries) also evaluate
-// on a copy, with no scan at all. The memo is a small FIFO
+// Queries run on the frozen base instance itself — never on a copy. The
+// engine's overlay mode (engine.RunFrozen) reads the immutable base all
+// in-flight queries share and confines its writes to a pooled per-query
+// overlay, so a tag-only query allocates in proportion to its result,
+// not to the document. Queries with string conditions distill a
+// strings-only instance in one text scan, merge it into the cached tag
+// instance with dag.CommonExtension, and memoise the frozen merged
+// instance keyed by the query's string-condition set — so repeated
+// queries over the same conditions (a server's hot queries) also run
+// overlay-style with no scan at all. The memo is a small FIFO
 // (mergedCacheCap entries); each entry costs about one base instance.
 //
-// A Prepared value is safe for concurrent use: cached instances are never
-// mutated (every query works on a copy or a fresh extension), and the
-// memo index is guarded by a mutex.
+// A Prepared value is safe for concurrent use: frozen instances are
+// never mutated, and the memo index is guarded by a mutex.
 type Prepared struct {
-	base    *dag.Instance
+	frozen  *dag.Frozen
 	distill Distiller
 
 	mu     sync.Mutex
-	merged map[string]*dag.Instance // string-set key -> merged base+marks
-	order  []string                 // FIFO eviction order for merged
+	merged map[string]*dag.Frozen // string-set key -> frozen base+marks
+	order  []string               // FIFO eviction order for merged
 }
 
 // mergedCacheCap bounds how many distinct string-condition sets a
@@ -72,34 +74,38 @@ func (d *Document) Prepare() (*Prepared, error) {
 
 // NewPrepared wraps an externally built full-tag instance (skeleton mode
 // TagsAll, e.g. distilled from a stored archive) and its string-condition
-// distiller as a Prepared document. base is retained, not copied: the
+// distiller as a Prepared document. base is frozen, not copied: the
 // caller must not mutate it afterwards. distill may be nil, in which case
 // queries with string conditions fail.
 func NewPrepared(base *dag.Instance, distill Distiller) *Prepared {
-	return &Prepared{base: base, distill: distill}
+	return &Prepared{frozen: dag.Freeze(base), distill: distill}
 }
 
+// Frozen returns the shared frozen base instance.
+func (p *Prepared) Frozen() *dag.Frozen { return p.frozen }
+
 // CloneBase returns a copy of the cached full-tag instance, for callers
-// that evaluate compiled programs on it directly — e.g. fanning one
-// program over many prepared documents with engine.RunParallel, which
-// consumes its input instances.
-func (p *Prepared) CloneBase() *dag.Instance { return p.base.Clone() }
+// that evaluate compiled programs on it directly with the consuming
+// engine.Run path — e.g. the clone-vs-overlay benchmarks and golden
+// tests.
+func (p *Prepared) CloneBase() *dag.Instance { return p.frozen.Instance().Clone() }
 
 // BaseVertices returns the size of the cached instance, for reporting.
-func (p *Prepared) BaseVertices() int { return p.base.NumVertices() }
+func (p *Prepared) BaseVertices() int { return p.frozen.NumVertices() }
 
 // TreeVertices returns |V_T| of the prepared document: the number of
-// elements it contains, excluding the virtual document vertex.
-func (p *Prepared) TreeVertices() uint64 { return p.base.TreeSize() - 1 }
+// elements it contains, excluding the virtual document vertex. The size
+// is computed once and cached on the frozen base.
+func (p *Prepared) TreeVertices() uint64 { return p.frozen.TreeSize() - 1 }
 
 // BaseEdges returns the edge count of the cached instance.
-func (p *Prepared) BaseEdges() int { return p.base.NumEdges() }
+func (p *Prepared) BaseEdges() int { return p.frozen.NumEdges() }
 
-// mergedFor returns the base instance extended with marks for the given
-// string conditions, distilling and merging on first use and memoising
-// the result. Relations are matched by name, so the instance for a
-// string set serves every program over that set.
-func (p *Prepared) mergedFor(patterns []string) (*dag.Instance, error) {
+// mergedFor returns the frozen base instance extended with marks for the
+// given string conditions, distilling and merging on first use and
+// memoising the result. Relations are matched by name, so the instance
+// for a string set serves every program over that set.
+func (p *Prepared) mergedFor(patterns []string) (*dag.Frozen, error) {
 	key := mergeKey(patterns)
 	p.mu.Lock()
 	m := p.merged[key]
@@ -117,10 +123,11 @@ func (p *Prepared) mergedFor(patterns []string) (*dag.Instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: distilling string conditions: %w", err)
 	}
-	m, err = dag.CommonExtension(p.base, strInst)
+	mi, err := dag.CommonExtension(p.frozen.Instance(), strInst)
 	if err != nil {
 		return nil, fmt.Errorf("core: merging string conditions: %w", err)
 	}
+	m = dag.Freeze(mi)
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -130,7 +137,7 @@ func (p *Prepared) mergedFor(patterns []string) (*dag.Instance, error) {
 		return existing, nil
 	}
 	if p.merged == nil {
-		p.merged = make(map[string]*dag.Instance)
+		p.merged = make(map[string]*dag.Frozen)
 	}
 	for len(p.order) >= mergedCacheCap {
 		delete(p.merged, p.order[0])
@@ -146,13 +153,32 @@ func (p *Prepared) mergedFor(patterns []string) (*dag.Instance, error) {
 // e.g. the archive store charges it against its cache budget after
 // string-condition queries.
 func (p *Prepared) MemoSize() (verts, edges int) {
+	verts, edges, _ = p.Footprint()
+	return verts, edges
+}
+
+// AuxBytes estimates the memory held by the frozen views beyond the
+// instances themselves — cached topological orders, path counts and
+// per-relation selection columns, for the base and every memoised merged
+// instance. The archive store charges it against its cache budget.
+func (p *Prepared) AuxBytes() int64 {
+	_, _, aux := p.Footprint()
+	return aux
+}
+
+// Footprint returns the memo sizes and the frozen views' aux bytes in
+// one lock round — the store's per-query cache re-estimate calls this on
+// the hot path, so the exclusive memo lock is taken exactly once.
+func (p *Prepared) Footprint() (memoVerts, memoEdges int, aux int64) {
+	aux = p.frozen.AuxBytes()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, m := range p.merged {
-		verts += m.NumVertices()
-		edges += m.NumEdges()
+		memoVerts += m.NumVertices()
+		memoEdges += m.NumEdges()
+		aux += m.AuxBytes()
 	}
-	return verts, edges
+	return memoVerts, memoEdges, aux
 }
 
 // mergeKey canonicalises a pattern set. Patterns cannot contain NUL (they
@@ -173,41 +199,33 @@ func (p *Prepared) Query(query string) (*Result, error) {
 	return p.Run(prog)
 }
 
-// Run evaluates a compiled program. Result.ParseTime covers only the
-// per-query preparation actually performed (string distillation and
-// merging; zero-ish for tag-only queries), never a full re-parse of tags.
+// Run evaluates a compiled program on the shared frozen instance — no
+// clone, no schema mutation; the per-query state is a pooled overlay
+// (engine.RunFrozen). Result.ParseTime covers only the per-query
+// preparation actually performed (string distillation and merging;
+// zero-ish for tag-only queries), never a full re-parse of tags.
 func (p *Prepared) Run(prog *xpath.Program) (*Result, error) {
 	t0 := time.Now()
-	var inst *dag.Instance
-	if len(prog.Strings) == 0 {
-		inst = p.base.Clone()
-	} else {
-		m, err := p.mergedFor(prog.Strings)
+	f := p.frozen
+	if len(prog.Strings) > 0 {
+		var err error
+		f, err = p.mergedFor(prog.Strings)
 		if err != nil {
 			return nil, err
 		}
-		inst = m.Clone()
 	}
 	prepTime := time.Since(t0)
 
 	t1 := time.Now()
-	er, err := engine.Run(inst, prog)
+	er, err := engine.RunFrozen(f, prog)
 	if err != nil {
 		return nil, err
 	}
 	evalTime := time.Since(t1)
 
-	return &Result{
-		ParseTime:    prepTime,
-		EvalTime:     evalTime,
-		VertsBefore:  er.VertsBefore,
-		EdgesBefore:  er.EdgesBefore,
-		VertsAfter:   er.VertsAfter,
-		EdgesAfter:   er.EdgesAfter,
-		SelectedDAG:  er.SelectedDAG,
-		SelectedTree: er.SelectedTree,
-		TreeVertices: p.TreeVertices(),
-		Instance:     er.Instance,
-		Label:        er.Label,
-	}, nil
+	res := newResult(er)
+	res.ParseTime = prepTime
+	res.EvalTime = evalTime
+	res.TreeVertices = p.TreeVertices()
+	return res, nil
 }

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -12,17 +13,17 @@ import (
 )
 
 func TestPreparedMatchesDirectQuery(t *testing.T) {
-	for _, name := range []string{"DBLP", "Baseball", "XMark"} {
-		c, err := corpus.ByName(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		doc := core.Load(c.Generate(80, 3))
+	for _, c := range corpus.Catalog() {
+		name := c.Name
+		doc := core.Load(c.Generate(c.DefaultScale/20+2, 3))
 		prep, err := doc.Prepare()
 		if err != nil {
 			t.Fatal(err)
 		}
 		for qi, q := range c.Queries {
+			// direct runs the consuming clone-path engine on a per-query
+			// instance; prepared runs the zero-clone overlay path on the
+			// shared frozen base — the golden pair of the two read paths.
 			direct, err := doc.Query(q)
 			if err != nil {
 				t.Fatalf("%s Q%d direct: %v", name, qi+1, err)
@@ -34,6 +35,9 @@ func TestPreparedMatchesDirectQuery(t *testing.T) {
 			if direct.SelectedTree != cached.SelectedTree {
 				t.Errorf("%s Q%d: direct %d != prepared %d",
 					name, qi+1, direct.SelectedTree, cached.SelectedTree)
+			}
+			if g, w := cached.Paths(500), direct.Paths(500); !reflect.DeepEqual(g, w) {
+				t.Errorf("%s Q%d: prepared paths %v != direct %v", name, qi+1, g, w)
 			}
 		}
 	}
@@ -67,7 +71,7 @@ func TestPreparedPropertyRandomQueries(t *testing.T) {
 					direct.SelectedTree, cached.SelectedTree)
 				return false
 			}
-			if err := cached.Instance.Validate(); err != nil {
+			if err := cached.Instance().Validate(); err != nil {
 				t.Logf("prepared instance invalid after %q: %v", q, err)
 				return false
 			}

@@ -95,9 +95,15 @@ func (in *Instance) Has(v VertexID, s label.ID) bool {
 	return in.Verts[v].Labels.Has(s)
 }
 
-// Select returns the IDs of all vertices in relation s, ascending.
+// Select returns the IDs of all vertices in relation s, ascending. The
+// output is sized up front by a counting pass, so the only allocation is
+// the exact-length result slice.
 func (in *Instance) Select(s label.ID) []VertexID {
-	var out []VertexID
+	n := in.CountSelected(s)
+	if n == 0 {
+		return nil
+	}
+	out := make([]VertexID, 0, n)
 	for i := range in.Verts {
 		if in.Verts[i].Labels.Has(s) {
 			out = append(out, VertexID(i))

@@ -18,18 +18,59 @@ func SelectedPaths(in *Instance, s label.ID, max int) []string {
 	if len(in.Verts) == 0 || max <= 0 {
 		return nil
 	}
-	// hasSel[v]: some vertex in v's subtree (including v) is in s.
-	hasSel := make([]bool, len(in.Verts))
-	order := in.TopoOrder()
+	return selectedPathsFrom(in.Root, len(in.Verts),
+		func(v VertexID) []Edge { return in.Verts[v].Edges },
+		func(v VertexID) bool { return in.Verts[v].Labels.Has(s) },
+		max)
+}
+
+// selectedPathsFrom is the shared traversal behind SelectedPaths and
+// ResultView.Paths: it walks the graph reachable from root through the
+// given edge accessor, pruned to subtrees containing a selected vertex.
+// n bounds the vertex ID space.
+func selectedPathsFrom(root VertexID, n int, edges func(VertexID) []Edge, selected func(VertexID) bool, max int) []string {
+	// Topological order of the reachable subgraph (root first), so hasSel
+	// can be computed bottom-up even when dead IDs exist in [0, n).
+	indeg := make([]int32, n)
+	seen := make(Bitset, bitsetWords(n))
+	stack := []VertexID{root}
+	seen.Set(root)
+	reachable := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range edges(v) {
+			indeg[e.Child]++
+			if !seen.Get(e.Child) {
+				seen.Set(e.Child)
+				reachable++
+				stack = append(stack, e.Child)
+			}
+		}
+	}
+	order := make([]VertexID, 0, reachable)
+	order = append(order, root)
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		for _, e := range edges(v) {
+			indeg[e.Child]--
+			if indeg[e.Child] == 0 {
+				order = append(order, e.Child)
+			}
+		}
+	}
+
+	// hasSel[v]: some vertex in v's subtree (including v) is selected.
+	hasSel := make(Bitset, bitsetWords(n))
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
-		if in.Verts[v].Labels.Has(s) {
-			hasSel[v] = true
+		if selected(v) {
+			hasSel.Set(v)
 			continue
 		}
-		for _, e := range in.Verts[v].Edges {
-			if hasSel[e.Child] {
-				hasSel[v] = true
+		for _, e := range edges(v) {
+			if hasSel.Get(e.Child) {
+				hasSel.Set(v)
 				break
 			}
 		}
@@ -39,15 +80,15 @@ func SelectedPaths(in *Instance, s label.ID, max int) []string {
 	var prefix []string
 	var walk func(v VertexID) bool // returns false when max reached
 	walk = func(v VertexID) bool {
-		if in.Verts[v].Labels.Has(s) {
+		if selected(v) {
 			out = append(out, strings.Join(prefix, "."))
 			if len(out) >= max {
 				return false
 			}
 		}
 		pos := 1
-		for _, e := range in.Verts[v].Edges {
-			if !hasSel[e.Child] {
+		for _, e := range edges(v) {
+			if !hasSel.Get(e.Child) {
 				pos += int(e.Count)
 				continue
 			}
@@ -63,6 +104,6 @@ func SelectedPaths(in *Instance, s label.ID, max int) []string {
 		}
 		return true
 	}
-	walk(in.Root)
+	walk(root)
 	return out
 }

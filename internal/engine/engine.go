@@ -19,10 +19,15 @@ import (
 type Result struct {
 	// Instance is the (possibly partially decompressed) instance carrying
 	// the result selection. When the input was a tree it is unchanged in
-	// shape.
+	// shape. Results from RunFrozen leave it nil and carry View instead;
+	// Materialize fills it on demand.
 	Instance *dag.Instance
 	// Label identifies the result selection within Instance.
 	Label label.ID
+	// View is the detached overlay result of the zero-clone path
+	// (RunFrozen): the shared frozen base plus the query's extension and
+	// selection. nil for results of Run.
+	View *dag.ResultView
 
 	// SelectedDAG is the number of instance vertices selected
 	// (Figure 7 column 7).
@@ -38,12 +43,24 @@ type Result struct {
 	VertsAfter, EdgesAfter   int
 }
 
+// Materialize returns the result as a standalone instance plus the
+// selection's label ID, building both lazily for overlay results (Run
+// results already carry them). The instance shares nothing mutable with
+// any frozen base. Not safe for concurrent use on one Result.
+func (r *Result) Materialize() (*dag.Instance, label.ID) {
+	if r.Instance == nil && r.View != nil {
+		r.Instance, r.Label = r.View.Materialize()
+	}
+	return r.Instance, r.Label
+}
+
 // Recompress re-minimises the result instance (Section 3.3: "It is easy
 // to re-compress, but we suspect that this will rarely pay off in
 // practice" — BenchmarkAblationRecompress quantifies exactly that).
 // Selected counts are unaffected (compression preserves equivalence,
 // including all selections); the size accounting is updated in place.
 func (r *Result) Recompress() {
+	r.Materialize()
 	r.Instance = dag.Compress(r.Instance)
 	r.VertsAfter = r.Instance.NumVertices()
 	r.EdgesAfter = r.Instance.NumEdges()

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/xpath"
+)
+
+// RunFrozen executes prog against a frozen (immutable, shared) instance —
+// the zero-clone read path. Where Run consumes a private copy of the
+// instance, RunFrozen reads the base that every in-flight query of the
+// document shares and confines all writes to a pooled per-query overlay:
+// selections live in dense bitset columns, and the decompressing axes
+// append copy-on-write extension vertices instead of rebuilding the DAG.
+// Nothing is interned into the shared schema and no vertex of the base is
+// ever touched, so any number of RunFrozen calls may run concurrently
+// over one Frozen.
+//
+// The returned Result carries a detached View instead of an Instance;
+// counts are computed eagerly, and Materialize (or the Result accessors
+// in internal/core) builds a standalone instance lazily for callers that
+// want to walk or re-query the result.
+func RunFrozen(f *dag.Frozen, prog *xpath.Program) (*Result, error) {
+	res := &Result{
+		VertsBefore: f.NumVertices(),
+		EdgesBefore: f.NumEdges(),
+	}
+
+	ov := dag.AcquireOverlay(f)
+	defer ov.Release()
+	// Two spare columns beyond the program's registers for the composed
+	// axes (following, preceding).
+	scratchA, scratchB := prog.NumTemp, prog.NumTemp+1
+	ov.EnsureCols(prog.NumTemp + 2)
+
+	for _, in := range prog.Instrs {
+		switch in.Op {
+		case xpath.OpLabel:
+			algebra.OvLabel(ov, in.Name, in.Dst)
+		case xpath.OpAll:
+			algebra.OvAll(ov, in.Dst)
+		case xpath.OpRoot:
+			algebra.OvRoot(ov, in.Dst)
+		case xpath.OpAxis:
+			algebra.OvApplyAxis(ov, in.Axis, in.A, in.Dst, scratchA, scratchB)
+		case xpath.OpUnion:
+			algebra.OvUnion(ov, in.A, in.B, in.Dst)
+		case xpath.OpIntersect:
+			algebra.OvIntersect(ov, in.A, in.B, in.Dst)
+		case xpath.OpDiff:
+			algebra.OvDifference(ov, in.A, in.B, in.Dst)
+		case xpath.OpComplement:
+			algebra.OvComplement(ov, in.A, in.Dst)
+		case xpath.OpRootFilter:
+			algebra.OvRootFilter(ov, in.A, in.Dst)
+		default:
+			return nil, fmt.Errorf("engine: unknown op %d", in.Op)
+		}
+	}
+
+	res.VertsAfter, res.EdgesAfter = ov.LiveCounts()
+	res.SelectedDAG = ov.CountCol(prog.Result)
+	res.SelectedTree = ov.SelectedTree(prog.Result)
+	res.View = ov.Detach(prog.Result)
+	res.Label = label.Invalid
+	return res, nil
+}

@@ -58,12 +58,6 @@ func (m *MergedResult) merge(r *Result) {
 // run (remaining shards still finish; the first error in input order is
 // returned).
 func RunParallel(insts []*dag.Instance, prog *xpath.Program, workers int) (*MergedResult, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(insts) {
-		workers = len(insts)
-	}
 	merged := &MergedResult{
 		Shards: make([]*Result, len(insts)),
 		Walls:  make([]time.Duration, len(insts)),
@@ -73,24 +67,11 @@ func RunParallel(insts []*dag.Instance, prog *xpath.Program, workers int) (*Merg
 	}
 
 	errs := make([]error, len(insts))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				t0 := time.Now()
-				merged.Shards[i], errs[i] = Run(insts[i], prog)
-				merged.Walls[i] = time.Since(t0)
-			}
-		}()
-	}
-	for i := range insts {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	ForEach(len(insts), workers, func(i int) {
+		t0 := time.Now()
+		merged.Shards[i], errs[i] = Run(insts[i], prog)
+		merged.Walls[i] = time.Since(t0)
+	})
 
 	for i, err := range errs {
 		if err != nil {
@@ -101,6 +82,42 @@ func RunParallel(insts []*dag.Instance, prog *xpath.Program, workers int) (*Merg
 		merged.merge(r)
 	}
 	return merged, nil
+}
+
+// ForEach runs fn(i) for i in [0, n) on a bounded pool of worker
+// goroutines and waits for all of them — the one worker-pool loop shared
+// by RunParallel, the archive store's fan-outs and the experiment
+// harness. workers <= 0 selects GOMAXPROCS; fn must be safe for
+// concurrent invocation on distinct indices.
+func ForEach(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 func satAddU64(a, b uint64) uint64 {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/corpus"
@@ -24,6 +25,11 @@ type ParallelRow struct {
 	// Speedup is relative to the Workers=1 row of the same query.
 	Wall    time.Duration
 	Speedup float64
+
+	// AllocsPerDoc is the heap allocations per document of the measured
+	// fan-out (clone + evaluate; runtime.MemStats delta / docs) — the
+	// per-shard cost the overlay read path avoids on the serving side.
+	AllocsPerDoc uint64
 
 	// Merged statistics, identical across worker counts (verified).
 	SelectedDAG  int
@@ -74,6 +80,8 @@ func ParallelSweep(corpusName string, docs int, sizeScale float64, seed uint64, 
 		var base *engine.MergedResult
 		var baseWall time.Duration
 		for _, w := range workerCounts {
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
 			clones := make([]*dag.Instance, docs)
 			for i, inst := range insts {
 				clones[i] = inst.Clone()
@@ -84,6 +92,8 @@ func ParallelSweep(corpusName string, docs int, sizeScale float64, seed uint64, 
 				return nil, fmt.Errorf("%s Q%d workers=%d: %w", corpusName, qi+1, w, err)
 			}
 			wall := time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			allocsPerDoc := (ms1.Mallocs - ms0.Mallocs) / uint64(docs)
 			if base == nil {
 				base, baseWall = merged, wall
 			} else if merged.SelectedDAG != base.SelectedDAG ||
@@ -97,6 +107,7 @@ func ParallelSweep(corpusName string, docs int, sizeScale float64, seed uint64, 
 				Corpus: corpusName, Query: qi + 1, Docs: docs, Workers: w,
 				Wall:         wall,
 				Speedup:      float64(baseWall) / float64(wall),
+				AllocsPerDoc: allocsPerDoc,
 				SelectedDAG:  merged.SelectedDAG,
 				SelectedTree: merged.SelectedTree,
 			})
@@ -107,11 +118,11 @@ func ParallelSweep(corpusName string, docs int, sizeScale float64, seed uint64, 
 
 // PrintParallel renders sweep rows as a table.
 func PrintParallel(w io.Writer, rows []ParallelRow) {
-	fmt.Fprintf(w, "%-12s %3s %5s %8s %12s %8s %10s %11s\n",
-		"corpus", "Q", "docs", "workers", "wall", "speedup", "sel(dag)", "sel(tree)")
+	fmt.Fprintf(w, "%-12s %3s %5s %8s %12s %8s %10s %10s %11s\n",
+		"corpus", "Q", "docs", "workers", "wall", "speedup", "allocs/doc", "sel(dag)", "sel(tree)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %3d %5d %8d %12v %7.2fx %10d %11d\n",
+		fmt.Fprintf(w, "%-12s %3d %5d %8d %12v %7.2fx %10d %10d %11d\n",
 			r.Corpus, r.Query, r.Docs, r.Workers,
-			r.Wall.Round(time.Microsecond), r.Speedup, r.SelectedDAG, r.SelectedTree)
+			r.Wall.Round(time.Microsecond), r.Speedup, r.AllocsPerDoc, r.SelectedDAG, r.SelectedTree)
 	}
 }

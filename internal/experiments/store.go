@@ -5,13 +5,17 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dag"
+	"repro/internal/engine"
 	"repro/internal/store"
+	"repro/internal/xpath"
 )
 
 // StoreRow is one measurement of the server-throughput experiment: one
@@ -33,6 +37,18 @@ type StoreRow struct {
 	ParseWall time.Duration
 	StoreWall time.Duration
 	Speedup   float64
+
+	// CloneWall replays the pre-overlay serving mode for tag-only
+	// queries: every cached base is deep-cloned and evaluated with the
+	// consuming engine (engine.RunParallel) at the same worker count.
+	// OverlaySpeedup = CloneWall / StoreWall — the clone-vs-overlay win.
+	// Zero for string-condition queries (the clone path has no marks).
+	CloneWall      time.Duration
+	OverlaySpeedup float64
+
+	// StoreAllocs is the heap allocations per document-query of the
+	// measured warm store run (runtime.MemStats delta / docs).
+	StoreAllocs uint64
 
 	// Store cache activity during the measured run.
 	Hits, Misses, Evictions uint64
@@ -127,13 +143,22 @@ func StoreSweep(corpusName string, docs int, sizeScale float64, seed uint64,
 			}
 			for qi, q := range c.Queries {
 				before := s.Stats()
+				var ms0, ms1 runtime.MemStats
+				runtime.ReadMemStats(&ms0)
 				t0 := time.Now()
 				served, err := s.QueryAll(q)
 				if err != nil {
 					return nil, fmt.Errorf("store sweep: %s Q%d: %w", corpusName, qi+1, err)
 				}
 				storeWall := time.Since(t0)
+				runtime.ReadMemStats(&ms1)
+				storeAllocs := (ms1.Mallocs - ms0.Mallocs) / uint64(docs)
 				after := s.Stats()
+
+				cloneWall, err := cloneServe(s, q, w)
+				if err != nil {
+					return nil, fmt.Errorf("store sweep: %s Q%d clone baseline: %w", corpusName, qi+1, err)
+				}
 
 				t1 := time.Now()
 				parsed, err := pool.QueryAll(q)
@@ -160,30 +185,78 @@ func StoreSweep(corpusName string, docs int, sizeScale float64, seed uint64,
 						corpusName, qi+1, servedSel, parsedSel)
 				}
 
-				rows = append(rows, StoreRow{
+				row := StoreRow{
 					Corpus: corpusName, Query: qi + 1, Docs: docs, Workers: w,
 					CacheBytes: budget, CacheFrac: frac,
 					ParseWall: parseWall, StoreWall: storeWall,
 					Speedup:      float64(parseWall) / float64(storeWall),
+					CloneWall:    cloneWall,
+					StoreAllocs:  storeAllocs,
 					Hits:         after.DocHits - before.DocHits,
 					Misses:       after.DocMisses - before.DocMisses,
 					Evictions:    after.Evictions - before.Evictions,
 					SelectedTree: servedSel,
-				})
+				}
+				if cloneWall > 0 {
+					row.OverlaySpeedup = float64(cloneWall) / float64(storeWall)
+				}
+				rows = append(rows, row)
 			}
 		}
 	}
 	return rows, nil
 }
 
+// cloneServe replays the pre-overlay serving mode: clone every cached
+// base on the worker pool and fan the program out with the consuming
+// engine. Returns 0 for string-condition programs, which that mode
+// cannot serve from a tag-only base.
+func cloneServe(s *store.Store, query string, workers int) (time.Duration, error) {
+	prog, err := xpath.CompileQuery(query)
+	if err != nil {
+		return 0, err
+	}
+	if len(prog.Strings) > 0 {
+		return 0, nil
+	}
+	// The doc fetches are timed like QueryAll's are — on the worker
+	// pool: cache hits when warm, decode churn when the budget forces
+	// eviction.
+	names := s.Names()
+	t0 := time.Now()
+	docs := make([]*store.Doc, len(names))
+	errs := make([]error, len(names))
+	engine.ForEach(len(names), workers, func(i int) {
+		docs[i], errs[i] = s.Doc(names[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	clones := make([]*dag.Instance, len(docs))
+	engine.ForEach(len(docs), workers, func(i int) {
+		clones[i] = docs[i].Prepared().CloneBase()
+	})
+	if _, err := engine.RunParallel(clones, prog, workers); err != nil {
+		return 0, err
+	}
+	return time.Since(t0), nil
+}
+
 // PrintStore renders sweep rows as a table.
 func PrintStore(w io.Writer, rows []StoreRow) {
-	fmt.Fprintf(w, "%-12s %3s %5s %8s %6s %12s %12s %8s %6s %7s %6s %11s\n",
-		"corpus", "Q", "docs", "workers", "cache", "parse/query", "store", "speedup", "hits", "misses", "evict", "sel(tree)")
+	fmt.Fprintf(w, "%-12s %3s %5s %8s %6s %12s %12s %12s %8s %8s %9s %6s %7s %6s %11s\n",
+		"corpus", "Q", "docs", "workers", "cache", "parse/query", "clone", "store", "speedup", "ovl-spd", "allocs/op", "hits", "misses", "evict", "sel(tree)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %3d %5d %8d %5.0f%% %12v %12v %7.2fx %6d %7d %6d %11d\n",
+		ovl := "     -"
+		if r.OverlaySpeedup > 0 {
+			ovl = fmt.Sprintf("%7.2fx", r.OverlaySpeedup)
+		}
+		fmt.Fprintf(w, "%-12s %3d %5d %8d %5.0f%% %12v %12v %12v %7.2fx %8s %9d %6d %7d %6d %11d\n",
 			r.Corpus, r.Query, r.Docs, r.Workers, 100*r.CacheFrac,
-			r.ParseWall.Round(time.Microsecond), r.StoreWall.Round(time.Microsecond),
-			r.Speedup, r.Hits, r.Misses, r.Evictions, r.SelectedTree)
+			r.ParseWall.Round(time.Microsecond), r.CloneWall.Round(time.Microsecond),
+			r.StoreWall.Round(time.Microsecond),
+			r.Speedup, ovl, r.StoreAllocs, r.Hits, r.Misses, r.Evictions, r.SelectedTree)
 	}
 }

@@ -122,6 +122,11 @@ type Doc struct {
 	archive  *container.Archive
 	prep     *core.Prepared
 	memBytes int64
+
+	// lastCharge is the most recent docCharge estimate, so the per-query
+	// recharge can skip the store-wide mutex when nothing grew (the
+	// steady state of the coordination-free read path).
+	lastCharge atomic.Int64
 }
 
 // Name returns the catalog name (the archive file name without Ext).
@@ -300,7 +305,8 @@ func (s *Store) Doc(name string) (*Doc, error) {
 	if s.entries[e.name] == e {
 		e.doc = d
 		e.elem = s.lru.PushFront(e)
-		e.charged = d.memBytes
+		e.charged = docCharge(d)
+		d.lastCharge.Store(e.charged)
 		s.curBytes += e.charged
 		s.docMisses++
 		s.evictLocked()
@@ -365,7 +371,8 @@ func (s *Store) AddArchive(name, path string, warm *Doc) error {
 	if warm != nil {
 		e.doc = warm
 		e.elem = s.lru.PushFront(e)
-		e.charged = warm.memBytes
+		e.charged = docCharge(warm)
+		warm.lastCharge.Store(e.charged)
 		s.curBytes += e.charged
 		s.evictLocked()
 	}
@@ -398,13 +405,25 @@ func (s *Store) dropLocked(e *entry) {
 	e.doc, e.elem, e.charged = nil, nil, 0
 }
 
-// recharge re-estimates a cached document's footprint after a
-// string-condition query may have grown its merged-instance memo
-// (core.Prepared memoises up to a few base-instance-sized merges), and
-// charges the difference against the budget.
+// docCharge is what a cached document currently costs: the decoded
+// archive and instance, the merged-instance memo (grown by
+// string-condition queries), and the frozen views' lazily-built caches
+// — topological orders, tree size, path counts, per-label selection
+// columns (Prepared.AuxBytes; grown by queries of every kind).
+func docCharge(d *Doc) int64 {
+	mv, me, aux := d.prep.Footprint()
+	return d.memBytes + int64(mv)*vertexOverhead + int64(me)*edgeBytes + aux
+}
+
+// recharge re-estimates a cached document's footprint after a query may
+// have grown its memo or frozen-view caches, and charges the difference
+// against the budget. Unchanged estimates (every warm query after the
+// caches stabilise) return without touching the store mutex.
 func (s *Store) recharge(name string, d *Doc) {
-	mv, me := d.prep.MemoSize()
-	charge := d.memBytes + int64(mv)*vertexOverhead + int64(me)*edgeBytes
+	charge := docCharge(d)
+	if d.lastCharge.Load() == charge {
+		return
+	}
 	s.mu.Lock()
 	// Live (memtable) documents are not charged against the archive
 	// cache budget; the write subsystem accounts for them.
@@ -413,6 +432,12 @@ func (s *Store) recharge(name string, d *Doc) {
 		e.charged = charge
 		s.evictLocked()
 	}
+	// Advance lastCharge only here, serialized with the commit above: a
+	// racing recharge that loses the interleaving leaves lastCharge and
+	// entry.charged momentarily stale together, and the next query's
+	// Load check sees the mismatch and re-commits — never a permanent
+	// skew between the fast path and the charged budget.
+	d.lastCharge.Store(charge)
 	s.mu.Unlock()
 }
 
@@ -567,7 +592,9 @@ func (s *Store) Query(name, query string) (*core.Result, error) {
 	}
 	s.queries.Add(1)
 	res, err := d.Run(prog)
-	if err == nil && len(prog.Strings) > 0 {
+	if err == nil {
+		// Tag-only queries grow the frozen view's caches too (path
+		// counts, label columns), so every query re-estimates.
 		s.recharge(name, d)
 	}
 	return res, err
@@ -575,12 +602,14 @@ func (s *Store) Query(name, query string) (*core.Result, error) {
 
 // QueryAll evaluates one query against every catalogued document and
 // returns one result per document in name order, like core.Pool.QueryAll.
-// Documents are loaded (or fetched from cache) concurrently; tag-only
-// programs then fan out over clones of the cached instances with
-// engine.RunParallel — the coordination-free read path: shards share
-// nothing but the read-only program. Programs with string conditions
-// distil per document on the same worker pool. Per-document failures are
-// reported in the results, not as a call error.
+// Documents are loaded (or fetched from cache) concurrently, then every
+// evaluation fans out on the worker pool directly against the shared
+// frozen instances — the coordination-free read path: nothing is cloned,
+// workers share only the read-only bases and program, and each query's
+// writes live in its own pooled overlay (engine.RunFrozen via
+// core.Prepared.Run). Programs with string conditions distil per
+// document on the same pool. Per-document failures are reported in the
+// results, not as a call error.
 func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 	prog, err := s.Program(query)
 	if err != nil {
@@ -595,85 +624,21 @@ func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 	})
 	s.queries.Add(uint64(len(names)))
 
-	if len(prog.Strings) > 0 {
-		s.forEach(len(names), func(i int) {
-			if out[i].Err == nil {
-				out[i].Result, out[i].Err = docs[i].Run(prog)
-				if out[i].Err == nil {
-					s.recharge(names[i], docs[i])
-				}
-			}
-		})
-		return out, nil
-	}
-
-	// Tag-only: evaluate on clones of the cached full-tag instances
-	// (cloned on the worker pool too — a serial clone phase would cap
-	// fan-out scaling before RunParallel even starts).
-	clones := make([]*dag.Instance, len(names))
 	s.forEach(len(names), func(i int) {
+		if out[i].Err != nil {
+			return
+		}
+		out[i].Result, out[i].Err = docs[i].Run(prog)
 		if out[i].Err == nil {
-			clones[i] = docs[i].prep.CloneBase()
+			s.recharge(names[i], docs[i])
 		}
 	})
-	var insts []*dag.Instance
-	var idx []int
-	for i, cl := range clones {
-		if cl != nil {
-			insts = append(insts, cl)
-			idx = append(idx, i)
-		}
-	}
-	merged, err := engine.RunParallel(insts, prog, s.workers)
-	if err != nil {
-		return nil, err
-	}
-	for k, shard := range merged.Shards {
-		i := idx[k]
-		out[i].Result = &core.Result{
-			EvalTime:     merged.Walls[k],
-			VertsBefore:  shard.VertsBefore,
-			EdgesBefore:  shard.EdgesBefore,
-			VertsAfter:   shard.VertsAfter,
-			EdgesAfter:   shard.EdgesAfter,
-			SelectedDAG:  shard.SelectedDAG,
-			SelectedTree: shard.SelectedTree,
-			TreeVertices: docs[i].prep.TreeVertices(),
-			Instance:     shard.Instance,
-			Label:        shard.Label,
-		}
-	}
 	return out, nil
 }
 
 // forEach runs fn(i) for i in [0, n) on the store's worker pool.
 func (s *Store) forEach(n int, fn func(i int)) {
-	workers := s.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	engine.ForEach(n, s.workers, fn)
 }
 
 // Stats is a point-in-time snapshot of the store's caches and counters.
