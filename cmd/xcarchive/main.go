@@ -3,14 +3,17 @@
 // back.
 //
 //	xcarchive pack     doc.xml  doc.xca
-//	xcarchive pack-dir corpusdir/ archivedir/   # every *.xml -> name.xca
+//	xcarchive pack-dir corpusdir/ archivedir/   # every *.xml -> name.xca (+ name.xcs)
 //	xcarchive unpack   doc.xca  doc.xml
 //	xcarchive stat     doc.xca                  # sizes incl. per-container bytes
 //
-// pack-dir builds the on-disk layout xcserve serves from. unpack decodes
-// the whole archive in memory and refuses files larger than -maxmem
-// (default 1 GiB) rather than silently exhausting memory; all decode
-// errors name the offending file.
+// pack-dir builds the on-disk layout xcserve serves from. pack and
+// pack-dir also (re)generate each archive's path-synopsis sidecar
+// (doc.xcs), overwriting any stale one, so a packed store prunes from
+// its first open; unpack ignores sidecars (they are derived data the
+// store can always rebuild). unpack decodes the whole archive in memory
+// and refuses files larger than -maxmem (default 1 GiB) rather than
+// silently exhausting memory; all decode errors name the offending file.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/container"
+	"repro/internal/synopsis"
 )
 
 var maxMem = flag.Int64("maxmem", 1<<30, "refuse to unpack archive files larger than this many bytes (0 = no limit)")
@@ -63,8 +67,9 @@ func main() {
 	}
 }
 
-// packOne reads src, splits it into an archive, writes dst and returns
-// the archive with the in/out byte counts.
+// packOne reads src, splits it into an archive, writes dst plus its
+// path-synopsis sidecar, and returns the archive with the in/out byte
+// counts.
 func packOne(src, dst string) (a *container.Archive, inBytes, outBytes int64) {
 	data, err := os.ReadFile(src)
 	cli.Fatal(err)
@@ -76,6 +81,9 @@ func packOne(src, dst string) (a *container.Archive, inBytes, outBytes int64) {
 	cli.Fatal(out.Close())
 	st, err := os.Stat(dst)
 	cli.Fatal(err)
+	dict := synopsis.NewDict()
+	side := synopsis.SidecarPath(dst)
+	cli.Fatalf(side, synopsis.WriteSidecar(side, synopsis.Build(a.Skeleton, dict, synopsis.Options{}), dict, st.Size()))
 	return a, int64(len(data)), st.Size()
 }
 
@@ -135,6 +143,8 @@ func unpack(src, dst string) {
 }
 
 func stat(src string) {
+	fi, err := os.Stat(src)
+	cli.Fatal(err)
 	in, err := os.Open(src)
 	cli.Fatal(err)
 	st, err := codec.StatArchive(in)
@@ -146,6 +156,7 @@ func stat(src string) {
 	for _, c := range st.Containers {
 		fmt.Printf("  %-44s %8d chunks %10d bytes\n", c.Key, c.Chunks, c.Bytes)
 	}
+	fmt.Printf("sidecar:    %s\n", synopsis.StatSidecar(src, fi.Size()))
 }
 
 func usage() {

@@ -8,6 +8,7 @@
 //	xcbench -relational      # Introduction: O(C*R) -> O(C+log R) sweep
 //	xcbench -parallel        # parallel fan-out scaling sweep
 //	xcbench -storebench      # archive-store serving vs parse-per-query
+//	xcbench -prunebench      # catalog pruning: mixed store, synopsis index on vs off
 //	xcbench -ingestbench     # ingest-while-querying: write throughput vs latency
 //	xcbench -all             # everything
 //	xcbench -compare old.json new.json   # delta two -json trajectory files
@@ -23,7 +24,10 @@
 // -ingestbench streams -docs documents through the write path
 // (internal/ingest) while a fixed query loop runs, reporting write
 // docs/sec, idle vs busy query latency percentiles, and WAL crash-
-// recovery time.
+// recovery time. -prunebench builds one store from -docs documents each
+// of four disjoint-vocabulary corpora and fans each corpus's root-path
+// query over it with the path-synopsis index on and off, reporting the
+// prune ratio and the pruned-vs-full speedup (results verified equal).
 //
 // -json replaces every table with machine-readable output: one JSON
 // object per experiment, {"experiment": NAME, "rows": [...]}, on stdout
@@ -56,6 +60,7 @@ func main() {
 		relational = flag.Bool("relational", false, "run the relational-table compression sweep (Introduction)")
 		parallel   = flag.Bool("parallel", false, "run the parallel fan-out scaling sweep")
 		storebench = flag.Bool("storebench", false, "run the archive-store serving sweep")
+		prunebench = flag.Bool("prunebench", false, "run the mixed-corpus catalog-pruning sweep")
 		ingbench   = flag.Bool("ingestbench", false, "run the ingest-while-querying sweep")
 		all        = flag.Bool("all", false, "run every experiment")
 		scale      = flag.Float64("scale", 1.0, "corpus size multiplier")
@@ -77,9 +82,9 @@ func main() {
 		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *maxRegress))
 	}
 	if *all {
-		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *ingbench = true, true, true, true, true, true, true, true
+		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *ingbench = true, true, true, true, true, true, true, true, true
 	}
-	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*ingbench {
+	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*ingbench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -192,6 +197,16 @@ func main() {
 		emit("store", rows, func() {
 			fmt.Printf("=== Archive store: %s x %d documents, warm serving vs parse-per-query ===\n", *corpusName, *docs)
 			experiments.PrintStore(os.Stdout, rows)
+			fmt.Println()
+		})
+	}
+
+	if *prunebench {
+		rows, err := experiments.PruneSweep(*docs, *scale, *seed, *workers)
+		cli.Fatal(err)
+		emit("prune", rows, func() {
+			fmt.Printf("=== Catalog pruning: mixed store, %d documents per corpus, synopsis index on vs off ===\n", *docs)
+			experiments.PrintPrune(os.Stdout, rows)
 			fmt.Println()
 		})
 	}

@@ -5,7 +5,10 @@
 //
 // When the second argument is a directory, the query is compiled once and
 // fanned out over every *.xml file in it on a pool of -workers goroutines,
-// printing one row per document plus batch totals.
+// printing one row per document plus batch totals. With -prepare, each
+// prepared document also gets a path synopsis, and documents the query's
+// signature provably cannot match are skipped ("pruned" rows) — the
+// directory-mode form of the archive store's catalog-level pruning.
 //
 // Usage:
 //
@@ -133,6 +136,10 @@ func queryDir(query string, prog *xpath.Program, dir string, workers int, prepar
 			fmt.Printf("%-30s ERROR: %v\n", r.Name, r.Err)
 			continue
 		}
+		if r.Pruned {
+			fmt.Printf("%-30s %12s %12s %10d %11d\n", r.Name, "-", "pruned", 0, 0)
+			continue
+		}
 		fmt.Printf("%-30s %12v %12v %10d %11d\n",
 			r.Name, r.Result.ParseTime.Round(time.Microsecond),
 			r.Result.EvalTime.Round(time.Microsecond),
@@ -143,6 +150,9 @@ func queryDir(query string, prog *xpath.Program, dir string, workers int, prepar
 		s.ParseTime.Round(time.Microsecond), s.EvalTime.Round(time.Microsecond),
 		s.SelectedDAG, s.SelectedTree)
 	fmt.Printf("wall-clock: %v (summed parse+eval %v)\n", wall, s.ParseTime+s.EvalTime)
+	if s.Pruned > 0 {
+		fmt.Printf("pruned:   %d of %d documents skipped by the path-synopsis index\n", s.Pruned, s.Docs)
+	}
 	if s.Errors > 0 {
 		os.Exit(1)
 	}

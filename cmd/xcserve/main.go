@@ -21,6 +21,13 @@
 // archives in the store directory. DELETE /docs/NAME tombstones; POST
 // /flush forces compaction.
 //
+// Fan-outs consult the path-synopsis index first: each archive carries a
+// tiny sidecar (doc.xcs) summarising its tag vocabulary and bounded-depth
+// root paths, and documents a query provably cannot match are skipped
+// without being decoded (the "pruned" rows of /query responses, counted
+// in /stats). Missing sidecars are rebuilt at startup; -no-synopsis
+// turns the index off.
+//
 // Because cached documents are immutable, the read path needs no locking:
 // every request handler goroutine queries its own copy-on-evaluate
 // instance, and fan-outs spread over a bounded worker pool
@@ -53,6 +60,7 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", store.DefaultCacheBytes, "decoded-document cache budget in bytes")
 		progCache  = flag.Int("query-cache", store.DefaultProgramCache, "compiled-query cache entries")
 		maxPaths   = flag.Int("max-paths", 100, "cap on result addresses per response")
+		noSynopsis = flag.Bool("no-synopsis", false, "disable the path-synopsis index: no sidecars, every fan-out scans every document")
 
 		ingestOn     = flag.Bool("ingest", false, "enable the write path (POST /docs/NAME, DELETE /docs/NAME, POST /flush)")
 		walDir       = flag.String("wal", "", "WAL directory (default <store>/wal)")
@@ -69,12 +77,18 @@ func main() {
 	}
 
 	s, err := store.Open(*dir, store.Options{
-		CacheBytes:   *cacheBytes,
-		Workers:      *workers,
-		ProgramCache: *progCache,
+		CacheBytes:      *cacheBytes,
+		Workers:         *workers,
+		ProgramCache:    *progCache,
+		DisableSynopsis: *noSynopsis,
 	})
 	if err != nil {
 		log.Fatalf("xcserve: %v", err)
+	}
+	if !*noSynopsis {
+		st := s.Stats()
+		log.Printf("xcserve: path-synopsis index: %d document(s) indexed, %d sidecar(s) rebuilt, %s",
+			st.SynopsisDocs, st.SynopsisBuilds, humanBytes(st.SynopsisBytes))
 	}
 	if s.Len() == 0 && !*ingestOn {
 		log.Printf("xcserve: warning: no %s archives in %s (pack some with: xcarchive pack-dir, or restart with -ingest and POST documents)", store.Ext, *dir)

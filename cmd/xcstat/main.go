@@ -1,10 +1,13 @@
-// xcstat reports skeleton compression statistics for an XML file — one
-// Figure 6 row: tree size, compressed DAG size, and the edge ratio, in both
-// tag modes ("−" = structure only, "+" = all tags).
+// xcstat reports skeleton compression statistics. For an XML file it
+// prints one Figure 6 row: tree size, compressed DAG size, and the edge
+// ratio, in both tag modes ("−" = structure only, "+" = all tags). For a
+// packed archive (*.xca) it prints the stored section sizes — skeleton,
+// value containers — alongside the archive's path-synopsis sidecar
+// (*.xcs), the index the store prunes fan-outs with.
 //
 // Usage:
 //
-//	xcstat file.xml [file2.xml ...]
+//	xcstat file.xml [doc.xca ...]
 //
 // Every failure names the file it concerns and exits non-zero.
 package main
@@ -12,20 +15,31 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cli"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/skeleton"
+	"repro/internal/synopsis"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: xcstat file.xml [file2.xml ...]")
+		fmt.Fprintln(os.Stderr, "usage: xcstat file.xml [doc.xca ...]")
 		os.Exit(2)
 	}
-	fmt.Printf("%-24s %12s %12s %12s %10s  %s\n",
-		"file", "|V_T|", "|V_M(T)|", "|E_M(T)|", "ratio", "tags")
+	headerPrinted := false
 	for _, path := range os.Args[1:] {
+		if strings.HasSuffix(path, ".xca") {
+			statArchive(path)
+			continue
+		}
+		if !headerPrinted {
+			fmt.Printf("%-24s %12s %12s %12s %10s  %s\n",
+				"file", "|V_T|", "|V_M(T)|", "|E_M(T)|", "ratio", "tags")
+			headerPrinted = true
+		}
 		data, err := os.ReadFile(path)
 		cli.Fatal(err)
 		doc := core.Load(data)
@@ -38,5 +52,27 @@ func main() {
 			fmt.Printf("%-24s %12d %12d %12d %9.1f%%  %s\n",
 				path, st.TreeVertices, st.DagVertices, st.DagEdges, 100*st.Ratio, mode.sign)
 		}
+	}
+}
+
+// statArchive prints an archive's section sizes and its synopsis
+// sidecar, if present.
+func statArchive(path string) {
+	fi, err := os.Stat(path)
+	cli.Fatal(err)
+	in, err := os.Open(path)
+	cli.Fatal(err)
+	st, err := codec.StatArchive(in)
+	cli.Fatalf(path, err)
+	cli.Fatal(in.Close())
+	fmt.Printf("%s: %d bytes\n", path, fi.Size())
+	fmt.Printf("  skeleton:   %d vertices, %d edges (tree size %d), %d schema names\n",
+		st.SkeletonVertices, st.SkeletonEdges, st.TreeSize, st.SchemaLen)
+	fmt.Printf("  containers: %d, %d value bytes\n", len(st.Containers), st.ValueBytes)
+	info := synopsis.StatSidecar(path, fi.Size())
+	if info.Err == nil && fi.Size() > 0 {
+		fmt.Printf("  sidecar:    %s (%.2f%% of archive)\n", info, 100*float64(info.Bytes)/float64(fi.Size()))
+	} else {
+		fmt.Printf("  sidecar:    %s\n", info)
 	}
 }

@@ -326,6 +326,15 @@ func decodeArchive(r io.Reader, sink func(key, chunk string)) (*dag.Instance, er
 	return skel, nil
 }
 
+// DecodeSkeleton reads an encoded archive but materialises only its
+// skeleton, streaming past the value containers without retaining them.
+// This is what the archive store's synopsis builder uses to summarise an
+// un-sidecared archive: the skeleton is a few percent of the archive, so
+// the pass stays cheap even on value-heavy documents.
+func DecodeSkeleton(r io.Reader) (*dag.Instance, error) {
+	return decodeArchive(r, func(string, string) {})
+}
+
 // ContainerStat describes one value container of an archive.
 type ContainerStat struct {
 	Key    string // container name (root-to-node tag path)

@@ -102,6 +102,16 @@ type Result struct {
 	view *dag.ResultView // overlay result; nil for consumed-instance runs
 }
 
+// EmptyResult returns a result selecting nothing, without any
+// evaluation having run: what a fan-out reports for a document the
+// path-synopsis index proved cannot match. The instance-size and timing
+// fields stay zero (the document was never touched); Paths and Instance
+// behave like any other empty result.
+func EmptyResult() *Result {
+	in := dag.New()
+	return &Result{inst: in, lbl: in.Schema.Intern("result:pruned")}
+}
+
 // newResult wraps an engine result, deferring materialization when the
 // engine ran in overlay mode.
 func newResult(er *engine.Result) *Result {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/synopsis"
 	"repro/internal/xpath"
 )
 
@@ -19,6 +20,11 @@ import (
 // are independent, so evaluation is coordination-free — workers share
 // only the compiled (read-only) program.
 //
+// PrepareBatch also builds a path synopsis per document (the same
+// summaries the archive store persists as sidecars), so RunAll can skip
+// prepared documents a query's signature provably cannot match — the
+// directory-mode form of catalog-level pruning.
+//
 // A Pool is safe for concurrent use once populated: Add/AddDir must not
 // race with PrepareBatch or QueryAll, but any number of QueryAll calls
 // may run concurrently with each other (Prepared instances are never
@@ -26,12 +32,14 @@ import (
 type Pool struct {
 	workers int
 	entries []*poolEntry
+	idx     *synopsis.Index // built by PrepareBatch; nil before
 }
 
 type poolEntry struct {
 	name string
 	doc  *Document
 	prep *Prepared
+	syn  *synopsis.Synopsis
 }
 
 // NewPool returns an empty pool evaluating up to workers documents
@@ -112,14 +120,23 @@ func (p *Pool) forEach(fn func(i int)) {
 }
 
 // PrepareBatch parses and compresses every document's full tag skeleton
-// concurrently (Document.Prepare per entry). Subsequent QueryAll calls
-// then skip re-parsing for tag-only queries. The first error (in pool
-// order) is returned; documents that prepared successfully stay prepared.
+// concurrently (Document.Prepare per entry), and summarises each into a
+// path synopsis over a pool-wide dictionary. Subsequent QueryAll calls
+// then skip re-parsing for tag-only queries, and skip evaluation
+// entirely for documents a query's signature rules out. The first error
+// (in pool order) is returned; documents that prepared successfully stay
+// prepared.
 func (p *Pool) PrepareBatch() error {
+	if p.idx == nil {
+		p.idx = synopsis.NewIndex()
+	}
 	errs := make([]error, len(p.entries))
 	p.forEach(func(i int) {
 		e := p.entries[i]
 		e.prep, errs[i] = e.doc.Prepare()
+		if errs[i] == nil {
+			e.syn = synopsis.Build(e.prep.Frozen().Instance(), p.idx.Dict(), synopsis.Options{})
+		}
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -134,6 +151,10 @@ type BatchResult struct {
 	Name   string
 	Result *Result
 	Err    error
+	// Pruned marks a document the path-synopsis index skipped: the
+	// evaluation never ran because the index proved it would select
+	// nothing. Result is a well-formed empty result.
+	Pruned bool
 }
 
 // QueryAll compiles the query once and evaluates it against every
@@ -150,15 +171,26 @@ func (p *Pool) QueryAll(query string) ([]BatchResult, error) {
 
 // RunAll evaluates a compiled program against every document on the
 // worker pool. Prepared documents (PrepareBatch) evaluate through their
-// cached instance; others re-parse per query, like Document.Run.
+// cached instance — unless their synopsis proves the program cannot
+// match, in which case they are skipped with a Pruned empty result;
+// others re-parse per query, like Document.Run (re-parsing already costs
+// a full scan, so there is nothing for an index to save there).
 func (p *Pool) RunAll(prog *xpath.Program) []BatchResult {
+	var rs *synopsis.Resolved
+	if p.idx != nil {
+		rs = p.idx.Resolve(prog.Sig)
+	}
 	out := make([]BatchResult, len(p.entries))
 	p.forEach(func(i int) {
 		e := p.entries[i]
 		out[i].Name = e.name
-		if e.prep != nil {
+		switch {
+		case e.prep != nil && rs != nil && e.syn != nil && !e.syn.CanMatch(rs):
+			out[i].Pruned = true
+			out[i].Result = EmptyResult()
+		case e.prep != nil:
 			out[i].Result, out[i].Err = e.prep.Run(prog)
-		} else {
+		default:
 			out[i].Result, out[i].Err = e.doc.Run(prog)
 		}
 	})
@@ -170,6 +202,9 @@ func (p *Pool) RunAll(prog *xpath.Program) []BatchResult {
 // summed CPU-side costs (wall-clock is lower under parallel evaluation).
 type BatchStats struct {
 	Docs, Errors int
+	// Pruned counts documents the path-synopsis index skipped (their
+	// empty results are still included in the other sums).
+	Pruned int
 
 	ParseTime, EvalTime time.Duration
 
@@ -189,6 +224,9 @@ func Summarize(results []BatchResult) BatchStats {
 			continue
 		}
 		s.Docs++
+		if r.Pruned {
+			s.Pruned++
+		}
 		s.ParseTime += r.Result.ParseTime
 		s.EvalTime += r.Result.EvalTime
 		s.VertsBefore += r.Result.VertsBefore

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// TestPoolPruning: after PrepareBatch, a query whose tags one document
+// lacks must be pruned there — and pruning must agree with sequential
+// evaluation for every document.
+func TestPoolPruning(t *testing.T) {
+	pool := core.NewPool(2)
+	pool.Add("dblp", corpus.DBLP(30, 1))
+	pool.Add("baseball", corpus.Baseball(2, 1))
+	if err := pool.PrepareBatch(); err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := pool.QueryAll(`/dblp/article/url`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.Summarize(results)
+	if st.Pruned != 1 {
+		t.Fatalf("pruned %d docs, want 1", st.Pruned)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		switch r.Name {
+		case "dblp":
+			if r.Pruned || r.Result.SelectedTree == 0 {
+				t.Fatalf("dblp: pruned=%v selected=%d", r.Pruned, r.Result.SelectedTree)
+			}
+		case "baseball":
+			if !r.Pruned || r.Result.SelectedTree != 0 {
+				t.Fatalf("baseball: pruned=%v selected=%d", r.Pruned, r.Result.SelectedTree)
+			}
+		}
+	}
+
+	// An unprepared pool has no synopses: nothing may be pruned.
+	raw := core.NewPool(2)
+	raw.Add("baseball", corpus.Baseball(2, 1))
+	results, err = raw.QueryAll(`/dblp/article/url`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Pruned {
+		t.Fatal("unprepared pool must not prune")
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/container"
+	"repro/internal/corpus"
+	"repro/internal/store"
+)
+
+// pruneCorpora are the mixed store's constituents: four vocabularies
+// with no tag overlap on their Q2 root paths, so each corpus's query is
+// selective against the other three quarters of the catalog.
+var pruneCorpora = []string{"SwissProt", "DBLP", "Shakespeare", "Baseball"}
+
+// PruneRow is one measurement of the catalog-pruning experiment: one
+// corpus's root-path query (Q2) fanned over a mixed store, with the
+// path-synopsis index on versus off. The two fan-outs are verified
+// identical per document before the row is reported.
+type PruneRow struct {
+	Corpus  string // the query's home corpus
+	Query   int    // 1..5 (Q2 by construction)
+	Docs    int    // documents in the mixed store
+	Workers int
+
+	Pruned     int     // documents the index skipped
+	Scanned    int     // documents evaluated
+	PruneRatio float64 // Pruned / Docs
+
+	FullWall   time.Duration // index disabled: every document visited
+	PrunedWall time.Duration // index on
+	Speedup    float64       // FullWall / PrunedWall
+
+	SelectedTree uint64 // matches (identical on both paths)
+}
+
+// PruneSweep packs docsPer documents of each prune corpus into one
+// archive directory, opens it twice — synopsis index on and off — and
+// fans each corpus's Q2 over both warm stores. It returns one row per
+// corpus query and errors out if the two paths ever disagree on any
+// document, making the sweep double as a soundness check.
+func PruneSweep(docsPer int, sizeScale float64, seed uint64, workers int) ([]PruneRow, error) {
+	if docsPer < 1 {
+		return nil, fmt.Errorf("prune sweep: need at least 1 document per corpus, got %d", docsPer)
+	}
+	dir, err := os.MkdirTemp("", "xcprune-sweep")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	total := 0
+	for _, name := range pruneCorpora {
+		c, err := corpus.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < docsPer; i++ {
+			doc := c.Generate(scaled(c.DefaultScale, sizeScale), seed+uint64(i))
+			a, err := container.Split(doc)
+			if err != nil {
+				return nil, fmt.Errorf("prune sweep: splitting %s doc %d: %w", name, i, err)
+			}
+			path := filepath.Join(dir, fmt.Sprintf("%s%03d%s", name, i, store.Ext))
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			if err := codec.EncodeArchive(f, a); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			total++
+		}
+	}
+
+	pruned, err := store.Open(dir, store.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	full, err := store.Open(dir, store.Options{Workers: workers, DisableSynopsis: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm both stores through every query so the measured fan-outs pay
+	// neither decode nor compile.
+	for _, name := range pruneCorpora {
+		c, _ := corpus.ByName(name)
+		q := c.Queries[1]
+		if _, err := pruned.QueryAll(q); err != nil {
+			return nil, fmt.Errorf("prune sweep: warming %s: %w", q, err)
+		}
+		if _, err := full.QueryAll(q); err != nil {
+			return nil, fmt.Errorf("prune sweep: warming full %s: %w", q, err)
+		}
+	}
+
+	var rows []PruneRow
+	for _, name := range pruneCorpora {
+		c, _ := corpus.ByName(name)
+		q := c.Queries[1]
+
+		before := pruned.Stats()
+		t0 := time.Now()
+		prunedRes, err := pruned.QueryAll(q)
+		if err != nil {
+			return nil, fmt.Errorf("prune sweep: %s: %w", q, err)
+		}
+		prunedWall := time.Since(t0)
+		after := pruned.Stats()
+
+		t1 := time.Now()
+		fullRes, err := full.QueryAll(q)
+		if err != nil {
+			return nil, fmt.Errorf("prune sweep: %s full: %w", q, err)
+		}
+		fullWall := time.Since(t1)
+
+		if len(prunedRes) != len(fullRes) {
+			return nil, fmt.Errorf("prune sweep: %s: %d vs %d results", q, len(prunedRes), len(fullRes))
+		}
+		var sel uint64
+		for i := range prunedRes {
+			p, f := prunedRes[i], fullRes[i]
+			if p.Err != nil {
+				return nil, fmt.Errorf("prune sweep: %s doc %s: %w", q, p.Name, p.Err)
+			}
+			if f.Err != nil {
+				return nil, fmt.Errorf("prune sweep: %s full doc %s: %w", q, f.Name, f.Err)
+			}
+			if p.Name != f.Name || p.Result.SelectedTree != f.Result.SelectedTree {
+				return nil, fmt.Errorf("prune sweep: %s doc %s: pruned path selected %d, full %d",
+					q, p.Name, p.Result.SelectedTree, f.Result.SelectedTree)
+			}
+			sel += p.Result.SelectedTree
+		}
+
+		row := PruneRow{
+			Corpus:       name,
+			Query:        2,
+			Docs:         total,
+			Workers:      pruned.Workers(),
+			Pruned:       int(after.PrunePruned - before.PrunePruned),
+			FullWall:     fullWall,
+			PrunedWall:   prunedWall,
+			Speedup:      float64(fullWall) / float64(prunedWall),
+			SelectedTree: sel,
+		}
+		row.Scanned = total - row.Pruned
+		row.PruneRatio = float64(row.Pruned) / float64(total)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintPrune renders prune-sweep rows as a table.
+func PrintPrune(w io.Writer, rows []PruneRow) {
+	fmt.Fprintf(w, "%-12s %3s %5s %8s %7s %8s %7s %12s %12s %8s %11s\n",
+		"corpus", "Q", "docs", "workers", "pruned", "scanned", "ratio", "full", "pruned-wall", "speedup", "sel(tree)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %3d %5d %8d %7d %8d %6.0f%% %12v %12v %7.2fx %11d\n",
+			r.Corpus, r.Query, r.Docs, r.Workers, r.Pruned, r.Scanned, 100*r.PruneRatio,
+			r.FullWall.Round(time.Microsecond), r.PrunedWall.Round(time.Microsecond),
+			r.Speedup, r.SelectedTree)
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPruneSweep runs the mixed-corpus pruning experiment at a small
+// scale. The sweep itself errors out if the pruned and full paths ever
+// disagree on any document, so a clean return is the soundness check;
+// here we additionally pin the acceptance bar — a selective root-path
+// query must prune at least half of a mixed store.
+func TestPruneSweep(t *testing.T) {
+	rows, err := PruneSweep(2, 0.1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(pruneCorpora) {
+		t.Fatalf("%d rows, want %d", len(rows), len(pruneCorpora))
+	}
+	for _, r := range rows {
+		if r.Pruned+r.Scanned != r.Docs {
+			t.Errorf("%s: pruned %d + scanned %d != docs %d", r.Corpus, r.Pruned, r.Scanned, r.Docs)
+		}
+		if r.PruneRatio < 0.5 {
+			t.Errorf("%s: prune ratio %.2f < 0.5", r.Corpus, r.PruneRatio)
+		}
+		if r.SelectedTree == 0 {
+			t.Errorf("%s: selective query matched nothing — the sweep is vacuous", r.Corpus)
+		}
+		if r.FullWall <= 0 || r.PrunedWall <= 0 {
+			t.Errorf("%s: implausible walls full=%v pruned=%v", r.Corpus, r.FullWall, r.PrunedWall)
+		}
+	}
+
+	var sb strings.Builder
+	PrintPrune(&sb, rows)
+	if !strings.Contains(sb.String(), "ratio") || !strings.Contains(sb.String(), "Baseball") {
+		t.Fatalf("PrintPrune output incomplete:\n%s", sb.String())
+	}
+}

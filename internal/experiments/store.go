@@ -53,6 +53,16 @@ type StoreRow struct {
 	// Store cache activity during the measured run.
 	Hits, Misses, Evictions uint64
 
+	// Path-synopsis pruning during the measured run. A single-corpus
+	// sweep usually prunes nothing (every document shares the
+	// vocabulary); the mixed-corpus prune sweep (PruneSweep) is where
+	// these move. FullWall re-times the same query on an identical store
+	// with the index disabled; PruneSpeedup = FullWall / StoreWall.
+	DocsPruned   int
+	PruneRatio   float64
+	FullWall     time.Duration
+	PruneSpeedup float64
+
 	SelectedTree uint64 // summed matches (verified equal on both paths)
 }
 
@@ -131,6 +141,28 @@ func StoreSweep(corpusName string, docs int, sizeScale float64, seed uint64,
 			if err != nil {
 				return nil, err
 			}
+			// An identical store with the index off re-times queries
+			// unpruned — opened and warmed lazily, only once a query
+			// actually prunes: a single-corpus sweep never does, and
+			// paying a second store per configuration for a column that
+			// would be pure noise there doubles the bench for nothing.
+			var sFull *store.Store
+			ensureFull := func() (*store.Store, error) {
+				if sFull != nil {
+					return sFull, nil
+				}
+				sf, err := store.Open(dir, store.Options{CacheBytes: budget, Workers: w, DisableSynopsis: true})
+				if err != nil {
+					return nil, err
+				}
+				for _, q := range c.Queries {
+					if _, err := sf.QueryAll(q); err != nil {
+						return nil, fmt.Errorf("store sweep: warming full %s: %w", q, err)
+					}
+				}
+				sFull = sf
+				return sf, nil
+			}
 			pool := core.NewPool(w)
 			for i, doc := range generated {
 				pool.Add(fmt.Sprintf("doc%03d", i), doc)
@@ -154,6 +186,19 @@ func StoreSweep(corpusName string, docs int, sizeScale float64, seed uint64,
 				runtime.ReadMemStats(&ms1)
 				storeAllocs := (ms1.Mallocs - ms0.Mallocs) / uint64(docs)
 				after := s.Stats()
+
+				var fullWall time.Duration
+				if after.PrunePruned > before.PrunePruned {
+					sf, err := ensureFull()
+					if err != nil {
+						return nil, err
+					}
+					t2 := time.Now()
+					if _, err := sf.QueryAll(q); err != nil {
+						return nil, fmt.Errorf("store sweep: %s Q%d full scan: %w", corpusName, qi+1, err)
+					}
+					fullWall = time.Since(t2)
+				}
 
 				cloneWall, err := cloneServe(s, q, w)
 				if err != nil {
@@ -195,7 +240,18 @@ func StoreSweep(corpusName string, docs int, sizeScale float64, seed uint64,
 					Hits:         after.DocHits - before.DocHits,
 					Misses:       after.DocMisses - before.DocMisses,
 					Evictions:    after.Evictions - before.Evictions,
+					DocsPruned:   int(after.PrunePruned - before.PrunePruned),
+					FullWall:     fullWall,
 					SelectedTree: servedSel,
+				}
+				if considered := after.PruneConsidered - before.PruneConsidered; considered > 0 {
+					row.PruneRatio = float64(row.DocsPruned) / float64(considered)
+				}
+				// Only report a pruning speedup when pruning happened;
+				// otherwise the ratio of two identical scans is noise
+				// (and would trip -compare's regression check).
+				if row.DocsPruned > 0 {
+					row.PruneSpeedup = float64(fullWall) / float64(storeWall)
 				}
 				if cloneWall > 0 {
 					row.OverlaySpeedup = float64(cloneWall) / float64(storeWall)
@@ -246,17 +302,18 @@ func cloneServe(s *store.Store, query string, workers int) (time.Duration, error
 
 // PrintStore renders sweep rows as a table.
 func PrintStore(w io.Writer, rows []StoreRow) {
-	fmt.Fprintf(w, "%-12s %3s %5s %8s %6s %12s %12s %12s %8s %8s %9s %6s %7s %6s %11s\n",
-		"corpus", "Q", "docs", "workers", "cache", "parse/query", "clone", "store", "speedup", "ovl-spd", "allocs/op", "hits", "misses", "evict", "sel(tree)")
+	fmt.Fprintf(w, "%-12s %3s %5s %8s %6s %12s %12s %12s %8s %8s %9s %6s %7s %6s %6s %8s %11s\n",
+		"corpus", "Q", "docs", "workers", "cache", "parse/query", "clone", "store", "speedup", "ovl-spd", "allocs/op", "hits", "misses", "evict", "pruned", "prn-spd", "sel(tree)")
 	for _, r := range rows {
 		ovl := "     -"
 		if r.OverlaySpeedup > 0 {
 			ovl = fmt.Sprintf("%7.2fx", r.OverlaySpeedup)
 		}
-		fmt.Fprintf(w, "%-12s %3d %5d %8d %5.0f%% %12v %12v %12v %7.2fx %8s %9d %6d %7d %6d %11d\n",
+		fmt.Fprintf(w, "%-12s %3d %5d %8d %5.0f%% %12v %12v %12v %7.2fx %8s %9d %6d %7d %6d %6d %7.2fx %11d\n",
 			r.Corpus, r.Query, r.Docs, r.Workers, 100*r.CacheFrac,
 			r.ParseWall.Round(time.Microsecond), r.CloneWall.Round(time.Microsecond),
 			r.StoreWall.Round(time.Microsecond),
-			r.Speedup, ovl, r.StoreAllocs, r.Hits, r.Misses, r.Evictions, r.SelectedTree)
+			r.Speedup, ovl, r.StoreAllocs, r.Hits, r.Misses, r.Evictions,
+			r.DocsPruned, r.PruneSpeedup, r.SelectedTree)
 	}
 }

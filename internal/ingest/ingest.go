@@ -12,6 +12,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/container"
 	"repro/internal/store"
+	"repro/internal/synopsis"
 )
 
 // DefaultMemTableBytes is the seal threshold when Options leaves it zero.
@@ -69,7 +70,8 @@ type Ingester struct {
 
 	ingested, deleted          uint64
 	compactions, compactedDocs uint64
-	compactErr                 error // last background-compaction failure
+	synBuilds                  uint64 // per-document synopses built at ingest/replay
+	compactErr                 error  // last background-compaction failure
 
 	sealCh    chan struct{}
 	stopCh    chan struct{}
@@ -115,7 +117,7 @@ func Open(opts Options) (*Ingester, error) {
 func (ing *Ingester) apply(rec Record) error {
 	switch rec.Op {
 	case OpAdd:
-		d, err := buildDoc(rec.Name, rec.Data)
+		d, err := ing.buildDoc(rec.Name, rec.Data)
 		if err != nil {
 			return fmt.Errorf("ingest: replaying %q: %w", rec.Name, err)
 		}
@@ -133,7 +135,11 @@ func (ing *Ingester) apply(rec Record) error {
 // distil the queryable instance from it — the same construction the
 // store performs when decoding an archive file, so a document served
 // from the memtable is indistinguishable from one served from disk.
-func buildDoc(name string, xml []byte) (*memDoc, error) {
+// When the store's synopsis index is on, the document's synopsis is
+// built here too, from the archive skeleton already in hand: the write
+// is prunable the moment it is queryable, and the compactor later
+// persists the same synopsis as the archive's sidecar.
+func (ing *Ingester) buildDoc(name string, xml []byte) (*memDoc, error) {
 	a, err := container.Split(xml)
 	if err != nil {
 		return nil, err
@@ -142,7 +148,14 @@ func buildDoc(name string, xml []byte) (*memDoc, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &memDoc{doc: doc, archive: a, bytes: doc.MemBytes()}, nil
+	d := &memDoc{doc: doc, archive: a, bytes: doc.MemBytes()}
+	if idx := ing.opts.Store.Synopses(); idx != nil {
+		d.syn = synopsis.Build(a.Skeleton, idx.Dict(), synopsis.Options{})
+		ing.mu.Lock()
+		ing.synBuilds++
+		ing.mu.Unlock()
+	}
+	return d, nil
 }
 
 // validateName accepts names that are safe as archive file stems: ASCII
@@ -179,7 +192,7 @@ func (ing *Ingester) Add(name string, xml []byte) error {
 	if err := validateName(name); err != nil {
 		return err
 	}
-	d, err := buildDoc(name, xml)
+	d, err := ing.buildDoc(name, xml)
 	if err != nil {
 		return fmt.Errorf("ingest: %q: %w: %v", name, store.ErrBadDocument, err)
 	}
@@ -355,6 +368,7 @@ func (ing *Ingester) compactGeneration(g *generation) error {
 	}
 	sort.Strings(names)
 	dir := ing.opts.Store.Dir()
+	idx := ing.opts.Store.Synopses()
 	for _, name := range names {
 		d := g.docs[name]
 		path := filepath.Join(dir, name+store.Ext)
@@ -362,16 +376,32 @@ func (ing *Ingester) compactGeneration(g *generation) error {
 			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 				return fmt.Errorf("ingest: compacting tombstone %q: %w", name, err)
 			}
+			if err := os.Remove(synopsis.SidecarPath(path)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("ingest: removing sidecar of %q: %w", name, err)
+			}
 			ing.opts.Store.RemoveArchive(name)
 			continue
 		}
 		if err := writeArchive(path, d.archive); err != nil {
 			return fmt.Errorf("ingest: compacting %q: %w", name, err)
 		}
+		// Persist the sidecar (bound to the archive's exact size) before
+		// publishing: a store reopened after any crash point either
+		// finds a correctly paired sidecar or rejects the stale one and
+		// rebuilds from the archive at open.
+		if idx != nil && d.syn != nil {
+			fi, err := os.Stat(path)
+			if err != nil {
+				return fmt.Errorf("ingest: sizing archive of %q: %w", name, err)
+			}
+			if err := synopsis.WriteSidecar(synopsis.SidecarPath(path), d.syn, idx.Dict(), fi.Size()); err != nil {
+				return fmt.Errorf("ingest: writing sidecar of %q: %w", name, err)
+			}
+		}
 		// Hand the already-decoded document over as the cache seed: the
 		// first post-compaction query then serves warm instead of
 		// re-reading and re-decoding the archive it just wrote.
-		if err := ing.opts.Store.AddArchive(name, path, d.doc); err != nil {
+		if err := ing.opts.Store.AddArchive(name, path, d.doc, d.syn); err != nil {
 			return fmt.Errorf("ingest: cataloguing %q: %w", name, err)
 		}
 	}
@@ -489,6 +519,20 @@ func (ing *Ingester) LiveNames() (live, deleted []string) {
 	return ing.table.names()
 }
 
+// LiveSynopsis implements store.Live: the synopsis of the newest
+// memtable version of name (nil for tombstones and for documents
+// ingested with the index off — both are then never pruned by a stale
+// archive synopsis, because live is still reported true).
+func (ing *Ingester) LiveSynopsis(name string) (syn *synopsis.Synopsis, live bool) {
+	ing.mu.Lock()
+	d, ok := ing.table.get(name)
+	ing.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return d.syn, true
+}
+
 // Stats returns a point-in-time snapshot of the write path.
 func (ing *Ingester) Stats() store.IngestStats {
 	ing.walMu.Lock()
@@ -498,17 +542,18 @@ func (ing *Ingester) Stats() store.IngestStats {
 	defer ing.mu.Unlock()
 	docs, bytes := ing.table.size()
 	st := store.IngestStats{
-		Ingested:      ing.ingested,
-		Deleted:       ing.deleted,
-		Replayed:      ing.replayed,
-		LiveDocs:      docs,
-		LiveBytes:     bytes,
-		SealedGens:    len(ing.table.sealed),
-		Compactions:   ing.compactions,
-		CompactedDocs: ing.compactedDocs,
-		WALSegments:   walSegs,
-		WALBytes:      walBytes,
-		WALSync:       walSync,
+		Ingested:       ing.ingested,
+		Deleted:        ing.deleted,
+		Replayed:       ing.replayed,
+		LiveDocs:       docs,
+		LiveBytes:      bytes,
+		SealedGens:     len(ing.table.sealed),
+		Compactions:    ing.compactions,
+		CompactedDocs:  ing.compactedDocs,
+		SynopsisBuilds: ing.synBuilds,
+		WALSegments:    walSegs,
+		WALBytes:       walBytes,
+		WALSync:        walSync,
 	}
 	if ing.compactErr != nil {
 		st.LastError = ing.compactErr.Error()

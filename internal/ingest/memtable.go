@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/store"
+	"repro/internal/synopsis"
 )
 
 // memDoc is one live write: either an ingested document (doc + the
@@ -14,6 +15,7 @@ import (
 type memDoc struct {
 	doc     *store.Doc         // nil for tombstones
 	archive *container.Archive // what compaction writes; nil for tombstones
+	syn     *synopsis.Synopsis // built at ingest; nil when the index is off
 	bytes   int64              // estimated in-memory size
 	tomb    bool
 }

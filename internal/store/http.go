@@ -27,6 +27,11 @@ type IngestStats struct {
 	Compactions   uint64 `json:"compactions"`
 	CompactedDocs uint64 `json:"compacted_docs"`
 
+	// SynopsisBuilds counts per-document path synopses built by the
+	// write path (at ingest and WAL replay); compaction persists them as
+	// archive sidecars.
+	SynopsisBuilds uint64 `json:"synopsis_builds"`
+
 	WALSegments int   `json:"wal_segments"`
 	WALBytes    int64 `json:"wal_bytes"`
 	WALSync     bool  `json:"wal_sync"`
@@ -106,6 +111,11 @@ type QueryResponse struct {
 	Matches uint64   `json:"matches"` // tree nodes selected
 	Paths   []string `json:"paths"`   // up to `max` tree addresses, document order
 
+	// Pruned marks a document the path-synopsis index skipped during a
+	// fan-out: provably zero matches, so the instance-size and timing
+	// fields below stay zero (the document was never touched).
+	Pruned bool `json:"pruned,omitempty"`
+
 	// Engine statistics for the evaluation (the Figure 7 columns).
 	SelectedDAG int   `json:"selected_dag"`
 	VertsBefore int   `json:"verts_before"`
@@ -123,6 +133,7 @@ type FanoutResponse struct {
 	Docs         []QueryResponse `json:"docs"`
 	Failed       []FanoutError   `json:"failed,omitempty"`
 	TotalMatches uint64          `json:"total_matches"`
+	Pruned       int             `json:"pruned"` // documents the synopsis index skipped
 	WallNanos    int64           `json:"wall_ns"`
 	Workers      int             `json:"workers"`
 }
@@ -181,6 +192,10 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		qr := toResponse(br.Name, q, br.Result, remaining)
+		qr.Pruned = br.Pruned
+		if br.Pruned {
+			resp.Pruned++
+		}
 		remaining -= len(qr.Paths)
 		resp.Docs = append(resp.Docs, qr)
 		resp.TotalMatches += br.Result.SelectedTree

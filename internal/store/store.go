@@ -45,6 +45,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/engine"
 	"repro/internal/skeleton"
+	"repro/internal/synopsis"
 	"repro/internal/xpath"
 )
 
@@ -70,6 +71,10 @@ type Options struct {
 	// ProgramCache is the number of compiled query programs retained.
 	// <= 0 selects DefaultProgramCache.
 	ProgramCache int
+	// DisableSynopsis turns the path-synopsis index off: no sidecars are
+	// read, built or written, and every fan-out scans every document.
+	// For benchmarking the unpruned path and for read-only media.
+	DisableSynopsis bool
 }
 
 // Store serves queries from a directory of archives. It is safe for
@@ -81,6 +86,16 @@ type Store struct {
 	progCap int
 
 	queries atomic.Uint64
+
+	// syn is the catalog-level path-synopsis index (nil when disabled):
+	// per-document summaries over a shared label dictionary that
+	// QueryAll checks to skip documents a query provably cannot match.
+	// Entries track the archive catalog (Open/AddArchive/RemoveArchive);
+	// live documents carry their own synopses through the Live view.
+	syn       *synopsis.Index
+	synBuilds uint64 // sidecars rebuilt at Open (missing or unreadable)
+
+	pruneConsidered, prunePruned atomic.Uint64
 
 	mu       sync.Mutex
 	live     Live // optional memtable view; nil when serving archives only
@@ -182,7 +197,46 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.names = append(s.names, name)
 	}
 	sort.Strings(s.names)
+	if !opts.DisableSynopsis {
+		s.syn = synopsis.NewIndex()
+		for _, name := range s.names {
+			e := s.entries[name]
+			syn, err := synopsis.LoadSidecar(synopsis.SidecarPath(e.path), s.syn.Dict(), e.fileBytes)
+			if err != nil {
+				// Absent, torn, version-mismatched or stale-paired
+				// sidecar: rebuild it from the archive's skeleton (a
+				// cheap streaming decode that never materialises the
+				// value containers) — the one-time migration for stores
+				// that predate the index.
+				syn = buildSidecar(e.path, e.fileBytes, s.syn.Dict())
+				if syn == nil {
+					continue // undecodable archive: serve-time error path, full scan
+				}
+				s.synBuilds++
+			}
+			s.syn.Put(name, syn)
+		}
+	}
 	return s, nil
+}
+
+// buildSidecar summarises the archive at path and persists the sidecar
+// next to it, returning nil if the archive cannot be decoded. A sidecar
+// that cannot be written is not fatal — the synopsis still serves from
+// memory and the next open rebuilds it.
+func buildSidecar(path string, fileBytes int64, dict *synopsis.Dict) *synopsis.Synopsis {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	skel, err := codec.DecodeSkeleton(f)
+	f.Close()
+	if err != nil {
+		return nil
+	}
+	syn := synopsis.Build(skel, dict, synopsis.Options{})
+	_ = synopsis.WriteSidecar(synopsis.SidecarPath(path), syn, dict, fileBytes)
+	return syn
 }
 
 // Dir returns the directory the store serves.
@@ -206,7 +260,20 @@ type Live interface {
 	// LiveNames returns the current live and tombstoned names, each
 	// sorted ascending.
 	LiveNames() (live, deleted []string)
+	// LiveSynopsis returns the synopsis of the live document named name
+	// (nil when it has none — the document is then always scanned) and
+	// whether the name is live at all. When live is false the caller
+	// falls through to the archive index; a live synopsis always
+	// describes the live version, so a replacement ingested over an
+	// archived name can never be pruned by the stale archive synopsis.
+	LiveSynopsis(name string) (syn *synopsis.Synopsis, live bool)
 }
+
+// Synopses returns the catalog-level path-synopsis index, or nil when
+// Options.DisableSynopsis turned it off. The write path builds its
+// per-document synopses against this index's dictionary and hands them
+// to AddArchive at compaction time.
+func (s *Store) Synopses() *synopsis.Index { return s.syn }
 
 // SetLive attaches the live view queries consult before the archive
 // catalog. Call before serving (xcserve attaches the ingester right
@@ -350,11 +417,17 @@ var (
 // document they already hold. A non-nil warm document (the compactor has
 // the decoded form in hand — byte-identical to what decoding path would
 // yield) seeds the cache, so the first post-compaction query does not
-// pay a redundant disk read + decode.
-func (s *Store) AddArchive(name, path string, warm *Doc) error {
+// pay a redundant disk read + decode. syn is the archive's synopsis
+// (built against Synopses().Dict(); its sidecar should already be on
+// disk); nil drops any previous synopsis for the name, so a stale
+// summary can never outlive the document it described.
+func (s *Store) AddArchive(name, path string, warm *Doc, syn *synopsis.Synopsis) error {
 	fi, err := os.Stat(path)
 	if err != nil {
 		return fmt.Errorf("store: adding archive: %w", err)
+	}
+	if s.syn != nil {
+		s.syn.Put(name, syn)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -382,6 +455,9 @@ func (s *Store) AddArchive(name, path string, warm *Doc) error {
 // RemoveArchive removes name from the archive catalog (the compactor's
 // tombstone step). Unknown names are a no-op.
 func (s *Store) RemoveArchive(name string) {
+	if s.syn != nil {
+		s.syn.Remove(name)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[name]
@@ -602,14 +678,22 @@ func (s *Store) Query(name, query string) (*core.Result, error) {
 
 // QueryAll evaluates one query against every catalogued document and
 // returns one result per document in name order, like core.Pool.QueryAll.
-// Documents are loaded (or fetched from cache) concurrently, then every
+// The path-synopsis index is consulted first: documents whose synopsis
+// proves the query cannot match are skipped entirely — not loaded, not
+// decoded, not evaluated — and report a Pruned empty result. The rest
+// are loaded (or fetched from cache) concurrently, then every
 // evaluation fans out on the worker pool directly against the shared
 // frozen instances — the coordination-free read path: nothing is cloned,
 // workers share only the read-only bases and program, and each query's
 // writes live in its own pooled overlay (engine.RunFrozen via
-// core.Prepared.Run). Programs with string conditions distil per
-// document on the same pool. Per-document failures are reported in the
-// results, not as a call error.
+// core.Prepared.Run). Pruning is coordination-free too: synopses are
+// immutable, the index lock covers one map read per document, and a
+// pruned answer for a name racing a concurrent replacement is the
+// correct (empty) answer for the version the synopsis described — the
+// same per-document snapshot semantics unpruned fan-out already has.
+// Programs with string conditions distil per document on the same pool.
+// Per-document failures are reported in the results, not as a call
+// error.
 func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 	prog, err := s.Program(query)
 	if err != nil {
@@ -618,14 +702,18 @@ func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 	names := s.Names()
 	out := make([]core.BatchResult, len(names))
 	docs := make([]*Doc, len(names))
+	skip := s.pruneSet(prog, names, out)
 	s.forEach(len(names), func(i int) {
 		out[i].Name = names[i]
+		if skip != nil && skip[i] {
+			return
+		}
 		docs[i], out[i].Err = s.Doc(names[i])
 	})
-	s.queries.Add(uint64(len(names)))
 
+	scanned := uint64(len(names))
 	s.forEach(len(names), func(i int) {
-		if out[i].Err != nil {
+		if out[i].Err != nil || (skip != nil && skip[i]) {
 			return
 		}
 		out[i].Result, out[i].Err = docs[i].Run(prog)
@@ -633,7 +721,56 @@ func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 			s.recharge(names[i], docs[i])
 		}
 	})
+	if skip != nil {
+		for _, sk := range skip {
+			if sk {
+				scanned--
+			}
+		}
+	}
+	s.queries.Add(scanned)
 	return out, nil
+}
+
+// pruneSet consults the synopsis index for one fan-out: it resolves the
+// program's signature once against the shared dictionary and marks every
+// document whose synopsis proves emptiness, filling its result slot with
+// a Pruned empty result. Returns nil when nothing can prune (index
+// disabled, or the signature carries no checkable fact). Live documents
+// are judged by their own synopses (via the Live view), archived ones by
+// the index; documents with no synopsis anywhere are scanned.
+func (s *Store) pruneSet(prog *xpath.Program, names []string, out []core.BatchResult) []bool {
+	if s.syn == nil {
+		return nil
+	}
+	rs := s.syn.Resolve(prog.Sig)
+	if rs == nil {
+		return nil
+	}
+	live := s.liveView()
+	skip := make([]bool, len(names))
+	pruned := 0
+	for i, name := range names {
+		var syn *synopsis.Synopsis
+		if live != nil {
+			if ls, isLive := live.LiveSynopsis(name); isLive {
+				syn = ls
+			} else {
+				syn = s.syn.Get(name)
+			}
+		} else {
+			syn = s.syn.Get(name)
+		}
+		if !syn.CanMatch(rs) {
+			skip[i] = true
+			out[i].Pruned = true
+			out[i].Result = core.EmptyResult()
+			pruned++
+		}
+	}
+	s.pruneConsidered.Add(uint64(len(names)))
+	s.prunePruned.Add(uint64(pruned))
+	return skip
 }
 
 // forEach runs fn(i) for i in [0, n) on the store's worker pool.
@@ -658,25 +795,49 @@ type Stats struct {
 	ProgramMisses  uint64 `json:"program_misses"`
 
 	Queries uint64 `json:"queries"` // per-document evaluations served
+
+	// Path-synopsis index counters. Considered counts every
+	// (query, document) pair a fan-out looked at; Pruned the pairs the
+	// index skipped without touching the document; Scanned the rest.
+	SynopsisDocs    int    `json:"synopsis_docs"`   // archives with an indexed synopsis
+	SynopsisBytes   int64  `json:"synopsis_bytes"`  // estimated index memory
+	SynopsisBuilds  uint64 `json:"synopsis_builds"` // sidecars rebuilt at open
+	PruneConsidered uint64 `json:"prune_considered"`
+	PrunePruned     uint64 `json:"prune_pruned"`
+	PruneScanned    uint64 `json:"prune_scanned"`
 }
 
 // Stats returns current cache statistics.
 func (s *Store) Stats() Stats {
+	// Load pruned before considered: pruneSet increments considered
+	// first, so this order guarantees considered >= pruned under any
+	// interleaving and the scanned subtraction can never wrap.
+	pruned := s.prunePruned.Load()
+	considered := s.pruneConsidered.Load()
+	st := Stats{
+		Queries:         s.queries.Load(),
+		PruneConsidered: considered,
+		PrunePruned:     pruned,
+		PruneScanned:    considered - pruned,
+	}
+	if s.syn != nil {
+		st.SynopsisDocs = s.syn.Len()
+		st.SynopsisBytes = s.syn.MemBytes()
+		st.SynopsisBuilds = s.synBuilds
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
-		Docs:           len(s.names),
-		Loaded:         s.lru.Len(),
-		CacheBytes:     s.curBytes,
-		BudgetBytes:    s.budget,
-		DocHits:        s.docHits,
-		DocMisses:      s.docMisses,
-		Evictions:      s.evictions,
-		ProgramsCached: s.progLRU.Len(),
-		ProgramHits:    s.progHits,
-		ProgramMisses:  s.progMisses,
-		Queries:        s.queries.Load(),
-	}
+	st.Docs = len(s.names)
+	st.Loaded = s.lru.Len()
+	st.CacheBytes = s.curBytes
+	st.BudgetBytes = s.budget
+	st.DocHits = s.docHits
+	st.DocMisses = s.docMisses
+	st.Evictions = s.evictions
+	st.ProgramsCached = s.progLRU.Len()
+	st.ProgramHits = s.progHits
+	st.ProgramMisses = s.progMisses
+	return st
 }
 
 // DocInfo is one catalog row: file-level facts always, decoded sizes when

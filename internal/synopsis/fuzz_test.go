@@ -1,0 +1,54 @@
+package synopsis
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/skeleton"
+)
+
+func skeletonBuild(doc string) (*dag.Instance, error) {
+	inst, _, err := skeleton.BuildCompressed([]byte(doc), skeleton.Options{Mode: skeleton.TagsAll})
+	return inst, err
+}
+
+// FuzzDecodeSidecar drives the sidecar decoder with arbitrary bytes: it
+// must never panic or over-allocate, and anything it accepts must
+// re-encode to something it accepts again (the decoder defines the
+// format; CI runs this as a fuzz smoke target).
+func FuzzDecodeSidecar(f *testing.F) {
+	dict := NewDict()
+	for _, doc := range []string{
+		`<a/>`,
+		`<a><b><c/></b><b><d/></b></a>`,
+		`<r><x><y><z><w/></z></y></x></r>`,
+	} {
+		inst, err := skeletonBuild(doc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeSidecar(&buf, Build(inst, dict, Options{Depth: 3}), dict, 42); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("XCS1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDict()
+		s, archiveBytes, err := DecodeSidecar(data, d)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeSidecar(&buf, s, d, archiveBytes); err != nil {
+			t.Fatalf("re-encoding an accepted sidecar: %v", err)
+		}
+		if _, _, err := DecodeSidecar(buf.Bytes(), NewDict()); err != nil {
+			t.Fatalf("re-decoding a re-encoded sidecar: %v", err)
+		}
+	})
+}

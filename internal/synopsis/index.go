@@ -1,0 +1,132 @@
+package synopsis
+
+import (
+	"sync"
+
+	"repro/internal/label"
+	"repro/internal/xpath"
+)
+
+// Dict is the catalog-wide label dictionary: a concurrency-safe interner
+// mapping tag-label names to dense IDs shared by every synopsis in one
+// Index. IDs are append-only and never reassigned, so a Synopsis built
+// against an older, smaller dict stays valid as the dict grows.
+type Dict struct {
+	mu     sync.RWMutex
+	schema *label.Schema
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict { return &Dict{schema: label.NewSchema()} }
+
+// Intern returns the ID for name, registering it if necessary.
+func (d *Dict) Intern(name string) label.ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.schema.Intern(name)
+}
+
+// internLocked is Intern for callers already holding d.mu (Build interns
+// a whole document's labels under one lock round).
+func (d *Dict) internLocked(name string) label.ID { return d.schema.Intern(name) }
+
+// Lookup returns the ID for name, or label.Invalid if no indexed
+// document ever contained it.
+func (d *Dict) Lookup(name string) label.ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.schema.Lookup(name)
+}
+
+// Len returns the number of interned labels.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.schema.Len()
+}
+
+// Name returns the name interned under id.
+func (d *Dict) Name(id label.ID) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.schema.Name(id)
+}
+
+// Index is the catalog-level synopsis registry: document name to
+// synopsis, over one shared Dict. Reads take a read lock only for the
+// map lookup; synopses themselves are immutable. Writers (store open,
+// compaction publish, tombstone removal) are rare and never block
+// readers for longer than a map operation.
+type Index struct {
+	dict *Dict
+
+	mu   sync.RWMutex
+	syns map[string]*Synopsis
+}
+
+// NewIndex returns an empty index over a fresh dictionary.
+func NewIndex() *Index {
+	return &Index{dict: NewDict(), syns: make(map[string]*Synopsis)}
+}
+
+// Dict returns the index's shared label dictionary — synopses stored in
+// this index must be built against it.
+func (x *Index) Dict() *Dict { return x.dict }
+
+// Put registers (or replaces) the synopsis for name. A nil synopsis
+// removes the entry, so publishers can unconditionally sync.
+func (x *Index) Put(name string, syn *Synopsis) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if syn == nil {
+		delete(x.syns, name)
+		return
+	}
+	x.syns[name] = syn
+}
+
+// Remove drops the synopsis for name, if any. Call whenever the document
+// under that name changes or disappears: a missing synopsis means "scan",
+// never a wrong answer.
+func (x *Index) Remove(name string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	delete(x.syns, name)
+}
+
+// Get returns the synopsis for name, or nil.
+func (x *Index) Get(name string) *Synopsis {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.syns[name]
+}
+
+// Len returns the number of indexed documents.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.syns)
+}
+
+// MemBytes estimates the index's in-memory footprint: every synopsis
+// plus the dictionary strings.
+func (x *Index) MemBytes() int64 {
+	x.mu.RLock()
+	var b int64
+	for _, s := range x.syns {
+		b += s.MemBytes()
+	}
+	x.mu.RUnlock()
+	x.dict.mu.RLock()
+	for _, name := range x.dict.schema.Names() {
+		b += int64(len(name)) + 32
+	}
+	x.dict.mu.RUnlock()
+	return b
+}
+
+// Resolve translates a query signature against the index's dictionary,
+// or returns nil when the signature cannot prune.
+func (x *Index) Resolve(sig *xpath.Signature) *Resolved {
+	return Resolve(sig, x.dict)
+}

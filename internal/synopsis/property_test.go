@@ -1,0 +1,154 @@
+package synopsis_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/skeleton"
+	"repro/internal/synopsis"
+	"repro/internal/xpath"
+)
+
+// This file pins the one property the whole index stands on: the
+// signature extractor and synopsis matcher may only prune a document
+// when full evaluation provably returns nothing. Random documents ×
+// random queries; whenever evaluation selects anything, CanMatch must
+// have said yes — at every truncation depth.
+
+var propVocab = []string{"a", "b", "c", "d", "e"}
+
+// randDoc emits a random small document over propVocab with occasional
+// text, depth at most 6.
+func randDoc(rng *rand.Rand) string {
+	var sb strings.Builder
+	var emit func(depth int)
+	emit = func(depth int) {
+		tag := propVocab[rng.Intn(len(propVocab))]
+		sb.WriteString("<" + tag + ">")
+		if rng.Intn(3) == 0 {
+			sb.WriteString([]string{"alpha", "beta", "gamma"}[rng.Intn(3)])
+		}
+		if depth < 6 {
+			for n := rng.Intn(3); n > 0; n-- {
+				emit(depth + 1)
+			}
+		}
+		sb.WriteString("</" + tag + ">")
+	}
+	emit(0)
+	return sb.String()
+}
+
+// randQuery emits a random Core XPath query: absolute or relative,
+// mixed axes, wildcard and absent-tag tests, nested predicates with
+// and/or/not, string and path conditions.
+func randQuery(rng *rand.Rand, depth int) string {
+	axes := []string{"", "self::", "child::", "parent::", "descendant::",
+		"descendant-or-self::", "ancestor::", "following-sibling::",
+		"preceding-sibling::", "following::", "preceding::"}
+	test := func() string {
+		switch rng.Intn(6) {
+		case 0:
+			return "*"
+		case 1:
+			return "zz" // never present
+		default:
+			return propVocab[rng.Intn(len(propVocab))]
+		}
+	}
+	var expr func(d int) string
+	var steps func(d int) string
+	expr = func(d int) string {
+		if d <= 0 {
+			return test()
+		}
+		switch rng.Intn(6) {
+		case 0:
+			return "(" + expr(d-1) + " and " + expr(d-1) + ")"
+		case 1:
+			return "(" + expr(d-1) + " or " + expr(d-1) + ")"
+		case 2:
+			return "not(" + expr(d-1) + ")"
+		case 3:
+			return `"alpha"`
+		default:
+			return steps(d - 1)
+		}
+	}
+	steps = func(d int) string {
+		n := 1 + rng.Intn(3)
+		parts := make([]string, n)
+		for i := range parts {
+			s := axes[rng.Intn(len(axes))] + test()
+			if d > 0 && rng.Intn(3) == 0 {
+				s += "[" + expr(d-1) + "]"
+			}
+			parts[i] = s
+		}
+		return strings.Join(parts, "/")
+	}
+	q := steps(depth)
+	if rng.Intn(2) == 0 {
+		q = "/" + q
+	}
+	return q
+}
+
+// TestNeverPrunesNonEmpty is the soundness property: for random
+// documents and random queries, a non-empty evaluation implies the
+// synopsis matches the query's signature — the extractor never
+// over-claims, at full depth and under aggressive truncation alike.
+func TestNeverPrunesNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	const docsN, queriesPerDoc = 150, 12
+	nonEmpty, prunedTotal := 0, 0
+	for di := 0; di < docsN; di++ {
+		doc := randDoc(rng)
+		inst, _, err := skeleton.BuildCompressed([]byte(doc), skeleton.Options{Mode: skeleton.TagsAll})
+		if err != nil {
+			t.Fatalf("doc %d: %v", di, err)
+		}
+		type depthSyn struct {
+			dict *synopsis.Dict
+			syn  *synopsis.Synopsis
+		}
+		var syns []depthSyn
+		for _, depth := range []int{1, 2, 3, 8} {
+			dict := synopsis.NewDict()
+			syns = append(syns, depthSyn{dict, synopsis.Build(inst, dict, synopsis.Options{Depth: depth})})
+		}
+		for qi := 0; qi < queriesPerDoc; qi++ {
+			q := randQuery(rng, 2)
+			prog, err := xpath.CompileQuery(q)
+			if err != nil {
+				t.Fatalf("generated an invalid query %q: %v", q, err)
+			}
+			res, err := core.Load([]byte(doc)).Run(prog)
+			if err != nil {
+				t.Fatalf("evaluating %q on %q: %v", q, doc, err)
+			}
+			for _, ds := range syns {
+				can := ds.syn.CanMatch(synopsis.Resolve(prog.Sig, ds.dict))
+				if !can {
+					prunedTotal++
+				}
+				if res.SelectedTree > 0 && !can {
+					t.Fatalf("UNSOUND: query %q selects %d nodes on %q but synopsis (depth %d) pruned it\nsignature: %+v",
+						q, res.SelectedTree, doc, ds.syn.Depth(), prog.Sig)
+				}
+			}
+			if res.SelectedTree > 0 {
+				nonEmpty++
+			}
+		}
+	}
+	// The run must actually exercise both sides of the property.
+	if nonEmpty == 0 {
+		t.Fatal("no generated query matched anything; the property was vacuous")
+	}
+	if prunedTotal == 0 {
+		t.Fatal("no generated query was ever pruned; the property was vacuous")
+	}
+}

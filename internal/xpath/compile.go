@@ -74,6 +74,10 @@ type Program struct {
 	// Downward reports whether the program uses any axis that may
 	// decompress the instance; Corollary 3.7 applies when false.
 	Downward bool
+	// Sig is the conservative query signature the catalog-level
+	// path-synopsis index checks to skip documents that provably cannot
+	// match (see Signature). Always non-nil for compiled programs.
+	Sig *Signature
 }
 
 // String renders the program one instruction per line.
@@ -100,15 +104,16 @@ func Compile(path *Path) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.finish(res), nil
+	return c.finish(path, res), nil
 }
 
-func (c *compiler) finish(res int) *Program {
+func (c *compiler) finish(path *Path, res int) *Program {
 	prog := &Program{
 		Instrs:   c.instrs,
 		Result:   res,
 		NumTemp:  c.nextTemp,
 		Downward: c.downward,
+		Sig:      signatureOf(path, c.context != ""),
 	}
 	for t := range c.tags {
 		prog.Tags = append(prog.Tags, t)
@@ -151,7 +156,7 @@ func CompileWithContext(query, contextLabel string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.finish(res), nil
+	return c.finish(path, res), nil
 }
 
 type compiler struct {

@@ -1,0 +1,164 @@
+package xpath
+
+import (
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/skeleton"
+)
+
+// Signature is a conservative, index-checkable abstraction of a query:
+// facts that must hold of a document for the query to select anything at
+// all. The catalog-level path-synopsis index (internal/synopsis) tests a
+// signature against each document's synopsis and skips documents that
+// provably cannot match — the only direction that must be exact is
+// "prune only when the result is certainly empty", so every rule below
+// under-approximates what the query demands and never over-claims.
+//
+// Two kinds of facts are extracted:
+//
+//   - Required: a conjunction of disjunction groups of relation (label)
+//     names. The document must contain at least one non-empty relation
+//     from every group, because each group comes from a node test or
+//     predicate that the final result is intersected with. Disjunctions
+//     ([a or b]) contribute one group holding both labels; anything under
+//     not(...) contributes nothing (negation can be satisfied by
+//     absence); string conditions contribute nothing (synopses do not
+//     index text).
+//
+//   - Prefix: a root-anchored label path. When the top-level path starts
+//     at the document root and proceeds by child:: steps, every result
+//     node lies below a root path labelled Prefix[0]/Prefix[1]/..., so a
+//     document whose root-path synopsis lacks that prefix cannot match.
+//     "" entries are wildcards (child::*). The prefix stops at the first
+//     axis that is neither child nor self, and is only valid (Anchored)
+//     when the query was compiled without a user-defined context.
+type Signature struct {
+	// Required is a conjunction of disjunction groups: for each group, at
+	// least one of the named relations must be non-empty in the document.
+	Required [][]string
+	// Prefix is the root-anchored label-path prefix ("" = wildcard);
+	// meaningful only when Anchored.
+	Prefix []string
+	// Anchored reports that Prefix starts at the document root.
+	Anchored bool
+}
+
+// Prunable reports whether the signature carries any fact an index could
+// act on. A nil signature is never prunable.
+func (s *Signature) Prunable() bool {
+	if s == nil {
+		return false
+	}
+	return len(s.Required) > 0 || (s.Anchored && len(s.Prefix) > 0)
+}
+
+// signatureOf extracts the signature of a parsed query. hasContext marks
+// compilation with a user-defined initial selection (CompileWithContext),
+// which un-anchors relative top-level paths from the root.
+func signatureOf(p *Path, hasContext bool) *Signature {
+	sig := &Signature{Required: requiredOfPath(p)}
+
+	// Top-level paths are root-anchored unless a user context redirects
+	// relative ones (compilePath emits OpRoot in every other case).
+	if !hasContext || p.Absolute {
+		sig.Anchored = true
+		for _, st := range p.Steps {
+			if st.Axis == algebra.Self {
+				continue // self:: does not move; predicates only filter
+			}
+			if st.Axis != algebra.Child {
+				break
+			}
+			if st.Test == "*" {
+				sig.Prefix = append(sig.Prefix, "")
+			} else {
+				sig.Prefix = append(sig.Prefix, skeleton.TagLabel(st.Test))
+			}
+		}
+	}
+	sig.Required = dedupGroups(sig.Required)
+	return sig
+}
+
+// requiredOfPath collects the disjunction groups a path demands: each
+// step's node test and every predicate are intersected into the path's
+// result, so all of them must be satisfiable. The same rule holds for
+// path conditions (their node set is empty unless every step matched), so
+// main paths and condition paths share this extraction.
+func requiredOfPath(p *Path) [][]string {
+	var out [][]string
+	for _, st := range p.Steps {
+		if st.Test != "*" {
+			out = append(out, []string{skeleton.TagLabel(st.Test)})
+		}
+		for _, pred := range st.Preds {
+			out = append(out, requiredOfExpr(pred)...)
+		}
+	}
+	return out
+}
+
+// requiredOfExpr collects the disjunction groups a predicate expression
+// demands of the document for it to hold anywhere.
+func requiredOfExpr(e Expr) [][]string {
+	switch e := e.(type) {
+	case And:
+		return append(requiredOfExpr(e.L), requiredOfExpr(e.R)...)
+	case Or:
+		// The disjunction holds somewhere only if one side can: flatten
+		// both sides into a single group (weaker than distributing the
+		// full cross product, but sound and tiny).
+		l, r := requiredOfExpr(e.L), requiredOfExpr(e.R)
+		if len(l) == 0 || len(r) == 0 {
+			return nil // one side demands nothing => no requirement
+		}
+		return [][]string{flatten(append(l, r...))}
+	case Not:
+		return nil // absence satisfies negation; nothing is required
+	case Str:
+		return nil // synopses do not index text content
+	case *Path:
+		return requiredOfPath(e)
+	}
+	return nil
+}
+
+// flatten merges groups into one sorted, deduplicated label list.
+func flatten(groups [][]string) []string {
+	var all []string
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	sort.Strings(all)
+	out := all[:0]
+	for i, s := range all {
+		if i == 0 || s != all[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// dedupGroups sorts each group and drops exact duplicates, keeping the
+// signature small and its rendering stable.
+func dedupGroups(groups [][]string) [][]string {
+	seen := make(map[string]bool, len(groups))
+	out := groups[:0]
+	for _, g := range groups {
+		sort.Strings(g)
+		key := ""
+		for _, s := range g {
+			key += s + "\x00"
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, g)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package xpath
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sigOf(t *testing.T, query string) *Signature {
+	t.Helper()
+	prog, err := CompileQuery(query)
+	if err != nil {
+		t.Fatalf("compiling %q: %v", query, err)
+	}
+	if prog.Sig == nil {
+		t.Fatalf("compiling %q: nil signature", query)
+	}
+	return prog.Sig
+}
+
+func TestSignatureRequired(t *testing.T) {
+	cases := []struct {
+		query string
+		want  [][]string
+	}{
+		{`/a/b/c`, [][]string{{"tag:a"}, {"tag:b"}, {"tag:c"}}},
+		{`//article`, [][]string{{"tag:article"}}},
+		{`/a/*`, [][]string{{"tag:a"}}},
+		{`//a[b or c]`, [][]string{{"tag:a"}, {"tag:b", "tag:c"}}},
+		{`//a[not(b)]`, [][]string{{"tag:a"}}},
+		{`//a["text"]`, [][]string{{"tag:a"}}},
+		{`//a[b or "text"]`, [][]string{{"tag:a"}}},
+		{`//a[b and c]`, [][]string{{"tag:a"}, {"tag:b"}, {"tag:c"}}},
+		{`//a[/r/s]`, [][]string{{"tag:a"}, {"tag:r"}, {"tag:s"}}},
+		{`//a[ancestor::b]`, [][]string{{"tag:a"}, {"tag:b"}}},
+		{`//a/a`, [][]string{{"tag:a"}}}, // deduped
+		{`/self::*[r/s]`, [][]string{{"tag:r"}, {"tag:s"}}},
+		{`//*`, nil},
+	}
+	for _, c := range cases {
+		got := sigOf(t, c.query).Required
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%q: required = %v, want %v", c.query, got, c.want)
+		}
+	}
+}
+
+func TestSignaturePrefix(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{`/a/b/c`, []string{"tag:a", "tag:b", "tag:c"}},
+		{`/a/*/c`, []string{"tag:a", "", "tag:c"}},
+		// '//' desugars to descendant-or-self::*, which ends the prefix.
+		{`//a`, nil},
+		{`/a//b`, []string{"tag:a"}},
+		// self:: steps do not move and do not break the chain.
+		{`/self::*[x]/a/b`, []string{"tag:a", "tag:b"}},
+		// Predicates on child steps do not break the chain either.
+		{`/a[x]/b`, []string{"tag:a", "tag:b"}},
+		// Non-child axes end the prefix.
+		{`/a/parent::b/c`, []string{"tag:a"}},
+		// Relative top-level paths anchor at the root too.
+		{`a/b`, []string{"tag:a", "tag:b"}},
+	}
+	for _, c := range cases {
+		sig := sigOf(t, c.query)
+		if !sig.Anchored {
+			t.Errorf("%q: not anchored", c.query)
+		}
+		if !reflect.DeepEqual(sig.Prefix, c.want) {
+			t.Errorf("%q: prefix = %q, want %q", c.query, sig.Prefix, c.want)
+		}
+	}
+}
+
+func TestSignatureWithContextNotAnchored(t *testing.T) {
+	prog, err := CompileWithContext(`a/b`, "ctx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Sig.Anchored {
+		t.Fatalf("relative path with context must not be root-anchored")
+	}
+	want := [][]string{{"tag:a"}, {"tag:b"}}
+	if !reflect.DeepEqual(prog.Sig.Required, want) {
+		t.Fatalf("required = %v, want %v", prog.Sig.Required, want)
+	}
+	// Absolute paths anchor regardless of context.
+	prog, err = CompileWithContext(`/a/b`, "ctx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Sig.Anchored || len(prog.Sig.Prefix) != 2 {
+		t.Fatalf("absolute path with context: anchored=%v prefix=%v", prog.Sig.Anchored, prog.Sig.Prefix)
+	}
+}
+
+func TestSignaturePrunable(t *testing.T) {
+	if (*Signature)(nil).Prunable() {
+		t.Fatal("nil signature must not be prunable")
+	}
+	if sigOf(t, `/self::*`).Prunable() {
+		t.Fatal("/self::* demands nothing; must not be prunable")
+	}
+	if !sigOf(t, `//a`).Prunable() {
+		t.Fatal("//a must be prunable")
+	}
+}
