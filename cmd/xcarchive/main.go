@@ -4,6 +4,7 @@
 //
 //	xcarchive pack     doc.xml  doc.xca
 //	xcarchive pack-dir corpusdir/ archivedir/   # every *.xml -> name.xca (+ name.xcs)
+//	xcarchive pack-bundle archivedir/           # migrate loose .xca into bundle files
 //	xcarchive unpack   doc.xca  doc.xml
 //	xcarchive stat     doc.xca                  # sizes incl. per-container bytes
 //
@@ -14,6 +15,17 @@
 // store can always rebuild). unpack decodes the whole archive in memory
 // and refuses files larger than -maxmem (default 1 GiB) rather than
 // silently exhausting memory; all decode errors name the offending file.
+//
+// pack-bundle converts a store directory in place: loose archives (and
+// their sidecars) are packed back-to-back into append-only bundle files
+// (*.xcb) that the store serves by pread — the cold tier for catalogs of
+// many small documents, where per-file open/stat cost dominates. Bounded
+// by -bundle-max-bytes per bundle; documents over -bundle-max-doc stay
+// loose; nothing happens below -bundle-min-docs candidates. The
+// migration is crash-safe: each bundle is sealed and synced before its
+// loose sources are unlinked, and a loose archive always shadows a
+// bundled copy of the same name, so an interrupted run leaves a store
+// that still serves every document correctly.
 package main
 
 import (
@@ -24,13 +36,20 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bundle"
 	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/container"
+	"repro/internal/store"
 	"repro/internal/synopsis"
 )
 
-var maxMem = flag.Int64("maxmem", 1<<30, "refuse to unpack archive files larger than this many bytes (0 = no limit)")
+var (
+	maxMem       = flag.Int64("maxmem", 1<<30, "refuse to unpack archive files larger than this many bytes (0 = no limit)")
+	bundleMax    = flag.Int64("bundle-max-bytes", bundle.DefaultMaxBytes, "with pack-bundle: roll to a new bundle past this many bytes")
+	bundleMaxDoc = flag.Int64("bundle-max-doc", 0, "with pack-bundle: leave archives over this many bytes loose (0 = pack everything)")
+	bundleMin    = flag.Int("bundle-min-docs", 2, "with pack-bundle: do nothing below this many loose archives")
+)
 
 func main() {
 	flag.Usage = usage
@@ -53,6 +72,8 @@ func main() {
 			os.Exit(2)
 		}
 		packDir(args[1], args[2])
+	case "pack-bundle":
+		packBundle(args[1])
 	case "unpack":
 		if len(args) != 3 {
 			usage()
@@ -124,6 +145,30 @@ func packDir(srcDir, dstDir string) {
 		len(names), inBytes, outBytes, 100*float64(outBytes)/float64(inBytes), dstDir)
 }
 
+// packBundle migrates a store directory's loose archives into bundle
+// files in place, then reports the resulting cold tier.
+func packBundle(dir string) {
+	s, err := store.Open(dir, store.Options{})
+	cli.Fatal(err)
+	st, err := s.PackLoose(store.PackOptions{
+		MaxBundleBytes: *bundleMax,
+		MaxDocBytes:    *bundleMaxDoc,
+		MinDocs:        *bundleMin,
+	})
+	cli.Fatalf(dir, err)
+	stats := s.Stats()
+	cli.Fatal(s.Close())
+	if st.Packed == 0 {
+		fmt.Printf("%s: nothing to pack (%d candidates, %d skipped, min %d)\n",
+			dir, st.Candidates, st.Skipped, *bundleMin)
+		return
+	}
+	fmt.Printf("%s: packed %d of %d loose archives (%d bytes) into %d new bundle file(s); %d skipped\n",
+		dir, st.Packed, st.Candidates, st.PackedBytes, st.NewBundles, st.Skipped)
+	fmt.Printf("cold tier now: %d bundle(s), %d documents, %d bytes (%d dead)\n",
+		stats.Bundles, stats.BundledDocs, stats.BundleBytes, stats.BundleDeadBytes)
+}
+
 func unpack(src, dst string) {
 	fi, err := os.Stat(src)
 	cli.Fatal(err)
@@ -162,10 +207,11 @@ func stat(src string) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: xcarchive [flags] command args...
 
-  pack     doc.xml doc.xca      pack one document
-  pack-dir srcdir/ dstdir/      pack every *.xml into dstdir (the xcserve store layout)
-  unpack   doc.xca doc.xml      reconstruct the XML (guarded by -maxmem)
-  stat     doc.xca              sizes, incl. per-container chunk/byte counts
+  pack        doc.xml doc.xca   pack one document
+  pack-dir    srcdir/ dstdir/   pack every *.xml into dstdir (the xcserve store layout)
+  pack-bundle storedir/         migrate loose .xca archives into bundle files (cold tier)
+  unpack      doc.xca doc.xml   reconstruct the XML (guarded by -maxmem)
+  stat        doc.xca           sizes, incl. per-container chunk/byte counts
 
 flags:`)
 	flag.PrintDefaults()

@@ -10,6 +10,7 @@
 //	xcbench -storebench      # archive-store serving vs parse-per-query
 //	xcbench -prunebench      # catalog pruning: mixed store, synopsis index on vs off
 //	xcbench -ingestbench     # ingest-while-querying: write throughput vs latency
+//	xcbench -bundlebench     # cold tier: bundle-packed vs loose small-doc catalogs
 //	xcbench -all             # everything
 //	xcbench -compare old.json new.json   # delta two -json trajectory files
 //
@@ -24,7 +25,11 @@
 // -ingestbench streams -docs documents through the write path
 // (internal/ingest) while a fixed query loop runs, reporting write
 // docs/sec, idle vs busy query latency percentiles, and WAL crash-
-// recovery time. -prunebench builds one store from -docs documents each
+// recovery time. -bundlebench builds catalogs of -bundledocs small
+// documents twice — loose .xca files and bundle-packed — and compares
+// open wall, warm query wall, and synopsis-pruned query wall between
+// the tiers (results verified equal); with -check it enforces that the
+// bundled tier is no worse than loose within a slack factor. -prunebench builds one store from -docs documents each
 // of four disjoint-vocabulary corpora and fans each corpus's root-path
 // query over it with the path-synopsis index on and off, reporting the
 // prune ratio and the pruned-vs-full speedup (results verified equal).
@@ -45,6 +50,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cli"
@@ -62,6 +69,8 @@ func main() {
 		storebench = flag.Bool("storebench", false, "run the archive-store serving sweep")
 		prunebench = flag.Bool("prunebench", false, "run the mixed-corpus catalog-pruning sweep")
 		ingbench   = flag.Bool("ingestbench", false, "run the ingest-while-querying sweep")
+		bundbench  = flag.Bool("bundlebench", false, "run the bundle-packed vs loose cold-tier sweep")
+		bundleDocs = flag.String("bundledocs", "1000,10000", "comma-separated catalog sizes for -bundlebench")
 		all        = flag.Bool("all", false, "run every experiment")
 		scale      = flag.Float64("scale", 1.0, "corpus size multiplier")
 		seed       = flag.Uint64("seed", 1, "corpus generation seed")
@@ -82,9 +91,9 @@ func main() {
 		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *maxRegress))
 	}
 	if *all {
-		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *ingbench = true, true, true, true, true, true, true, true, true
+		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *ingbench, *bundbench = true, true, true, true, true, true, true, true, true, true
 	}
-	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*ingbench {
+	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*ingbench && !*bundbench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -219,6 +228,36 @@ func main() {
 			experiments.PrintIngest(os.Stdout, rows)
 			fmt.Println()
 		})
+	}
+
+	if *bundbench {
+		var counts []int
+		for _, part := range strings.Split(*bundleDocs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				cli.Fatal(fmt.Errorf("-bundledocs: bad count %q", part))
+			}
+			counts = append(counts, n)
+		}
+		rows, err := experiments.BundleSweep(counts, *workers)
+		cli.Fatal(err)
+		emit("bundle", rows, func() {
+			fmt.Printf("=== Cold tier: bundle-packed vs loose catalogs of small documents ===\n")
+			experiments.PrintBundle(os.Stdout, rows)
+			fmt.Println()
+		})
+		if *check {
+			if bad := experiments.CheckBundleInvariants(rows, 1.5); len(bad) > 0 {
+				for _, b := range bad {
+					fmt.Fprintln(os.Stderr, "BUNDLE INVARIANT VIOLATED:", b)
+				}
+				os.Exit(1)
+			}
+			if !*jsonOut {
+				fmt.Println("all bundle-tier invariants hold")
+				fmt.Println()
+			}
+		}
 	}
 
 	if *relational {

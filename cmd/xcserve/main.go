@@ -19,7 +19,11 @@
 // POSTed to /docs/NAME are WAL-logged, compressed into the memtable and
 // immediately queryable; a background compactor turns them into .xca
 // archives in the store directory. DELETE /docs/NAME tombstones; POST
-// /flush forces compaction.
+// /flush forces compaction. With -pack-min-docs N the compactor also
+// runs the cold-tier packing stage: loose archives are migrated into
+// append-only bundle files (and over-dead bundles garbage-collected)
+// once N qualify, keeping catalogs of many small documents cheap to
+// open and serve.
 //
 // Fan-outs consult the path-synopsis index first: each archive carries a
 // tiny sidecar (doc.xcs) summarising its tag vocabulary and bounded-depth
@@ -48,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/bundle"
 	"repro/internal/ingest"
 	"repro/internal/store"
 )
@@ -69,6 +74,11 @@ func main() {
 		compactEvery = flag.Duration("compact-interval", 15*time.Second, "also compact on this interval (0 = only on memtable pressure and /flush)")
 		maxBody      = flag.Int64("max-doc-bytes", 64<<20, "largest accepted POST body")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+
+		packMinDocs = flag.Int("pack-min-docs", 0, "pack loose archives into cold-tier bundles once this many qualify after a compaction (0 = packing off)")
+		packMaxDoc  = flag.Int64("pack-max-doc-bytes", 0, "leave archives over this many bytes loose when packing (0 = pack everything)")
+		bundleMax   = flag.Int64("bundle-max-bytes", bundle.DefaultMaxBytes, "roll to a new bundle file past this many bytes")
+		bundleGC    = flag.Float64("bundle-gc-ratio", store.DefaultBundleGCRatio, "rewrite a bundle once this fraction of its bytes is dead")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -107,6 +117,10 @@ func main() {
 			Sync:            *walSync,
 			MemTableBytes:   *memBytes,
 			CompactInterval: *compactEvery,
+			PackMinDocs:     *packMinDocs,
+			PackMaxDocBytes: *packMaxDoc,
+			BundleMaxBytes:  *bundleMax,
+			BundleGCRatio:   *bundleGC,
 		})
 		if err != nil {
 			log.Fatalf("xcserve: %v", err)

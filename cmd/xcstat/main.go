@@ -3,11 +3,15 @@
 // ratio, in both tag modes ("−" = structure only, "+" = all tags). For a
 // packed archive (*.xca) it prints the stored section sizes — skeleton,
 // value containers — alongside the archive's path-synopsis sidecar
-// (*.xcs), the index the store prunes fan-outs with.
+// (*.xcs), the index the store prunes fan-outs with. For a bundle file
+// (*.xcb, the cold tier) it prints the needle catalog: live and
+// tombstoned documents, payload and sidecar bytes, the dead-byte ratio
+// the GC auditor keys on, and whether the needle index had to be
+// rebuilt by a header scan.
 //
 // Usage:
 //
-//	xcstat file.xml [doc.xca ...]
+//	xcstat file.xml [doc.xca ...] [bundle-XXXXXXXX.xcb ...]
 //
 // Every failure names the file it concerns and exits non-zero.
 package main
@@ -17,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/bundle"
 	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -33,6 +38,10 @@ func main() {
 	for _, path := range os.Args[1:] {
 		if strings.HasSuffix(path, ".xca") {
 			statArchive(path)
+			continue
+		}
+		if strings.HasSuffix(path, bundle.Ext) {
+			statBundle(path)
 			continue
 		}
 		if !headerPrinted {
@@ -52,6 +61,33 @@ func main() {
 			fmt.Printf("%-24s %12d %12d %12d %9.1f%%  %s\n",
 				path, st.TreeVertices, st.DagVertices, st.DagEdges, 100*st.Ratio, mode.sign)
 		}
+	}
+}
+
+// statBundle prints a bundle's needle catalog and GC accounting.
+func statBundle(path string) {
+	b, err := bundle.Open(path)
+	cli.Fatalf(path, err)
+	defer b.Close()
+	names := b.Names()
+	rebuilt := ""
+	if b.Rebuilt() {
+		rebuilt = "  (needle index rebuilt from headers)"
+	}
+	fmt.Printf("%s: bundle %08x, %d bytes, %d live document(s)%s\n",
+		path, b.ID(), b.Size(), len(names), rebuilt)
+	fmt.Printf("  dead: %d bytes (ratio %.3f)\n", b.DeadBytes(), b.DeadRatio())
+	for _, name := range names {
+		ref, ok := b.Ref(name)
+		if !ok {
+			continue
+		}
+		side := "-"
+		if ref.SidecarLen > 0 {
+			side = fmt.Sprintf("%d", ref.SidecarLen)
+		}
+		fmt.Printf("  %-40s @%-10d %10d archive bytes, %8s sidecar bytes\n",
+			name, ref.PayloadOff, ref.ArchiveLen, side)
 	}
 }
 

@@ -1,0 +1,374 @@
+package bundle
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeBundle packs docs (name -> payload pair) into a sealed bundle and
+// returns its path.
+func writeBundle(t *testing.T, dir string, id uint64, docs map[string][2][]byte) string {
+	t.Helper()
+	path := filepath.Join(dir, FileName(id))
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range docs {
+		if err := w.Add(name, pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testDocs(n int) map[string][2][]byte {
+	docs := make(map[string][2][]byte, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("doc%03d", i)
+		archive := bytes.Repeat([]byte{byte(i), 0xAB}, 10+i)
+		var sidecar []byte
+		if i%3 != 0 { // every third doc packed without a sidecar
+			sidecar = bytes.Repeat([]byte{byte(i), 0xCD}, 5+i)
+		}
+		docs[name] = [2][]byte{archive, sidecar}
+	}
+	return docs
+}
+
+func checkDocs(t *testing.T, b *Bundle, docs map[string][2][]byte) {
+	t.Helper()
+	if b.Len() != len(docs) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(docs))
+	}
+	for name, pair := range docs {
+		got, err := b.Archive(name)
+		if err != nil {
+			t.Fatalf("Archive(%q): %v", name, err)
+		}
+		if !bytes.Equal(got, pair[0]) {
+			t.Fatalf("Archive(%q) = %x, want %x", name, got, pair[0])
+		}
+		side, ok, err := b.Sidecar(name)
+		if err != nil {
+			t.Fatalf("Sidecar(%q): %v", name, err)
+		}
+		if ok != (len(pair[1]) > 0) {
+			t.Fatalf("Sidecar(%q) ok = %v, want %v", name, ok, len(pair[1]) > 0)
+		}
+		if ok && !bytes.Equal(side, pair[1]) {
+			t.Fatalf("Sidecar(%q) = %x, want %x", name, side, pair[1])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	docs := testDocs(20)
+	path := writeBundle(t, dir, 1, docs)
+
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Rebuilt() {
+		t.Fatal("intact index was rebuilt")
+	}
+	if b.ID() != 1 {
+		t.Fatalf("ID = %d", b.ID())
+	}
+	checkDocs(t, b, docs)
+	if b.DeadBytes() != 0 {
+		t.Fatalf("fresh bundle has %d dead bytes", b.DeadBytes())
+	}
+}
+
+// Torn, missing, or stale indexes must all rebuild to the same needle
+// map by scanning headers.
+func TestIndexRebuild(t *testing.T) {
+	docs := testDocs(12)
+	damage := map[string]func(t *testing.T, idx string){
+		"missing": func(t *testing.T, idx string) {
+			if err := os.Remove(idx); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"torn": func(t *testing.T, idx string) {
+			data, err := os.ReadFile(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(idx, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"flipped-bit": func(t *testing.T, idx string) {
+			data, err := os.ReadFile(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x40
+			if err := os.WriteFile(idx, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, hurt := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := writeBundle(t, dir, 7, docs)
+			hurt(t, IndexPath(path))
+			b, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			if !b.Rebuilt() {
+				t.Fatal("damaged index was not rebuilt")
+			}
+			checkDocs(t, b, docs)
+
+			// The rebuild persisted a fresh index: the next open loads it.
+			b2, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b2.Close()
+			if b2.Rebuilt() {
+				t.Fatal("persisted rebuilt index was not reused")
+			}
+			checkDocs(t, b2, docs)
+		})
+	}
+}
+
+// A crash mid-append leaves a partial needle at the tail; open must
+// truncate it away and serve every intact needle.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	docs := testDocs(6)
+	path := writeBundle(t, dir, 2, docs)
+
+	// Simulate a torn tombstone append: half a needle frame at the tail,
+	// and no index rewrite (the crash interleaving).
+	frame, _ := appendNeedle(nil, "doc001", true, nil, nil)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)-3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if !b.Rebuilt() {
+		t.Fatal("size-mismatched index was trusted")
+	}
+	checkDocs(t, b, docs) // the torn tombstone never committed
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != b.Size() {
+		t.Fatalf("file is %d bytes, bundle believes %d", fi.Size(), b.Size())
+	}
+}
+
+func TestDeleteAndDeadBytes(t *testing.T) {
+	dir := t.TempDir()
+	docs := testDocs(8)
+	path := writeBundle(t, dir, 3, docs)
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := b.Delete("doc002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete("doc002"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := b.Archive("doc002"); err == nil {
+		t.Fatal("deleted document still readable")
+	}
+	if b.DeadBytes() == 0 {
+		t.Fatal("delete left no dead bytes")
+	}
+	if b.Len() != len(docs)-1 {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(docs)-1)
+	}
+
+	// A reopen (index intact) and a forced rebuild must both agree.
+	rest := make(map[string][2][]byte, len(docs)-1)
+	for name, pair := range docs {
+		if name != "doc002" {
+			rest[name] = pair
+		}
+	}
+	b2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if b2.Rebuilt() {
+		t.Fatal("index should have been reusable after delete")
+	}
+	checkDocs(t, b2, rest)
+	if b2.DeadBytes() != b.DeadBytes() {
+		t.Fatalf("dead bytes %d after reopen, want %d", b2.DeadBytes(), b.DeadBytes())
+	}
+
+	if err := os.Remove(IndexPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	b3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b3.Close()
+	checkDocs(t, b3, rest)
+	if b3.DeadBytes() != b.DeadBytes() {
+		t.Fatalf("rebuild found %d dead bytes, live accounting had %d", b3.DeadBytes(), b.DeadBytes())
+	}
+}
+
+// CopyLiveTo + Remove is the auditor's rewrite: the new bundle holds
+// exactly the live needles and no dead bytes.
+func TestRewriteDropsDeadBytes(t *testing.T) {
+	dir := t.TempDir()
+	docs := testDocs(10)
+	path := writeBundle(t, dir, 4, docs)
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"doc000", "doc004", "doc008"} {
+		if err := b.Delete(name); err != nil {
+			t.Fatal(err)
+		}
+		delete(docs, name)
+	}
+	if b.DeadRatio() <= 0 {
+		t.Fatal("no dead ratio after deletes")
+	}
+
+	w, err := Create(filepath.Join(dir, FileName(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CopyLiveTo(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("old bundle still present: %v", err)
+	}
+
+	nb, err := Open(filepath.Join(dir, FileName(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+	checkDocs(t, nb, docs)
+	if nb.DeadBytes() != 0 {
+		t.Fatalf("rewritten bundle carries %d dead bytes", nb.DeadBytes())
+	}
+	if nb.Size() >= b.Size() {
+		t.Fatalf("rewrite did not shrink: %d -> %d", b.Size(), nb.Size())
+	}
+}
+
+// Payload corruption inside a sealed bundle must fail the read's CRC
+// check rather than hand back damaged bytes.
+func TestPayloadCRCDetectsFlip(t *testing.T) {
+	dir := t.TempDir()
+	docs := testDocs(3)
+	path := writeBundle(t, dir, 6, docs)
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := b.Ref("doc001")
+	if !ok {
+		t.Fatal("doc001 missing")
+	}
+	b.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, r.PayloadOff+1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b2, err := Open(path) // index still size-paired: loads fine
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if _, err := b2.Archive("doc001"); err == nil {
+		t.Fatal("flipped payload byte went undetected")
+	}
+}
+
+func TestParseID(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		id   uint64
+		ok   bool
+	}{
+		{FileName(0x2a), 0x2a, true},
+		{"/some/dir/" + FileName(7), 7, true},
+		{"bundle-zz.xcb", 0, false},
+		{"doc.xca", 0, false},
+		{"bundle-01.xbi", 0, false},
+	} {
+		id, ok := ParseID(tc.name)
+		if ok != tc.ok || id != tc.id {
+			t.Errorf("ParseID(%q) = (%d, %v), want (%d, %v)", tc.name, id, ok, tc.id, tc.ok)
+		}
+	}
+}
+
+func FuzzDecodeIndex(f *testing.F) {
+	refs := map[string]Ref{
+		"a": {NeedleOff: 5, PayloadOff: 30, ArchiveLen: 10, SidecarLen: 4},
+		"b": {NeedleOff: 44, PayloadOff: 70, ArchiveLen: 2},
+	}
+	f.Add(encodeIndex(refs, 100, 7))
+	f.Add([]byte(indexMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, bb, db, err := decodeIndex(data)
+		if err != nil {
+			return
+		}
+		// Decoded indexes must re-encode to an equal needle map.
+		rt, bb2, db2, err := decodeIndex(encodeIndex(got, bb, db))
+		if err != nil || bb2 != bb || db2 != db || len(rt) != len(got) {
+			t.Fatalf("re-encode mismatch: %v", err)
+		}
+	})
+}

@@ -21,6 +21,7 @@ package codec
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -333,6 +334,20 @@ func decodeArchive(r io.Reader, sink func(key, chunk string)) (*dag.Instance, er
 // the pass stays cheap even on value-heavy documents.
 func DecodeSkeleton(r io.Reader) (*dag.Instance, error) {
 	return decodeArchive(r, func(string, string) {})
+}
+
+// DecodeArchiveBytes decodes an archive held fully in memory — the read
+// path of the bundled cold tier, where a pread hands back the exact
+// payload slice of one needle.
+func DecodeArchiveBytes(data []byte) (*container.Archive, error) {
+	return DecodeArchive(bytes.NewReader(data))
+}
+
+// DecodeSkeletonBytes is DecodeSkeleton over an in-memory payload (used
+// to rebuild the synopsis of a bundled document that was packed without
+// a usable sidecar).
+func DecodeSkeletonBytes(data []byte) (*dag.Instance, error) {
+	return DecodeSkeleton(bytes.NewReader(data))
 }
 
 // ContainerStat describes one value container of an archive.

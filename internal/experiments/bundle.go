@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/container"
+	"repro/internal/store"
+	"repro/internal/synopsis"
+)
+
+// BundleRow is one measurement of the cold-tier packing experiment: a
+// catalog of n small documents opened and served either as loose
+// archives (one .xca + one .xcs per document) or packed into bundle
+// files, at the same worker count.
+type BundleRow struct {
+	Docs    int
+	Tier    string // "loose" or "bundled"
+	Workers int
+
+	Files     int   // files on disk making up the catalog
+	DiskBytes int64 // summed size of those files
+	Bundles   int   // bundle files (0 for loose)
+
+	// OpenWall is store.Open over the catalog — the syscall- and
+	// sidecar-bound cost the bundle tier exists to compress. QueryWall
+	// fans a vocabulary-matching query over every document from warm
+	// caches; RareWall fans a query whose vocabulary only rareDocs
+	// documents contain, so the synopsis index prunes the rest — over
+	// bundles exactly as over loose files.
+	OpenWall  time.Duration
+	QueryWall time.Duration
+	RareWall  time.Duration
+
+	DocsPruned int    // during the RareWall run
+	Selected   uint64 // summed matches of the broad query (verified across tiers)
+	RareHits   uint64 // summed matches of the rare query (verified across tiers)
+}
+
+// rareDocs is the fixed number of documents per catalog carrying the
+// rare vocabulary, independent of catalog size: a pruned fan-out then
+// scans a constant set, so its wall should stay flat as the catalog
+// grows — bundled or loose.
+const rareDocs = 16
+
+// smallDoc generates the i-th synthetic small document. Every document
+// shares the broad vocabulary (entry/id/val); the first rareDocs also
+// carry a <rare> element that the pruning query keys on.
+func smallDoc(i int) []byte {
+	rare := ""
+	if i < rareDocs {
+		rare = fmt.Sprintf("<rare>r%d</rare>", i)
+	}
+	return []byte(fmt.Sprintf(
+		"<entry><id>n%d</id><val>v%d</val><val>w%d</val>%s</entry>",
+		i, i%97, i%89, rare))
+}
+
+const (
+	bundleBroadQuery = `//entry[id]`
+	bundleRareQuery  = `//entry[rare]`
+)
+
+// BundleSweep builds a catalog of docsCounts[k] small documents twice —
+// loose and bundle-packed — and measures open wall, warm broad-query
+// wall, and warm pruned-query wall for each tier, verifying that both
+// tiers select identical results. Catalog file counts and byte totals
+// are reported so the packing win (thousands of files collapsing into a
+// handful) is visible next to the timings.
+func BundleSweep(docCounts []int, workers int) ([]BundleRow, error) {
+	if len(docCounts) == 0 {
+		return nil, fmt.Errorf("bundle sweep: no document counts given")
+	}
+	var rows []BundleRow
+	for _, n := range docCounts {
+		if n < rareDocs {
+			return nil, fmt.Errorf("bundle sweep: need at least %d documents, got %d", rareDocs, n)
+		}
+		loose, err := buildLooseCatalog(n)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := measureCatalog(loose, "loose", n, workers)
+		if err != nil {
+			os.RemoveAll(loose)
+			return nil, err
+		}
+		// Pack a copy of the same catalog into bundles.
+		bundled, err := packCatalog(loose)
+		os.RemoveAll(loose)
+		if err != nil {
+			return nil, err
+		}
+		br, err := measureCatalog(bundled, "bundled", n, workers)
+		os.RemoveAll(bundled)
+		if err != nil {
+			return nil, err
+		}
+		if lr.Selected != br.Selected || lr.RareHits != br.RareHits {
+			return nil, fmt.Errorf("bundle sweep: %d docs: loose selects %d/%d, bundled %d/%d",
+				n, lr.Selected, lr.RareHits, br.Selected, br.RareHits)
+		}
+		rows = append(rows, lr, br)
+	}
+	return rows, nil
+}
+
+// buildLooseCatalog writes n small documents as name.xca + name.xcs
+// into a fresh temp dir, exactly like `xcarchive pack-dir` would.
+func buildLooseCatalog(n int) (string, error) {
+	dir, err := os.MkdirTemp("", "xcbundle-sweep")
+	if err != nil {
+		return "", err
+	}
+	for i := 0; i < n; i++ {
+		a, err := container.Split(smallDoc(i))
+		if err != nil {
+			os.RemoveAll(dir)
+			return "", fmt.Errorf("bundle sweep: splitting doc %d: %w", i, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("doc%06d%s", i, store.Ext))
+		f, err := os.Create(path)
+		if err == nil {
+			err = codec.EncodeArchive(f, a)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err == nil {
+			var fi os.FileInfo
+			if fi, err = os.Stat(path); err == nil {
+				dict := synopsis.NewDict()
+				err = synopsis.WriteSidecar(synopsis.SidecarPath(path),
+					synopsis.Build(a.Skeleton, dict, synopsis.Options{}), dict, fi.Size())
+			}
+		}
+		if err != nil {
+			os.RemoveAll(dir)
+			return "", fmt.Errorf("bundle sweep: writing doc %d: %w", i, err)
+		}
+	}
+	return dir, nil
+}
+
+// packCatalog clones the loose catalog into a new dir and migrates
+// every document into bundles.
+func packCatalog(looseDir string) (string, error) {
+	dir, err := os.MkdirTemp("", "xcbundle-packed")
+	if err != nil {
+		return "", err
+	}
+	des, err := os.ReadDir(looseDir)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", err
+	}
+	for _, de := range des {
+		data, err := os.ReadFile(filepath.Join(looseDir, de.Name()))
+		if err == nil {
+			err = os.WriteFile(filepath.Join(dir, de.Name()), data, 0o644)
+		}
+		if err != nil {
+			os.RemoveAll(dir)
+			return "", err
+		}
+	}
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", err
+	}
+	_, err = s.PackLoose(store.PackOptions{})
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", fmt.Errorf("bundle sweep: packing: %w", err)
+	}
+	return dir, nil
+}
+
+// measureCatalog opens dir, runs warm passes, and times the open and
+// both query fan-outs.
+func measureCatalog(dir, tier string, n, workers int) (BundleRow, error) {
+	row := BundleRow{Docs: n, Tier: tier, Workers: workers}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return row, err
+	}
+	for _, de := range des {
+		fi, err := de.Info()
+		if err != nil {
+			return row, err
+		}
+		row.Files++
+		row.DiskBytes += fi.Size()
+	}
+
+	t0 := time.Now()
+	s, err := store.Open(dir, store.Options{Workers: workers})
+	if err != nil {
+		return row, err
+	}
+	row.OpenWall = time.Since(t0)
+	defer s.Close()
+	row.Bundles = s.Stats().Bundles
+
+	sum := func(q string) (uint64, error) {
+		results, err := s.QueryAll(q)
+		if err != nil {
+			return 0, err
+		}
+		var total uint64
+		for _, r := range results {
+			if r.Err != nil {
+				return 0, fmt.Errorf("%s %s: %w", tier, r.Name, r.Err)
+			}
+			total += r.Result.SelectedTree
+		}
+		return total, nil
+	}
+
+	// Warm pass decodes every document that will be scanned and fills
+	// the program cache; the timed passes then measure serving, not IO.
+	// Each wall is the best of three runs — sub-millisecond fan-outs are
+	// scheduler-noise-bound otherwise.
+	if _, err := sum(bundleBroadQuery); err != nil {
+		return row, err
+	}
+	if _, err := sum(bundleRareQuery); err != nil {
+		return row, err
+	}
+
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		t1 := time.Now()
+		if row.Selected, err = sum(bundleBroadQuery); err != nil {
+			return row, err
+		}
+		if wall := time.Since(t1); i == 0 || wall < row.QueryWall {
+			row.QueryWall = wall
+		}
+	}
+	before := s.Stats()
+	for i := 0; i < reps; i++ {
+		t2 := time.Now()
+		if row.RareHits, err = sum(bundleRareQuery); err != nil {
+			return row, err
+		}
+		if wall := time.Since(t2); i == 0 || wall < row.RareWall {
+			row.RareWall = wall
+		}
+	}
+	stats := s.Stats()
+	row.DocsPruned = int(stats.PrunePruned-before.PrunePruned) / reps
+	return row, nil
+}
+
+// CheckBundleInvariants verifies the cold tier's qualitative claims on
+// sweep rows: at every catalog size, bundled open must not be slower
+// than loose open by more than slack (it should be faster — one file
+// open amortized over thousands of documents), warm serving must not
+// regress by more than slack, and packing must collapse the file count.
+// Returns human-readable violations; empty means all hold.
+func CheckBundleInvariants(rows []BundleRow, slack float64) []string {
+	var bad []string
+	byTier := map[int]map[string]BundleRow{}
+	for _, r := range rows {
+		if byTier[r.Docs] == nil {
+			byTier[r.Docs] = map[string]BundleRow{}
+		}
+		byTier[r.Docs][r.Tier] = r
+	}
+	for docs, tiers := range byTier {
+		l, lok := tiers["loose"]
+		b, bok := tiers["bundled"]
+		if !lok || !bok {
+			bad = append(bad, fmt.Sprintf("%d docs: missing a tier", docs))
+			continue
+		}
+		if float64(b.OpenWall) > slack*float64(l.OpenWall) {
+			bad = append(bad, fmt.Sprintf("%d docs: bundled open %v vs loose %v (slack %.2fx)",
+				docs, b.OpenWall, l.OpenWall, slack))
+		}
+		if float64(b.QueryWall) > slack*float64(l.QueryWall) {
+			bad = append(bad, fmt.Sprintf("%d docs: bundled warm query %v vs loose %v (slack %.2fx)",
+				docs, b.QueryWall, l.QueryWall, slack))
+		}
+		if float64(b.RareWall) > slack*float64(l.RareWall) {
+			bad = append(bad, fmt.Sprintf("%d docs: bundled pruned query %v vs loose %v (slack %.2fx)",
+				docs, b.RareWall, l.RareWall, slack))
+		}
+		if b.Files >= l.Files {
+			bad = append(bad, fmt.Sprintf("%d docs: packing left %d files (loose has %d)",
+				docs, b.Files, l.Files))
+		}
+		if b.DocsPruned != l.DocsPruned {
+			bad = append(bad, fmt.Sprintf("%d docs: bundled prunes %d, loose %d",
+				docs, b.DocsPruned, l.DocsPruned))
+		}
+	}
+	return bad
+}
+
+// PrintBundle renders sweep rows as a table.
+func PrintBundle(w io.Writer, rows []BundleRow) {
+	fmt.Fprintf(w, "%8s %-8s %8s %8s %12s %12s %12s %12s %8s %10s %9s\n",
+		"docs", "tier", "files", "bundles", "disk bytes", "open", "warm query", "pruned q", "pruned", "sel(tree)", "rare hits")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %-8s %8d %8d %12d %12v %12v %12v %8d %10d %9d\n",
+			r.Docs, r.Tier, r.Files, r.Bundles, r.DiskBytes,
+			r.OpenWall.Round(time.Microsecond), r.QueryWall.Round(time.Microsecond),
+			r.RareWall.Round(time.Microsecond), r.DocsPruned, r.Selected, r.RareHits)
+	}
+}

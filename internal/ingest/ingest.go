@@ -44,6 +44,22 @@ type Options struct {
 	// long a document stays WAL-only. 0 disables the timer: compaction
 	// then runs only on seal, Flush and Close.
 	CompactInterval time.Duration
+
+	// PackMinDocs enables the cold-tier packing stage: after each drain,
+	// loose archives are migrated into bundles (store.PackLoose) once at
+	// least this many qualify, and over-dead bundles are reclaimed
+	// (store.AuditBundles). <= 0 disables packing entirely.
+	PackMinDocs int
+	// PackMaxDocBytes excludes loose archives larger than this from
+	// packing — bundling pays off for small documents; large ones serve
+	// fine as loose files. <= 0 packs regardless of size.
+	PackMaxDocBytes int64
+	// BundleMaxBytes is the bundle roll-over size. <= 0 selects
+	// bundle.DefaultMaxBytes.
+	BundleMaxBytes int64
+	// BundleGCRatio is the dead-byte fraction above which the audit
+	// rewrites a bundle. <= 0 selects store.DefaultBundleGCRatio.
+	BundleGCRatio float64
 }
 
 // Ingester is the write subsystem: WAL for durability, memtable for
@@ -70,6 +86,7 @@ type Ingester struct {
 
 	ingested, deleted          uint64
 	compactions, compactedDocs uint64
+	packedDocs                 uint64 // documents migrated into cold-tier bundles
 	synBuilds                  uint64 // per-document synopses built at ingest/replay
 	compactErr                 error  // last background-compaction failure
 
@@ -115,6 +132,13 @@ func Open(opts Options) (*Ingester, error) {
 
 // apply replays one WAL record into the memtable (no further logging).
 func (ing *Ingester) apply(rec Record) error {
+	// Replay re-validates names even though Add/Delete validated them
+	// before logging: a WAL is just a file, and a record whose frame
+	// happens to checksum must still not carry a traversal name into the
+	// memtable and on to compaction's filepath.Join.
+	if err := validateName(rec.Name); err != nil {
+		return fmt.Errorf("ingest: replaying: %w", err)
+	}
 	switch rec.Op {
 	case OpAdd:
 		d, err := ing.buildDoc(rec.Name, rec.Data)
@@ -158,27 +182,13 @@ func (ing *Ingester) buildDoc(name string, xml []byte) (*memDoc, error) {
 	return d, nil
 }
 
-// validateName accepts names that are safe as archive file stems: ASCII
-// letters, digits, '.', '_', '-', not empty, not starting with '.', at
-// most 200 bytes. Failures are client faults (store.ErrBadDocument).
+// validateName is store.ValidateDocName with this package's error
+// prefix: names become archive file stems (and bundle needle names), so
+// every write surface — Add, Delete, WAL replay, compaction — funnels
+// through the store's one strict check.
 func validateName(name string) error {
-	if name == "" {
-		return fmt.Errorf("ingest: %w: empty document name", store.ErrBadDocument)
-	}
-	if len(name) > 200 {
-		return fmt.Errorf("ingest: %w: document name longer than 200 bytes", store.ErrBadDocument)
-	}
-	if name[0] == '.' {
-		return fmt.Errorf("ingest: %w: document name %q starts with '.'", store.ErrBadDocument, name)
-	}
-	for i := 0; i < len(name); i++ {
-		c := name[i]
-		switch {
-		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
-			c == '.', c == '_', c == '-':
-		default:
-			return fmt.Errorf("ingest: %w: document name %q contains %q (allowed: letters, digits, '.', '_', '-')", store.ErrBadDocument, name, c)
-		}
+	if err := store.ValidateDocName(name); err != nil {
+		return fmt.Errorf("ingest: %w", err)
 	}
 	return nil
 }
@@ -309,8 +319,36 @@ func (ing *Ingester) compactor() {
 		// A successful drain clears any earlier transient failure, so
 		// /stats does not report a long-resolved fault and the next
 		// Flush does not fail retroactively.
-		ing.setCompactErr(ing.drain())
+		err := ing.drain()
+		if err == nil {
+			err = ing.packCold()
+		}
+		ing.setCompactErr(err)
 	}
+}
+
+// packCold runs the cold-tier packing stage after a drain: loose
+// archives over the PackMinDocs threshold are bundled, then over-dead
+// bundles are rewritten or removed. A no-op when packing is disabled.
+func (ing *Ingester) packCold() error {
+	if ing.opts.PackMinDocs <= 0 {
+		return nil
+	}
+	pst, err := ing.opts.Store.PackLoose(store.PackOptions{
+		MaxBundleBytes: ing.opts.BundleMaxBytes,
+		MaxDocBytes:    ing.opts.PackMaxDocBytes,
+		MinDocs:        ing.opts.PackMinDocs,
+	})
+	if err != nil {
+		return fmt.Errorf("ingest: packing loose archives: %w", err)
+	}
+	ing.mu.Lock()
+	ing.packedDocs += uint64(pst.Packed)
+	ing.mu.Unlock()
+	if _, err := ing.opts.Store.AuditBundles(ing.opts.BundleGCRatio); err != nil {
+		return fmt.Errorf("ingest: auditing bundles: %w", err)
+	}
+	return nil
 }
 
 // setCompactErr records a background failure (or clears one, on nil) for
@@ -371,15 +409,20 @@ func (ing *Ingester) compactGeneration(g *generation) error {
 	idx := ing.opts.Store.Synopses()
 	for _, name := range names {
 		d := g.docs[name]
+		// Names were validated at ingest and at replay; check once more
+		// at the only place they are joined into a path, so no future
+		// call path can skip the validation and write outside the store.
+		if err := validateName(name); err != nil {
+			return fmt.Errorf("ingest: compacting: %w", err)
+		}
 		path := filepath.Join(dir, name+store.Ext)
 		if d.tomb {
-			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			// Erase handles both tiers: it unlinks a loose archive and
+			// sidecar, or appends a tombstone needle when the document
+			// was packed into a bundle.
+			if err := ing.opts.Store.Erase(name); err != nil {
 				return fmt.Errorf("ingest: compacting tombstone %q: %w", name, err)
 			}
-			if err := os.Remove(synopsis.SidecarPath(path)); err != nil && !os.IsNotExist(err) {
-				return fmt.Errorf("ingest: removing sidecar of %q: %w", name, err)
-			}
-			ing.opts.Store.RemoveArchive(name)
 			continue
 		}
 		if err := writeArchive(path, d.archive); err != nil {
@@ -453,6 +496,9 @@ func (ing *Ingester) Flush() error {
 		return err
 	}
 	if err := ing.drain(); err != nil {
+		return err
+	}
+	if err := ing.packCold(); err != nil {
 		return err
 	}
 	ing.mu.Lock()
@@ -537,23 +583,26 @@ func (ing *Ingester) LiveSynopsis(name string) (syn *synopsis.Synopsis, live boo
 func (ing *Ingester) Stats() store.IngestStats {
 	ing.walMu.Lock()
 	walSegs, walBytes, walSync := ing.wal.Segments(), ing.wal.SizeBytes(), ing.opts.Sync
+	walWarnings := ing.wal.OpenWarnings()
 	ing.walMu.Unlock()
 	ing.mu.Lock()
 	defer ing.mu.Unlock()
 	docs, bytes := ing.table.size()
 	st := store.IngestStats{
-		Ingested:       ing.ingested,
-		Deleted:        ing.deleted,
-		Replayed:       ing.replayed,
-		LiveDocs:       docs,
-		LiveBytes:      bytes,
-		SealedGens:     len(ing.table.sealed),
-		Compactions:    ing.compactions,
-		CompactedDocs:  ing.compactedDocs,
-		SynopsisBuilds: ing.synBuilds,
-		WALSegments:    walSegs,
-		WALBytes:       walBytes,
-		WALSync:        walSync,
+		Ingested:        ing.ingested,
+		Deleted:         ing.deleted,
+		Replayed:        ing.replayed,
+		LiveDocs:        docs,
+		LiveBytes:       bytes,
+		SealedGens:      len(ing.table.sealed),
+		Compactions:     ing.compactions,
+		CompactedDocs:   ing.compactedDocs,
+		PackedDocs:      ing.packedDocs,
+		SynopsisBuilds:  ing.synBuilds,
+		WALSegments:     walSegs,
+		WALBytes:        walBytes,
+		WALSync:         walSync,
+		WALOpenWarnings: walWarnings,
 	}
 	if ing.compactErr != nil {
 		st.LastError = ing.compactErr.Error()

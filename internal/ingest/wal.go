@@ -146,9 +146,20 @@ type Log struct {
 	segs    []uint64         // live segment indices, ascending; last is cur
 	sizes   map[uint64]int64 // per-segment byte size, maintained in memory
 	buf     []byte           // scratch for framing
+
+	openWarnings []string // non-fatal conditions tolerated at open
 }
 
+// OpenWarnings returns the non-fatal conditions OpenLog tolerated and
+// worked around (currently: empty segments that could not be unlinked).
+// The slice is fixed after open; callers must not mutate it.
+func (l *Log) OpenWarnings() []string { return l.openWarnings }
+
 func segName(idx uint64) string { return fmt.Sprintf("wal-%016x.seg", idx) }
+
+// removeFile is os.Remove, indirected so tests can fail specific unlinks
+// (root cannot rely on permission bits to make a file undeletable).
+var removeFile = os.Remove
 
 // OpenLog opens (creating if needed) the WAL in dir and replays every
 // intact record in log order through fn. A torn tail — a record in the
@@ -166,6 +177,7 @@ func OpenLog(dir string, opts LogOptions, fn func(Record) error) (*Log, error) {
 		return nil, fmt.Errorf("ingest: reading WAL dir: %w", err)
 	}
 	var segs []uint64
+	var warnings []string
 	for _, de := range des {
 		name := de.Name()
 		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
@@ -179,15 +191,24 @@ func OpenLog(dir string, opts LogOptions, fn func(Record) error) (*Log, error) {
 		// carry nothing to replay; unlink them rather than accumulate one
 		// per restart.
 		if fi, err := de.Info(); err == nil && fi.Size() == 0 {
-			if err := os.Remove(filepath.Join(dir, name)); err == nil || os.IsNotExist(err) {
+			if err := removeFile(filepath.Join(dir, name)); err == nil || os.IsNotExist(err) {
 				continue
+			} else {
+				// The unlink failed for a real reason (immutable file,
+				// filesystem fault — not just "already gone"). Keeping
+				// the segment is harmless: it holds no records, so it
+				// replays to nothing and stays on the segment list for
+				// the usual retirement path. But the failure must not be
+				// silent — it is the only early sign the WAL directory
+				// has gone bad — so it is recorded for Stats to surface.
+				warnings = append(warnings, fmt.Sprintf("ingest: keeping empty WAL segment %s: unlink failed: %v", name, err))
 			}
 		}
 		segs = append(segs, idx)
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 
-	l := &Log{dir: dir, opts: opts, segs: segs, sizes: make(map[uint64]int64)}
+	l := &Log{dir: dir, opts: opts, segs: segs, sizes: make(map[uint64]int64), openWarnings: warnings}
 	for i, idx := range segs {
 		last := i == len(segs)-1
 		if err := l.replaySegment(idx, last, fn); err != nil {

@@ -3,9 +3,11 @@ package ingest
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -195,5 +197,54 @@ func TestCorruptNonFinalSegmentRefused(t *testing.T) {
 	}
 	if _, err := OpenLog(dir, LogOptions{}, nil); err == nil {
 		t.Fatal("open must refuse a corrupt non-final segment")
+	}
+}
+
+// TestUndeletableEmptySegmentKept is the regression test for OpenLog
+// silently falling through when unlinking an empty segment fails for a
+// non-ENOENT reason: the segment must be kept in the replay set, the
+// condition surfaced via OpenWarnings, and the log still usable. The
+// unlink failure is injected through the removeFile hook because the
+// test runs as root, where permission bits cannot make a file
+// undeletable.
+func TestUndeletableEmptySegmentKept(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, LogOptions{})
+	if err := l.Append(Record{Op: OpAdd, Name: "d", Data: []byte("<a/>")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// An empty segment, as left behind by a crash between segment
+	// creation and the first append.
+	empty := filepath.Join(dir, segName(99))
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	defer func(orig func(string) error) { removeFile = orig }(removeFile)
+	removeFile = func(path string) error {
+		if path == empty {
+			return errors.New("injected: operation not permitted")
+		}
+		return os.Remove(path)
+	}
+
+	l2, recs := replayAll(t, dir, LogOptions{})
+	defer l2.Close()
+	if len(recs) != 1 || recs[0].Name != "d" {
+		t.Fatalf("replayed %v, want the one surviving record", recs)
+	}
+	warns := l2.OpenWarnings()
+	if len(warns) != 1 || !strings.Contains(warns[0], segName(99)) {
+		t.Fatalf("OpenWarnings() = %q, want one warning naming %s", warns, segName(99))
+	}
+	if _, err := os.Stat(empty); err != nil {
+		t.Fatalf("undeletable empty segment disappeared: %v", err)
+	}
+	// The log must still accept writes past the kept segment.
+	if err := l2.Append(Record{Op: OpAdd, Name: "after", Data: []byte("<b/>")}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,331 @@
+package store
+
+// Cold-tier maintenance: packing loose archives into bundles and
+// reclaiming bundles whose tombstoned needles outweigh their live ones.
+// Both passes are incremental, run concurrently with serving, and are
+// crash-consistent by construction: a bundle is sealed (fsynced, index
+// persisted) before any loose source is unlinked, and the catalog's
+// loose-wins precedence hides a stale bundled copy from every future
+// open, so no step ever needs to be atomic across files.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/bundle"
+	"repro/internal/synopsis"
+)
+
+// DefaultBundleGCRatio is the dead-byte fraction above which
+// AuditBundles rewrites a bundle when the caller passes no threshold.
+const DefaultBundleGCRatio = 0.35
+
+// PackOptions tunes one PackLoose pass.
+type PackOptions struct {
+	// MaxBundleBytes rolls over to a new bundle once the one being
+	// written exceeds it. <= 0 selects bundle.DefaultMaxBytes.
+	MaxBundleBytes int64
+	// MaxDocBytes excludes loose archives larger than this — bundling
+	// pays off for small documents; big ones are fine as loose files.
+	// <= 0 packs regardless of size.
+	MaxDocBytes int64
+	// MinDocs skips the pass entirely when fewer candidates qualify, so
+	// a steady trickle of writes does not churn tiny bundles. <= 0 packs
+	// any number.
+	MinDocs int
+}
+
+// PackStats reports what one PackLoose pass did.
+type PackStats struct {
+	Candidates  int   // loose archives that qualified
+	Packed      int   // documents migrated into bundles
+	Skipped     int   // candidates that vanished or changed mid-pack
+	NewBundles  int   // bundles sealed
+	PackedBytes int64 // archive payload bytes migrated
+}
+
+// PackLoose migrates qualifying loose archives (and their synopsis
+// sidecars) into sealed cold-tier bundles, then unlinks the loose
+// sources. Serving is never interrupted: each document flips from its
+// loose entry to a bundled one under the catalog lock, and a reader that
+// raced the unlink retries onto the bundle. A crash at any point leaves
+// a catalog the next Open serves correctly — at worst some documents are
+// still (or again) loose, and shadowed bundle copies are tombstoned by
+// open-time hygiene.
+func (s *Store) PackLoose(opts PackOptions) (PackStats, error) {
+	s.packMu.Lock()
+	defer s.packMu.Unlock()
+
+	maxBundle := opts.MaxBundleBytes
+	if maxBundle <= 0 {
+		maxBundle = bundle.DefaultMaxBytes
+	}
+
+	var st PackStats
+	s.mu.Lock()
+	cands := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		if e.b != nil {
+			continue
+		}
+		if opts.MaxDocBytes > 0 && e.fileBytes > opts.MaxDocBytes {
+			continue
+		}
+		cands = append(cands, e)
+	}
+	s.mu.Unlock()
+	st.Candidates = len(cands)
+	if len(cands) == 0 || len(cands) < opts.MinDocs {
+		return st, nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].name < cands[j].name })
+
+	var (
+		w     *bundle.Writer
+		batch []*entry // entries written into w, in order
+	)
+	flush := func() error {
+		if w == nil {
+			return nil
+		}
+		if err := w.Seal(); err != nil {
+			return fmt.Errorf("store: sealing bundle: %w", err)
+		}
+		nb, err := bundle.Open(w.Path())
+		if err != nil {
+			return fmt.Errorf("store: reopening sealed bundle: %w", err)
+		}
+		st.NewBundles++
+		// Publish: flip each packed document's entry to the bundle —
+		// unless the catalog moved on (replacement or erase raced the
+		// pack), in which case the packed copy is stillborn and gets a
+		// tombstone so its bytes count as dead.
+		var stale []string
+		var unlink []*entry
+		s.mu.Lock()
+		for _, e := range batch {
+			if s.entries[e.name] != e {
+				stale = append(stale, e.name)
+				continue
+			}
+			s.dropLocked(e)
+			ref, _ := nb.Ref(e.name)
+			s.entries[e.name] = &entry{name: e.name, b: nb, fileBytes: ref.ArchiveLen}
+			unlink = append(unlink, e)
+		}
+		s.bundles[nb.ID()] = nb
+		s.mu.Unlock()
+		for _, name := range stale {
+			_ = nb.Delete(name)
+			st.Skipped++
+		}
+		// The bundle is sealed and catalogued; only now do the loose
+		// sources go. A failed unlink is harmless — loose wins at the
+		// next open, its bundled twin is re-tombstoned, and a later pack
+		// tries again.
+		for _, e := range unlink {
+			_ = os.Remove(e.path)
+			_ = os.Remove(synopsis.SidecarPath(e.path))
+			st.Packed++
+			st.PackedBytes += e.fileBytes
+		}
+		w, batch = nil, nil
+		return nil
+	}
+
+	for _, e := range cands {
+		data, err := os.ReadFile(e.path)
+		if err != nil {
+			st.Skipped++ // erased or already migrated since the snapshot
+			continue
+		}
+		// The sidecar rides along verbatim when present; a stale or torn
+		// one is rejected by Open's pairing check and rebuilt in memory,
+		// so no validation is needed here.
+		sidecar, _ := os.ReadFile(synopsis.SidecarPath(e.path))
+		if w == nil {
+			path := filepath.Join(s.dir, bundle.FileName(s.allocBundleID()))
+			w, err = bundle.Create(path)
+			if err != nil {
+				return st, fmt.Errorf("store: creating bundle: %w", err)
+			}
+		}
+		if err := w.Add(e.name, data, sidecar); err != nil {
+			w.Abort()
+			return st, err
+		}
+		batch = append(batch, e)
+		if w.Size() >= maxBundle {
+			if err := flush(); err != nil {
+				return st, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// AuditStats reports what one AuditBundles pass did.
+type AuditStats struct {
+	Audited        int   // bundles examined
+	Rewritten      int   // bundles compacted into fresh ones
+	Removed        int   // emptied bundles unlinked outright
+	ReclaimedBytes int64 // data-file bytes returned to the filesystem
+}
+
+// AuditBundles is the cold tier's garbage collector: bundles whose dead
+// bytes (tombstoned or replaced needles) exceed minRatio of the data
+// file are rewritten — live needles copied into a fresh bundle, catalog
+// flipped, old bundle removed — and bundles with no live needles at all
+// are unlinked. minRatio <= 0 selects DefaultBundleGCRatio. Sealed
+// payload bytes never move within a bundle, so serving continues
+// throughout; a reader that raced a removal retries onto the rewrite.
+func (s *Store) AuditBundles(minRatio float64) (AuditStats, error) {
+	s.packMu.Lock()
+	defer s.packMu.Unlock()
+	if minRatio <= 0 {
+		minRatio = DefaultBundleGCRatio
+	}
+
+	var st AuditStats
+	s.mu.Lock()
+	bundles := make([]*bundle.Bundle, 0, len(s.bundles))
+	for _, b := range s.bundles {
+		bundles = append(bundles, b)
+	}
+	s.mu.Unlock()
+	sort.Slice(bundles, func(i, j int) bool { return bundles[i].ID() < bundles[j].ID() })
+
+	for _, b := range bundles {
+		st.Audited++
+		if b.Len() == 0 {
+			// Nothing live: no entry references it, so it can go as is.
+			s.mu.Lock()
+			delete(s.bundles, b.ID())
+			s.mu.Unlock()
+			reclaimed := b.Size()
+			if err := b.Remove(); err != nil {
+				return st, fmt.Errorf("store: removing emptied bundle: %w", err)
+			}
+			st.Removed++
+			st.ReclaimedBytes += reclaimed
+			continue
+		}
+		if b.DeadBytes() == 0 || b.DeadRatio() < minRatio {
+			continue
+		}
+		path := filepath.Join(s.dir, bundle.FileName(s.allocBundleID()))
+		w, err := bundle.Create(path)
+		if err != nil {
+			return st, fmt.Errorf("store: creating rewrite bundle: %w", err)
+		}
+		if err := b.CopyLiveTo(w); err != nil {
+			w.Abort()
+			return st, err
+		}
+		if err := w.Seal(); err != nil {
+			return st, err
+		}
+		nb, err := bundle.Open(path)
+		if err != nil {
+			return st, fmt.Errorf("store: reopening rewrite bundle: %w", err)
+		}
+		oldSize := b.Size()
+		// Flip every still-catalogued document from b to the rewrite.
+		// Names that were erased or replaced while we copied get their
+		// fresh copy tombstoned — the rewrite must not resurrect them.
+		var stale []string
+		s.mu.Lock()
+		for _, name := range nb.Names() {
+			e, ok := s.entries[name]
+			if !ok || e.b != b {
+				stale = append(stale, name)
+				continue
+			}
+			s.dropLocked(e)
+			ref, _ := nb.Ref(name)
+			s.entries[name] = &entry{name: name, b: nb, fileBytes: ref.ArchiveLen}
+		}
+		s.bundles[nb.ID()] = nb
+		delete(s.bundles, b.ID())
+		s.mu.Unlock()
+		for _, name := range stale {
+			_ = nb.Delete(name)
+		}
+		if err := b.Remove(); err != nil {
+			return st, fmt.Errorf("store: removing rewritten bundle: %w", err)
+		}
+		st.Rewritten++
+		st.ReclaimedBytes += oldSize - nb.Size()
+	}
+	return st, nil
+}
+
+// Erase removes name from the catalog and deletes its backing bytes in
+// whichever tier holds them: the loose archive file and its sidecar, or
+// a tombstone appended to its bundle. This is the write path's deletion
+// step (the ingest compactor calls it when a tombstone compacts);
+// unknown names are a no-op.
+func (s *Store) Erase(name string) error {
+	if s.syn != nil {
+		s.syn.Remove(name)
+	}
+	s.mu.Lock()
+	e, ok := s.entries[name]
+	if ok {
+		s.dropLocked(e)
+		delete(s.entries, name)
+		if i := sort.SearchStrings(s.names, name); i < len(s.names) && s.names[i] == name {
+			s.names = append(s.names[:i], s.names[i+1:]...)
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if e.b != nil {
+		return e.b.Delete(name)
+	}
+	if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err := os.Remove(synopsis.SidecarPath(e.path)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Close releases the cold tier's bundle file handles. Loads in flight
+// against a bundle fail once it closes (and are not retried onto
+// anything — the catalog still points at it), so Close belongs at
+// shutdown. A store serving only loose archives holds no descriptors
+// and Close is then optional.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	bundles := make([]*bundle.Bundle, 0, len(s.bundles))
+	for _, b := range s.bundles {
+		bundles = append(bundles, b)
+	}
+	s.bundles = make(map[uint64]*bundle.Bundle)
+	s.mu.Unlock()
+	var firstErr error
+	for _, b := range bundles {
+		if err := b.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// allocBundleID hands out the next unused bundle id.
+func (s *Store) allocBundleID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextBundleID
+	s.nextBundleID++
+	return id
+}

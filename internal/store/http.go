@@ -27,6 +27,10 @@ type IngestStats struct {
 	Compactions   uint64 `json:"compactions"`
 	CompactedDocs uint64 `json:"compacted_docs"`
 
+	// PackedDocs counts documents the compactor's packing stage migrated
+	// from loose archives into cold-tier bundles (0 when packing is off).
+	PackedDocs uint64 `json:"packed_docs,omitempty"`
+
 	// SynopsisBuilds counts per-document path synopses built by the
 	// write path (at ingest and WAL replay); compaction persists them as
 	// archive sidecars.
@@ -35,6 +39,12 @@ type IngestStats struct {
 	WALSegments int   `json:"wal_segments"`
 	WALBytes    int64 `json:"wal_bytes"`
 	WALSync     bool  `json:"wal_sync"`
+
+	// WALOpenWarnings lists non-fatal conditions the WAL open tolerated
+	// and worked around — e.g. an empty segment that could not be
+	// unlinked and was kept (harmlessly) instead. Persistent entries
+	// here mean the WAL directory needs operator attention.
+	WALOpenWarnings []string `json:"wal_open_warnings,omitempty"`
 
 	LastError string `json:"last_error,omitempty"` // pending background-compaction failure
 }
@@ -253,6 +263,14 @@ func (h *handler) doc(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/docs/")
 	if name == "" || strings.Contains(name, "/") {
 		httpError(w, http.StatusNotFound, fmt.Errorf("bad document path %q", r.URL.Path))
+		return
+	}
+	// Full name validation up front, not just the separator check above:
+	// the ingest layer re-validates, but rejecting here keeps hostile
+	// names ('..', backslashes, oversized) out of every downstream log
+	// and error path, and gives GETs of such names a clean 400 too.
+	if err := ValidateDocName(name); err != nil {
+		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	switch r.Method {

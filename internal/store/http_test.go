@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -336,5 +338,46 @@ func TestIngestEndpointsReadOnly(t *testing.T) {
 	var q store.QueryResponse
 	if st := getJSON(t, srv.URL+"/query?doc=a&q="+url.QueryEscape("//a"), &q); st != http.StatusOK {
 		t.Fatalf("read status %d", st)
+	}
+}
+
+// TestHTTPHostileDocNames drives traversal-style names through the HTTP
+// surface both ways (write and read). Every one must be rejected before
+// it reaches a filepath.Join, and nothing may be catalogued. Names with
+// raw '/' are percent-encoded so they survive ServeMux path cleaning
+// and actually reach the handler.
+func TestHTTPHostileDocNames(t *testing.T) {
+	srv, s, _ := newIngestServer(t)
+	hostile := []struct{ label, escaped string }{
+		{"dot dot", "%2E%2E"},
+		{"traversal", "..%2F..%2Fetc%2Fpasswd"},
+		{"embedded separator", "a%2Fb"},
+		{"backslash", "a%5Cb"},
+		{"leading dot", ".hidden"},
+		{"space", "a%20b"},
+		{"oversize", strings.Repeat("a", 201)},
+	}
+	for _, h := range hostile {
+		status, body := do(t, http.MethodPost, srv.URL+"/docs/"+h.escaped, []byte(`<x/>`))
+		if status >= 200 && status < 300 {
+			t.Fatalf("%s: POST /docs/%s accepted (status %d): %s", h.label, h.escaped, status, body)
+		}
+		if status, _ := do(t, http.MethodGet, srv.URL+"/docs/"+h.escaped, nil); status >= 200 && status < 300 {
+			t.Fatalf("%s: GET /docs/%s answered %d for a hostile name", h.label, h.escaped, status)
+		}
+		if status, _ := do(t, http.MethodDelete, srv.URL+"/docs/"+h.escaped, nil); status >= 200 && status < 300 {
+			t.Fatalf("%s: DELETE /docs/%s answered %d for a hostile name", h.label, h.escaped, status)
+		}
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("%d documents catalogued after hostile POSTs, want 0", n)
+	}
+	// Nothing may have been written outside (or inside) the store dir.
+	des, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 0 {
+		t.Fatalf("store dir not empty after hostile POSTs: %v", des)
 	}
 }

@@ -1,0 +1,36 @@
+package store
+
+import "fmt"
+
+// ValidateDocName reports whether name is acceptable as a catalogued
+// document name. The rules are deliberately strict — ASCII letters,
+// digits, '.', '_' and '-'; no leading '.'; at most 200 bytes — because
+// names become file names under the store directory: anything that
+// could traverse out of it ('..', path separators on any platform) or
+// collide with the store's own files (sidecars, bundles, temp files,
+// dotfiles) must be rejected before it reaches a filepath.Join. Every
+// surface that accepts a name — the HTTP handlers, the ingest write
+// API, WAL replay — funnels through this one check, so a hostile name
+// in any of them fails identically. Errors wrap ErrBadDocument.
+func ValidateDocName(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty document name", ErrBadDocument)
+	}
+	if len(name) > 200 {
+		return fmt.Errorf("%w: document name longer than 200 bytes", ErrBadDocument)
+	}
+	if name[0] == '.' {
+		return fmt.Errorf("%w: document name %q starts with '.'", ErrBadDocument, name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("%w: document name %q contains %q (allowed: letters, digits, '.', '_', '-')",
+				ErrBadDocument, name, c)
+		}
+	}
+	return nil
+}

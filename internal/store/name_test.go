@@ -1,0 +1,55 @@
+package store_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// nameCases is the shared table for document-name validation. The same
+// classes are exercised end-to-end through the ingest API (pack_test)
+// and the HTTP surface (http_test) so a loosened rule in any one layer
+// fails a test.
+var nameCases = []struct {
+	name string
+	in   string
+	ok   bool
+}{
+	{"simple", "doc1", true},
+	{"dotted", "a.b.xml", true},
+	{"dashes and underscores", "a-b_c", true},
+	{"corpus name with dash", "TPC-D", true},
+	{"200 bytes", strings.Repeat("a", 200), true},
+	{"201 bytes", strings.Repeat("a", 201), false},
+	{"empty", "", false},
+	{"dot dot", "..", false},
+	{"traversal", "../../etc/passwd", false},
+	{"embedded separator", "a/b", false},
+	{"backslash", `a\b`, false},
+	{"windows traversal", `..\..\boot.ini`, false},
+	{"leading dot", ".hidden", false},
+	{"space", "a b", false},
+	{"null byte", "a\x00b", false},
+	{"non-ascii", "döc", false},
+}
+
+func TestValidateDocName(t *testing.T) {
+	for _, tc := range nameCases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := store.ValidateDocName(tc.in)
+			if tc.ok && err != nil {
+				t.Fatalf("ValidateDocName(%q) = %v, want nil", tc.in, err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("ValidateDocName(%q) accepted a hostile name", tc.in)
+				}
+				if !errors.Is(err, store.ErrBadDocument) {
+					t.Fatalf("ValidateDocName(%q) = %v, want ErrBadDocument", tc.in, err)
+				}
+			}
+		})
+	}
+}

@@ -25,12 +25,25 @@
 // side winning on name collisions and live tombstones hiding archived
 // documents. The write subsystem swaps freshly compacted archives in with
 // AddArchive/RemoveArchive; readers never block on either.
+//
+// Below the loose file-per-archive tier sits the bundled cold tier
+// (internal/bundle): many small archives packed into large append-only
+// bundle files, catalogued at Open alongside loose archives and served
+// by pread at needle offset+length — no per-document open/close, so the
+// catalog stays fast at millions of small documents. PackLoose migrates
+// loose archives into bundles and AuditBundles reclaims bundles whose
+// tombstoned needles exceed a dead-byte threshold; both are driven by
+// the ingest compactor's packing stage (or offline by xcarchive
+// -pack-bundle). A loose archive always wins over a bundled needle of
+// the same name, which makes every pack and replacement step
+// crash-consistent without double-writing payload bytes.
 package store
 
 import (
 	"container/list"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -39,6 +52,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bundle"
 	"repro/internal/codec"
 	"repro/internal/container"
 	"repro/internal/core"
@@ -92,10 +106,16 @@ type Store struct {
 	// QueryAll checks to skip documents a query provably cannot match.
 	// Entries track the archive catalog (Open/AddArchive/RemoveArchive);
 	// live documents carry their own synopses through the Live view.
-	syn       *synopsis.Index
-	synBuilds uint64 // sidecars rebuilt at Open (missing or unreadable)
+	syn          *synopsis.Index
+	synBuilds    uint64 // sidecars rebuilt at Open (missing or unreadable)
+	synWriteErrs uint64 // sidecar persists that failed at Open (rebuilt next open)
 
 	pruneConsidered, prunePruned atomic.Uint64
+
+	// packMu serialises the cold-tier maintenance passes (PackLoose,
+	// AuditBundles) against each other. It is never held together with mu;
+	// both passes take mu briefly only to snapshot or publish.
+	packMu sync.Mutex
 
 	mu       sync.Mutex
 	live     Live // optional memtable view; nil when serving archives only
@@ -104,6 +124,12 @@ type Store struct {
 	lru      *list.List
 	curBytes int64
 
+	// bundles holds the open cold-tier bundle files by id. Entries whose
+	// documents live in a bundle point at it directly (entry.b).
+	bundles        map[uint64]*bundle.Bundle
+	nextBundleID   uint64
+	bundleRebuilds uint64 // needle indexes rebuilt by scanning at Open
+
 	progs   map[string]*list.Element
 	progLRU *list.List
 
@@ -111,11 +137,16 @@ type Store struct {
 	progHits, progMisses          uint64
 }
 
-// entry is one catalogued archive file.
+// entry is one catalogued document source. Exactly one tier backs it:
+// path names a loose archive file, or b holds the bundle whose needle
+// carries the payload. The source fields never mutate after creation —
+// tier migrations replace the entry wholesale, and a loader that raced
+// one retries against the fresh entry.
 type entry struct {
 	name      string
-	path      string
-	fileBytes int64
+	path      string         // loose archive path; "" when bundled
+	b         *bundle.Bundle // cold-tier bundle; nil when loose
+	fileBytes int64          // loose file size, or bundled archive payload length
 
 	// loadMu serialises decoding of this archive, so concurrent first
 	// queries pay for one decode, not N.
@@ -157,8 +188,18 @@ func (d *Doc) Prepared() *core.Prepared { return d.prep }
 // Run evaluates a compiled program on the cached document.
 func (d *Doc) Run(prog *xpath.Program) (*core.Result, error) { return d.prep.Run(prog) }
 
-// Open catalogues every *.xca file directly under dir. Archives are not
-// decoded yet; the first query against each document pays its decode.
+// Open catalogues every *.xca file and every bundle-*.xcb cold-tier
+// bundle directly under dir. Archives are not decoded yet; the first
+// query against each document pays its decode (a file read for loose
+// archives, a pread for bundled ones).
+//
+// When both tiers hold a document of the same name, the loose archive
+// wins — a pack that crashed before unlinking its sources, or a
+// replacement written after packing, leaves a stale bundled copy behind,
+// and this precedence is what makes those steps crash-consistent. Among
+// bundles, the higher id wins (a GC rewrite that crashed before removing
+// its source bundle). Shadowed bundled copies are tombstoned best-effort
+// so dead-byte accounting sees them.
 func Open(dir string, opts Options) (*Store, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
@@ -173,6 +214,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		lru:     list.New(),
 		progs:   make(map[string]*list.Element),
 		progLRU: list.New(),
+		bundles: make(map[uint64]*bundle.Bundle),
 	}
 	if s.budget <= 0 {
 		s.budget = DefaultCacheBytes
@@ -183,60 +225,168 @@ func Open(dir string, opts Options) (*Store, error) {
 	if s.progCap <= 0 {
 		s.progCap = DefaultProgramCache
 	}
+	var bundleIDs []uint64
 	for _, de := range des {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), Ext) {
+		if de.IsDir() {
 			continue
 		}
-		path := filepath.Join(dir, de.Name())
-		fi, err := de.Info()
-		if err != nil {
-			return nil, fmt.Errorf("store: stat %s: %w", path, err)
+		switch {
+		case strings.HasSuffix(de.Name(), Ext):
+			path := filepath.Join(dir, de.Name())
+			fi, err := de.Info()
+			if err != nil {
+				return nil, fmt.Errorf("store: stat %s: %w", path, err)
+			}
+			name := strings.TrimSuffix(de.Name(), Ext)
+			s.entries[name] = &entry{name: name, path: path, fileBytes: fi.Size()}
+			s.names = append(s.names, name)
+		case strings.HasSuffix(de.Name(), bundle.Ext):
+			id, ok := bundle.ParseID(de.Name())
+			if !ok {
+				continue // not a bundle data file (foreign .xcb)
+			}
+			bundleIDs = append(bundleIDs, id)
 		}
-		name := strings.TrimSuffix(de.Name(), Ext)
-		s.entries[name] = &entry{name: name, path: path, fileBytes: fi.Size()}
-		s.names = append(s.names, name)
+	}
+	if err := s.openBundles(bundleIDs); err != nil {
+		s.Close()
+		return nil, err
 	}
 	sort.Strings(s.names)
 	if !opts.DisableSynopsis {
 		s.syn = synopsis.NewIndex()
+		loggedWriteErr := false
 		for _, name := range s.names {
-			e := s.entries[name]
-			syn, err := synopsis.LoadSidecar(synopsis.SidecarPath(e.path), s.syn.Dict(), e.fileBytes)
-			if err != nil {
-				// Absent, torn, version-mismatched or stale-paired
-				// sidecar: rebuild it from the archive's skeleton (a
-				// cheap streaming decode that never materialises the
-				// value containers) — the one-time migration for stores
-				// that predate the index.
-				syn = buildSidecar(e.path, e.fileBytes, s.syn.Dict())
-				if syn == nil {
-					continue // undecodable archive: serve-time error path, full scan
-				}
-				s.synBuilds++
+			if syn := s.entrySynopsis(s.entries[name], &loggedWriteErr); syn != nil {
+				s.syn.Put(name, syn)
 			}
-			s.syn.Put(name, syn)
+			// nil: undecodable source — serve-time error path, full scan.
 		}
 	}
 	return s, nil
 }
 
+// openBundles opens every catalogued bundle in ascending id order,
+// merging their live needles into the entry map under the tier
+// precedence rules, and tombstones shadowed copies. Called from Open
+// before any concurrency exists.
+func (s *Store) openBundles(ids []uint64) error {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	type staleNeedle struct {
+		b    *bundle.Bundle
+		name string
+	}
+	var stale []staleNeedle
+	for _, id := range ids {
+		b, err := bundle.Open(filepath.Join(s.dir, bundle.FileName(id)))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if b.Rebuilt() {
+			s.bundleRebuilds++
+		}
+		s.bundles[b.ID()] = b
+		if b.ID() >= s.nextBundleID {
+			s.nextBundleID = b.ID() + 1
+		}
+		for _, name := range b.Names() {
+			if cur, ok := s.entries[name]; ok {
+				if cur.b == nil {
+					// Loose wins: this needle is a stale pack leftover.
+					stale = append(stale, staleNeedle{b, name})
+					continue
+				}
+				// Higher id wins: the lower bundle's copy is stale.
+				stale = append(stale, staleNeedle{cur.b, name})
+			} else {
+				s.names = append(s.names, name)
+			}
+			ref, _ := b.Ref(name)
+			s.entries[name] = &entry{name: name, b: b, fileBytes: ref.ArchiveLen}
+		}
+	}
+	// Hygiene: tombstone shadowed copies so their bytes count as dead and
+	// the auditor reclaims them. Best-effort — a failure (read-only media)
+	// just leaves the precedence rules to keep hiding them.
+	for _, sn := range stale {
+		_ = sn.b.Delete(sn.name)
+	}
+	return nil
+}
+
+// entrySynopsis loads or rebuilds the synopsis for one catalogued
+// document at Open. Loose entries read the sidecar file next to the
+// archive, rebuilding and re-persisting it when absent or unusable.
+// Bundled entries read the sidecar needle section; when it is missing or
+// stale-paired the synopsis is rebuilt from the needle's skeleton in
+// memory only — sealed bundles are immutable, so the rebuild repeats
+// each open until the auditor rewrites the bundle. Returns nil when the
+// source itself cannot be decoded.
+func (s *Store) entrySynopsis(e *entry, loggedWriteErr *bool) *synopsis.Synopsis {
+	dict := s.syn.Dict()
+	if e.b != nil {
+		if data, ok, err := e.b.Sidecar(e.name); err == nil && ok {
+			syn, archiveBytes, err := synopsis.DecodeSidecar(data, dict)
+			if err == nil && archiveBytes == e.fileBytes {
+				return syn
+			}
+		}
+		data, err := e.b.Archive(e.name)
+		if err != nil {
+			return nil
+		}
+		skel, err := codec.DecodeSkeletonBytes(data)
+		if err != nil {
+			return nil
+		}
+		s.synBuilds++
+		return synopsis.Build(skel, dict, synopsis.Options{})
+	}
+	syn, err := synopsis.LoadSidecar(synopsis.SidecarPath(e.path), dict, e.fileBytes)
+	if err == nil {
+		return syn
+	}
+	// Absent, torn, version-mismatched or stale-paired sidecar: rebuild
+	// it from the archive's skeleton (a cheap streaming decode that never
+	// materialises the value containers) — the one-time migration for
+	// stores that predate the index.
+	syn, werr := buildSidecar(e.path, e.fileBytes, dict)
+	if syn == nil {
+		return nil
+	}
+	s.synBuilds++
+	if werr != nil {
+		// Not fatal — the synopsis serves from memory and the next open
+		// rebuilds it — but it must not be invisible: every open repeats
+		// the full-skeleton pass until the write lands.
+		s.synWriteErrs++
+		if !*loggedWriteErr {
+			log.Printf("store: persisting synopsis sidecar failed (serving from memory, rebuilt next open): %v", werr)
+			*loggedWriteErr = true
+		}
+	}
+	return syn
+}
+
 // buildSidecar summarises the archive at path and persists the sidecar
-// next to it, returning nil if the archive cannot be decoded. A sidecar
-// that cannot be written is not fatal — the synopsis still serves from
-// memory and the next open rebuilds it.
-func buildSidecar(path string, fileBytes int64, dict *synopsis.Dict) *synopsis.Synopsis {
+// next to it, returning a nil synopsis if the archive cannot be decoded.
+// A synopsis with a non-nil error means the summary is usable but the
+// sidecar write failed; the caller decides how loudly to report that.
+func buildSidecar(path string, fileBytes int64, dict *synopsis.Dict) (*synopsis.Synopsis, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil
+		return nil, err
 	}
 	skel, err := codec.DecodeSkeleton(f)
 	f.Close()
 	if err != nil {
-		return nil
+		return nil, err
 	}
 	syn := synopsis.Build(skel, dict, synopsis.Options{})
-	_ = synopsis.WriteSidecar(synopsis.SidecarPath(path), syn, dict, fileBytes)
-	return syn
+	if err := synopsis.WriteSidecar(synopsis.SidecarPath(path), syn, dict, fileBytes); err != nil {
+		return syn, err
+	}
+	return syn, nil
 }
 
 // Dir returns the directory the store serves.
@@ -328,7 +478,9 @@ func (s *Store) Names() []string {
 // Doc returns the decoded document named name — the live (memtable)
 // version if one exists, else the archived one, loading and caching it
 // on first use. Concurrent callers for the same archive share one
-// decode.
+// decode. A load that fails because the document migrated tiers mid-read
+// (PackLoose unlinked the loose file, or an audit rewrote the bundle)
+// retries once against the freshly catalogued entry.
 func (s *Store) Doc(name string) (*Doc, error) {
 	if l := s.liveView(); l != nil {
 		if d, deleted := l.LiveDoc(name); d != nil {
@@ -337,18 +489,39 @@ func (s *Store) Doc(name string) (*Doc, error) {
 			return nil, fmt.Errorf("store: no document %q", name)
 		}
 	}
-	s.mu.Lock()
-	e, ok := s.entries[name]
-	if !ok {
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		e, ok := s.entries[name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("store: no document %q", name)
+		}
+		if d := s.touchLocked(e); d != nil {
+			s.mu.Unlock()
+			return d, nil
+		}
 		s.mu.Unlock()
-		return nil, fmt.Errorf("store: no document %q", name)
-	}
-	if d := s.touchLocked(e); d != nil {
-		s.mu.Unlock()
+
+		d, err := s.loadThrough(e)
+		if err != nil {
+			// If the catalogued entry changed under us the source moved
+			// (tier migration or replacement) and the error is expected
+			// collateral: retry against the new entry, once.
+			s.mu.Lock()
+			cur := s.entries[name]
+			s.mu.Unlock()
+			if attempt == 0 && cur != nil && cur != e {
+				continue
+			}
+			return nil, err
+		}
 		return d, nil
 	}
-	s.mu.Unlock()
+}
 
+// loadThrough decodes e's document with the per-entry load lock held,
+// installing the result in the cache if e is still catalogued.
+func (s *Store) loadThrough(e *entry) (*Doc, error) {
 	e.loadMu.Lock()
 	defer e.loadMu.Unlock()
 	// A concurrent loader may have finished while we waited.
@@ -359,7 +532,7 @@ func (s *Store) Doc(name string) (*Doc, error) {
 	}
 	s.mu.Unlock()
 
-	d, err := loadDoc(e.name, e.path)
+	d, err := loadEntry(e)
 	if err != nil {
 		return nil, err
 	}
@@ -429,10 +602,11 @@ func (s *Store) AddArchive(name, path string, warm *Doc, syn *synopsis.Synopsis)
 	if s.syn != nil {
 		s.syn.Put(name, syn)
 	}
+	var stale *bundle.Bundle
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if old, ok := s.entries[name]; ok {
 		s.dropLocked(old)
+		stale = old.b
 	} else {
 		i := sort.SearchStrings(s.names, name)
 		s.names = append(s.names, "")
@@ -448,6 +622,14 @@ func (s *Store) AddArchive(name, path string, warm *Doc, syn *synopsis.Synopsis)
 		warm.lastCharge.Store(e.charged)
 		s.curBytes += e.charged
 		s.evictLocked()
+	}
+	s.mu.Unlock()
+	if stale != nil {
+		// The replaced document lived in a bundle; its needle is now dead
+		// weight. Tombstone it (outside s.mu — Delete fsyncs) so the
+		// auditor sees the bytes. Best-effort: the loose archive shadows
+		// the needle either way, at every future open.
+		_ = stale.Delete(name)
 	}
 	return nil
 }
@@ -542,6 +724,26 @@ func (s *Store) evictLocked() {
 		e.charged = 0
 		s.evictions++
 	}
+}
+
+// loadEntry decodes e's document from whichever tier backs it.
+func loadEntry(e *entry) (*Doc, error) {
+	if e.b == nil {
+		return loadDoc(e.name, e.path)
+	}
+	data, err := e.b.Archive(e.name)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	a, err := codec.DecodeArchiveBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: decoding %q from %s: %w", e.name, e.b.Path(), err)
+	}
+	d, err := NewDoc(e.name, a)
+	if err != nil {
+		return nil, fmt.Errorf("store: rebuilding skeleton of %q: %w", e.name, err)
+	}
+	return d, nil
 }
 
 // loadDoc decodes one archive file and rebuilds its prepared instance by
@@ -799,12 +1001,20 @@ type Stats struct {
 	// Path-synopsis index counters. Considered counts every
 	// (query, document) pair a fan-out looked at; Pruned the pairs the
 	// index skipped without touching the document; Scanned the rest.
-	SynopsisDocs    int    `json:"synopsis_docs"`   // archives with an indexed synopsis
-	SynopsisBytes   int64  `json:"synopsis_bytes"`  // estimated index memory
-	SynopsisBuilds  uint64 `json:"synopsis_builds"` // sidecars rebuilt at open
-	PruneConsidered uint64 `json:"prune_considered"`
-	PrunePruned     uint64 `json:"prune_pruned"`
-	PruneScanned    uint64 `json:"prune_scanned"`
+	SynopsisDocs        int    `json:"synopsis_docs"`   // archives with an indexed synopsis
+	SynopsisBytes       int64  `json:"synopsis_bytes"`  // estimated index memory
+	SynopsisBuilds      uint64 `json:"synopsis_builds"` // sidecars rebuilt at open
+	SynopsisWriteErrors uint64 `json:"synopsis_write_errors"`
+	PruneConsidered     uint64 `json:"prune_considered"`
+	PrunePruned         uint64 `json:"prune_pruned"`
+	PruneScanned        uint64 `json:"prune_scanned"`
+
+	// Cold-tier (bundle) counters.
+	Bundles         int    `json:"bundles"`           // open bundle files
+	BundledDocs     int    `json:"bundled_docs"`      // catalogued documents served from bundles
+	BundleBytes     int64  `json:"bundle_bytes"`      // summed bundle data-file sizes
+	BundleDeadBytes int64  `json:"bundle_dead_bytes"` // tombstoned or replaced needle bytes
+	BundleRebuilds  uint64 `json:"bundle_rebuilds"`   // needle indexes rebuilt at open
 }
 
 // Stats returns current cache statistics.
@@ -824,9 +1034,9 @@ func (s *Store) Stats() Stats {
 		st.SynopsisDocs = s.syn.Len()
 		st.SynopsisBytes = s.syn.MemBytes()
 		st.SynopsisBuilds = s.synBuilds
+		st.SynopsisWriteErrors = s.synWriteErrs
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st.Docs = len(s.names)
 	st.Loaded = s.lru.Len()
 	st.CacheBytes = s.curBytes
@@ -837,6 +1047,24 @@ func (s *Store) Stats() Stats {
 	st.ProgramsCached = s.progLRU.Len()
 	st.ProgramHits = s.progHits
 	st.ProgramMisses = s.progMisses
+	st.BundleRebuilds = s.bundleRebuilds
+	for _, e := range s.entries {
+		if e.b != nil {
+			st.BundledDocs++
+		}
+	}
+	bundles := make([]*bundle.Bundle, 0, len(s.bundles))
+	for _, b := range s.bundles {
+		bundles = append(bundles, b)
+	}
+	s.mu.Unlock()
+	// Size the bundles after dropping s.mu: their accessors take the
+	// per-bundle lock, and holding both is pointless here.
+	st.Bundles = len(bundles)
+	for _, b := range bundles {
+		st.BundleBytes += b.Size()
+		st.BundleDeadBytes += b.DeadBytes()
+	}
 	return st
 }
 
@@ -846,6 +1074,7 @@ func (s *Store) Stats() Stats {
 type DocInfo struct {
 	Name      string `json:"name"`
 	File      string `json:"file,omitempty"`
+	Bundle    string `json:"bundle,omitempty"` // bundle file serving this document
 	FileBytes int64  `json:"file_bytes,omitempty"`
 	Loaded    bool   `json:"loaded"`
 	Live      bool   `json:"live,omitempty"`
@@ -910,6 +1139,9 @@ func (s *Store) Docs() []DocInfo {
 			File:      e.path,
 			FileBytes: e.fileBytes,
 			Loaded:    e.doc != nil,
+		}
+		if e.b != nil {
+			info.Bundle = filepath.Base(e.b.Path())
 		}
 		if d := e.doc; d != nil {
 			info.MemBytes = e.charged
