@@ -9,6 +9,7 @@
 //	xcbench -parallel        # parallel fan-out scaling sweep
 //	xcbench -storebench      # archive-store serving vs parse-per-query
 //	xcbench -prunebench      # catalog pruning: mixed store, synopsis index on vs off
+//	xcbench -planbench       # query planning: synopsis-direct answering vs overlay evaluation
 //	xcbench -ingestbench     # ingest-while-querying: write throughput vs latency
 //	xcbench -bundlebench     # cold tier: bundle-packed vs loose small-doc catalogs
 //	xcbench -all             # everything
@@ -33,6 +34,11 @@
 // of four disjoint-vocabulary corpora and fans each corpus's root-path
 // query over it with the path-synopsis index on and off, reporting the
 // prune ratio and the pruned-vs-full speedup (results verified equal).
+// -planbench builds the same mixed store and fans each corpus's exists-
+// and count-shaped queries over it with the cost-based planner on and
+// off, reporting synopsis-direct coverage, archive decodes during the
+// count-only loop (must be zero) and the planned-vs-overlay speedup
+// (results verified equal); with -check it enforces those invariants.
 //
 // -json replaces every table with machine-readable output: one JSON
 // object per experiment, {"experiment": NAME, "rows": [...]}, on stdout
@@ -68,6 +74,7 @@ func main() {
 		parallel   = flag.Bool("parallel", false, "run the parallel fan-out scaling sweep")
 		storebench = flag.Bool("storebench", false, "run the archive-store serving sweep")
 		prunebench = flag.Bool("prunebench", false, "run the mixed-corpus catalog-pruning sweep")
+		planbench  = flag.Bool("planbench", false, "run the mixed-corpus query-planning sweep (synopsis-direct vs overlay)")
 		ingbench   = flag.Bool("ingestbench", false, "run the ingest-while-querying sweep")
 		bundbench  = flag.Bool("bundlebench", false, "run the bundle-packed vs loose cold-tier sweep")
 		bundleDocs = flag.String("bundledocs", "1000,10000", "comma-separated catalog sizes for -bundlebench")
@@ -91,9 +98,9 @@ func main() {
 		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *maxRegress))
 	}
 	if *all {
-		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *ingbench, *bundbench = true, true, true, true, true, true, true, true, true, true
+		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *planbench, *ingbench, *bundbench = true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*ingbench && !*bundbench {
+	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*planbench && !*ingbench && !*bundbench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -218,6 +225,24 @@ func main() {
 			experiments.PrintPrune(os.Stdout, rows)
 			fmt.Println()
 		})
+	}
+
+	if *planbench {
+		rows, err := experiments.PlanSweep(*docs, *scale, *seed, *workers)
+		cli.Fatal(err)
+		emit("plan", rows, func() {
+			fmt.Printf("=== Query planning: mixed store, %d documents per corpus, cost-based planner on vs off ===\n", *docs)
+			experiments.PrintPlan(os.Stdout, rows)
+			fmt.Println()
+		})
+		if *check {
+			if err := experiments.CheckPlanInvariants(rows); err != nil {
+				cli.Fatal(err)
+			}
+			if !*jsonOut {
+				fmt.Println("plan invariants OK: every fan-out answered synopsis-direct, decode-free, >= 1.5x over overlay")
+			}
+		}
 	}
 
 	if *ingbench {

@@ -66,6 +66,7 @@ func main() {
 		progCache  = flag.Int("query-cache", store.DefaultProgramCache, "compiled-query cache entries")
 		maxPaths   = flag.Int("max-paths", 100, "cap on result addresses per response")
 		noSynopsis = flag.Bool("no-synopsis", false, "disable the path-synopsis index: no sidecars, every fan-out scans every document")
+		noPlanner  = flag.Bool("no-planner", false, "disable cost-based query planning: syntactic evaluation order, no synopsis-direct answers")
 
 		ingestOn     = flag.Bool("ingest", false, "enable the write path (POST /docs/NAME, DELETE /docs/NAME, POST /flush)")
 		walDir       = flag.String("wal", "", "WAL directory (default <store>/wal)")
@@ -91,6 +92,7 @@ func main() {
 		Workers:         *workers,
 		ProgramCache:    *progCache,
 		DisableSynopsis: *noSynopsis,
+		DisablePlanner:  *noPlanner,
 	})
 	if err != nil {
 		log.Fatalf("xcserve: %v", err)

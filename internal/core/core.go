@@ -100,6 +100,14 @@ type Result struct {
 	inst *dag.Instance   // materialized result instance (lazy for views)
 	lbl  label.ID        // result selection within inst
 	view *dag.ResultView // overlay result; nil for consumed-instance runs
+
+	// direct marks results answered from synopsis statistics without
+	// evaluation; fallback, for direct count results, evaluates the
+	// query for real when a caller wants more than the counts — Paths
+	// with a positive max, Instance, Label. It runs at most once,
+	// under mu.
+	direct   bool
+	fallback func() (*Result, error)
 }
 
 // EmptyResult returns a result selecting nothing, without any
@@ -111,6 +119,43 @@ func EmptyResult() *Result {
 	in := dag.New()
 	return &Result{inst: in, lbl: in.Schema.Intern("result:pruned")}
 }
+
+// DirectResult returns a count-shape result answered from synopsis
+// statistics: SelectedTree is the exact tree-level match count and no
+// evaluation has run. Counting consumers (fan-out totals, max<=0 path
+// requests) never touch the document; a consumer that asks for paths or
+// the result instance triggers fallback, which evaluates the query for
+// real — its outcome then backs Paths/Instance, while the stats fields
+// keep their synopsis-derived values (the two agree by the planner's
+// exactness contract, which the differential tests pin). A fallback
+// failure (the document became unreadable after planning) degrades to an
+// empty instance; the count remains authoritative. count must be
+// positive: a proven-zero answer should be an ExistsResult(false)-style
+// empty, carrying an instance and needing no fallback.
+func DirectResult(count uint64, fallback func() (*Result, error)) *Result {
+	return &Result{SelectedTree: count, direct: true, fallback: fallback}
+}
+
+// ExistsResult returns an exists-shape result answered from synopsis
+// statistics: the root node when the document satisfies the chain (what
+// evaluating /self::*[chain] selects — SelectedTree 1, path ""), or a
+// selection of nothing. Both forms carry a tiny standalone instance, so
+// no consumer can ever force a decode.
+func ExistsResult(exists bool) *Result {
+	in := dag.New()
+	lbl := in.Schema.Intern("result:direct")
+	if !exists {
+		return &Result{direct: true, inst: in, lbl: lbl}
+	}
+	in.Verts = append(in.Verts, dag.Vertex{Labels: label.Set(nil).Set(lbl)})
+	in.Root = 0
+	return &Result{SelectedTree: 1, SelectedDAG: 1, direct: true, inst: in, lbl: lbl}
+}
+
+// Direct reports whether the result was answered from synopsis
+// statistics without evaluation (it may still evaluate lazily through
+// its fallback if paths or an instance are requested).
+func (r *Result) Direct() bool { return r.direct }
 
 // newResult wraps an engine result, deferring materialization when the
 // engine ran in overlay mode.
@@ -146,10 +191,34 @@ func (r *Result) Label() label.ID {
 func (r *Result) materialize() (*dag.Instance, label.ID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.runFallbackLocked()
 	if r.inst == nil && r.view != nil {
 		r.inst, r.lbl = r.view.Materialize()
 	}
 	return r.inst, r.lbl
+}
+
+// runFallbackLocked lazily evaluates a synopsis-direct count result when
+// a consumer needs its selection, adopting the evaluation's view or
+// instance. The counting fields are deliberately left as constructed —
+// mutating them here would race with lock-free readers of the plain
+// stats fields, and the fallback's counts agree by the exactness
+// contract anyway.
+func (r *Result) runFallbackLocked() {
+	if r.inst != nil || r.view != nil || r.fallback == nil {
+		return
+	}
+	fb := r.fallback
+	r.fallback = nil
+	fr, err := fb()
+	if err != nil {
+		in := dag.New()
+		r.inst, r.lbl = in, in.Schema.Intern("result:direct")
+		return
+	}
+	fr.mu.Lock()
+	r.inst, r.lbl, r.view = fr.inst, fr.lbl, fr.view
+	fr.mu.Unlock()
 }
 
 // Paths returns the tree addresses (1-based child positions joined with
@@ -158,7 +227,13 @@ func (r *Result) materialize() (*dag.Instance, label.ID) {
 // answer. Overlay results are walked directly over the shared base plus
 // the query's extension; nothing is cloned or materialized.
 func (r *Result) Paths(max int) []string {
+	if max <= 0 {
+		// Count-only consumption: never force a synopsis-direct result
+		// to evaluate just to enumerate zero paths.
+		return nil
+	}
 	r.mu.Lock()
+	r.runFallbackLocked()
 	view, inst, lbl := r.view, r.inst, r.lbl
 	r.mu.Unlock()
 	if inst == nil && view != nil {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/plan"
 	"repro/internal/synopsis"
 	"repro/internal/xpath"
 )
@@ -155,6 +156,11 @@ type BatchResult struct {
 	// evaluation never ran because the index proved it would select
 	// nothing. Result is a well-formed empty result.
 	Pruned bool
+	// Direct marks a document answered from its synopsis statistics
+	// alone (exists/count-shaped queries): the counts are exact and no
+	// evaluation ran; asking the Result for paths or an instance
+	// evaluates lazily.
+	Direct bool
 }
 
 // QueryAll compiles the query once and evaluates it against every
@@ -171,14 +177,20 @@ func (p *Pool) QueryAll(query string) ([]BatchResult, error) {
 
 // RunAll evaluates a compiled program against every document on the
 // worker pool. Prepared documents (PrepareBatch) evaluate through their
-// cached instance — unless their synopsis proves the program cannot
-// match, in which case they are skipped with a Pruned empty result;
-// others re-parse per query, like Document.Run (re-parsing already costs
-// a full scan, so there is nothing for an index to save there).
+// cached instance — reordered cheapest-first by the cost-based planner
+// over the pool-wide synopsis statistics — unless their synopsis proves
+// the program cannot match, in which case they are skipped with a Pruned
+// empty result; others re-parse per query, like Document.Run
+// (re-parsing already costs a full scan, so there is nothing for an
+// index to save there). Synopsis-direct answering is left to the archive
+// store, whose results don't promise the DAG-level selection stats an
+// evaluation produces.
 func (p *Pool) RunAll(prog *xpath.Program) []BatchResult {
 	var rs *synopsis.Resolved
+	eval := prog
 	if p.idx != nil {
 		rs = p.idx.Resolve(prog.Sig)
+		eval = plan.Build(prog, p.idx).Prog
 	}
 	out := make([]BatchResult, len(p.entries))
 	p.forEach(func(i int) {
@@ -189,9 +201,9 @@ func (p *Pool) RunAll(prog *xpath.Program) []BatchResult {
 			out[i].Pruned = true
 			out[i].Result = EmptyResult()
 		case e.prep != nil:
-			out[i].Result, out[i].Err = e.prep.Run(prog)
+			out[i].Result, out[i].Err = e.prep.Run(eval)
 		default:
-			out[i].Result, out[i].Err = e.doc.Run(prog)
+			out[i].Result, out[i].Err = e.doc.Run(eval)
 		}
 	})
 	return out

@@ -229,3 +229,36 @@ func (p *Prepared) Run(prog *xpath.Program) (*Result, error) {
 	res.TreeVertices = p.TreeVertices()
 	return res, nil
 }
+
+// RunCount evaluates a compiled program for its cardinalities only
+// (engine.RunFrozenCount): the result carries the full counting fields
+// but selects into no view or instance — Paths and Instance report an
+// empty selection. Count-shaped consumers (totals, exists checks,
+// estimator-soundness harnesses) use it to skip the view detach.
+func (p *Prepared) RunCount(prog *xpath.Program) (*Result, error) {
+	t0 := time.Now()
+	f := p.frozen
+	if len(prog.Strings) > 0 {
+		var err error
+		f, err = p.mergedFor(prog.Strings)
+		if err != nil {
+			return nil, err
+		}
+	}
+	prepTime := time.Since(t0)
+
+	t1 := time.Now()
+	er, err := engine.RunFrozenCount(f, prog)
+	if err != nil {
+		return nil, err
+	}
+	evalTime := time.Since(t1)
+
+	res := newResult(er)
+	in := dag.New()
+	res.inst, res.lbl = in, in.Schema.Intern("result:count")
+	res.ParseTime = prepTime
+	res.EvalTime = evalTime
+	res.TreeVertices = p.TreeVertices()
+	return res, nil
+}

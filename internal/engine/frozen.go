@@ -31,6 +31,45 @@ func RunFrozen(f *dag.Frozen, prog *xpath.Program) (*Result, error) {
 
 	ov := dag.AcquireOverlay(f)
 	defer ov.Release()
+	if err := runOverlay(ov, prog); err != nil {
+		return nil, err
+	}
+
+	res.VertsAfter, res.EdgesAfter = ov.LiveCounts()
+	res.SelectedDAG = ov.CountCol(prog.Result)
+	res.SelectedTree = ov.SelectedTree(prog.Result)
+	res.View = ov.Detach(prog.Result)
+	res.Label = label.Invalid
+	return res, nil
+}
+
+// RunFrozenCount is RunFrozen for callers that only want cardinalities
+// (exists/count-shaped consumption): it computes the same selection and
+// counts but never detaches a view, so the overlay's column memory is
+// returned to the pool untouched and no result instance can be
+// materialized later. Result.View is nil.
+func RunFrozenCount(f *dag.Frozen, prog *xpath.Program) (*Result, error) {
+	res := &Result{
+		VertsBefore: f.NumVertices(),
+		EdgesBefore: f.NumEdges(),
+	}
+
+	ov := dag.AcquireOverlay(f)
+	defer ov.Release()
+	if err := runOverlay(ov, prog); err != nil {
+		return nil, err
+	}
+
+	res.VertsAfter, res.EdgesAfter = ov.LiveCounts()
+	res.SelectedDAG = ov.CountCol(prog.Result)
+	res.SelectedTree = ov.SelectedTree(prog.Result)
+	res.Label = label.Invalid
+	return res, nil
+}
+
+// runOverlay dispatches the program's instructions over an acquired
+// overlay — the shared core of RunFrozen and RunFrozenCount.
+func runOverlay(ov *dag.Overlay, prog *xpath.Program) error {
 	// Two spare columns beyond the program's registers for the composed
 	// axes (following, preceding).
 	scratchA, scratchB := prog.NumTemp, prog.NumTemp+1
@@ -57,14 +96,8 @@ func RunFrozen(f *dag.Frozen, prog *xpath.Program) (*Result, error) {
 		case xpath.OpRootFilter:
 			algebra.OvRootFilter(ov, in.A, in.Dst)
 		default:
-			return nil, fmt.Errorf("engine: unknown op %d", in.Op)
+			return fmt.Errorf("engine: unknown op %d", in.Op)
 		}
 	}
-
-	res.VertsAfter, res.EdgesAfter = ov.LiveCounts()
-	res.SelectedDAG = ov.CountCol(prog.Result)
-	res.SelectedTree = ov.SelectedTree(prog.Result)
-	res.View = ov.Detach(prog.Result)
-	res.Label = label.Invalid
-	return res, nil
+	return nil
 }

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codec"
+	"repro/internal/container"
+	"repro/internal/corpus"
+	"repro/internal/store"
+)
+
+// mixedCorpora are the mixed store's constituents, shared by the
+// catalog-pruning and query-planning sweeps: four vocabularies with no
+// tag overlap on their Q2 root paths, so each corpus's query is
+// selective against the other three quarters of the catalog.
+var mixedCorpora = []string{"SwissProt", "DBLP", "Shakespeare", "Baseball"}
+
+// packMixedArchives generates docsPer documents of each named corpus and
+// encodes them as archives into dir, returning the total document count.
+// File names interleave corpus name and index, so catalog order mixes
+// the vocabularies deterministically.
+func packMixedArchives(dir string, corpora []string, docsPer int, sizeScale float64, seed uint64) (int, error) {
+	if docsPer < 1 {
+		return 0, fmt.Errorf("mixed archives: need at least 1 document per corpus, got %d", docsPer)
+	}
+	total := 0
+	for _, name := range corpora {
+		c, err := corpus.ByName(name)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < docsPer; i++ {
+			doc := c.Generate(scaled(c.DefaultScale, sizeScale), seed+uint64(i))
+			a, err := container.Split(doc)
+			if err != nil {
+				return 0, fmt.Errorf("mixed archives: splitting %s doc %d: %w", name, i, err)
+			}
+			path := filepath.Join(dir, fmt.Sprintf("%s%03d%s", name, i, store.Ext))
+			f, err := os.Create(path)
+			if err != nil {
+				return 0, err
+			}
+			if err := codec.EncodeArchive(f, a); err != nil {
+				f.Close()
+				return 0, err
+			}
+			if err := f.Close(); err != nil {
+				return 0, err
+			}
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlanSweep runs the mixed-corpus planning experiment at a small
+// scale. The sweep errors out internally if the planned and overlay
+// paths ever disagree on any document, so a clean return is the
+// differential check; the qualitative invariants (every fan-out answers
+// synopsis-direct, decode-free) are asserted per row. The aggregate
+// >= 2x speedup gate of CheckPlanInvariants is not applied here — CI
+// timing at toy scale is too noisy for a test to pin — xcbench
+// -planbench -check enforces it at benchmark scale.
+func TestPlanSweep(t *testing.T) {
+	rows, err := PlanSweep(2, 0.1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(mixedCorpora) {
+		t.Fatalf("%d rows, want %d (one exists and one count row per corpus)", len(rows), 2*len(mixedCorpora))
+	}
+	for _, r := range rows {
+		if r.Shape != "exists" && r.Shape != "count" {
+			t.Errorf("%s: unknown shape %q", r.Corpus, r.Shape)
+		}
+		if r.DirectDocs == 0 {
+			t.Errorf("%s/%s: no document answered synopsis-direct", r.Corpus, r.Shape)
+		}
+		if r.Decodes != 0 {
+			t.Errorf("%s/%s: %d archive decode(s) during the count-only loop, want 0", r.Corpus, r.Shape, r.Decodes)
+		}
+		if r.Fallbacks != 0 {
+			t.Errorf("%s/%s: %d direct-result fallback(s) during the count-only loop, want 0", r.Corpus, r.Shape, r.Fallbacks)
+		}
+		if r.SelectedTree == 0 {
+			t.Errorf("%s/%s: query matched nothing — the sweep is vacuous", r.Corpus, r.Shape)
+		}
+		if r.PlannedWall <= 0 || r.OverlayWall <= 0 {
+			t.Errorf("%s/%s: implausible walls planned=%v overlay=%v", r.Corpus, r.Shape, r.PlannedWall, r.OverlayWall)
+		}
+	}
+
+	var sb strings.Builder
+	PrintPlan(&sb, rows)
+	if !strings.Contains(sb.String(), "speedup") || !strings.Contains(sb.String(), "Baseball") {
+		t.Fatalf("PrintPlan output incomplete:\n%s", sb.String())
+	}
+}

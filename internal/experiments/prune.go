@@ -4,19 +4,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"time"
 
-	"repro/internal/codec"
-	"repro/internal/container"
 	"repro/internal/corpus"
 	"repro/internal/store"
 )
-
-// pruneCorpora are the mixed store's constituents: four vocabularies
-// with no tag overlap on their Q2 root paths, so each corpus's query is
-// selective against the other three quarters of the catalog.
-var pruneCorpora = []string{"SwissProt", "DBLP", "Shakespeare", "Baseball"}
 
 // PruneRow is one measurement of the catalog-pruning experiment: one
 // corpus's root-path query (Q2) fanned over a mixed store, with the
@@ -45,44 +37,21 @@ type PruneRow struct {
 // corpus query and errors out if the two paths ever disagree on any
 // document, making the sweep double as a soundness check.
 func PruneSweep(docsPer int, sizeScale float64, seed uint64, workers int) ([]PruneRow, error) {
-	if docsPer < 1 {
-		return nil, fmt.Errorf("prune sweep: need at least 1 document per corpus, got %d", docsPer)
-	}
 	dir, err := os.MkdirTemp("", "xcprune-sweep")
 	if err != nil {
 		return nil, err
 	}
 	defer os.RemoveAll(dir)
 
-	total := 0
-	for _, name := range pruneCorpora {
-		c, err := corpus.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < docsPer; i++ {
-			doc := c.Generate(scaled(c.DefaultScale, sizeScale), seed+uint64(i))
-			a, err := container.Split(doc)
-			if err != nil {
-				return nil, fmt.Errorf("prune sweep: splitting %s doc %d: %w", name, i, err)
-			}
-			path := filepath.Join(dir, fmt.Sprintf("%s%03d%s", name, i, store.Ext))
-			f, err := os.Create(path)
-			if err != nil {
-				return nil, err
-			}
-			if err := codec.EncodeArchive(f, a); err != nil {
-				f.Close()
-				return nil, err
-			}
-			if err := f.Close(); err != nil {
-				return nil, err
-			}
-			total++
-		}
+	total, err := packMixedArchives(dir, mixedCorpora, docsPer, sizeScale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("prune sweep: %w", err)
 	}
 
-	pruned, err := store.Open(dir, store.Options{Workers: workers})
+	// The planner is disabled on both stores so the sweep isolates what
+	// the synopsis *index* buys (catalog pruning); PlanSweep measures the
+	// planner's synopsis-direct answering separately.
+	pruned, err := store.Open(dir, store.Options{Workers: workers, DisablePlanner: true})
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +62,7 @@ func PruneSweep(docsPer int, sizeScale float64, seed uint64, workers int) ([]Pru
 
 	// Warm both stores through every query so the measured fan-outs pay
 	// neither decode nor compile.
-	for _, name := range pruneCorpora {
+	for _, name := range mixedCorpora {
 		c, _ := corpus.ByName(name)
 		q := c.Queries[1]
 		if _, err := pruned.QueryAll(q); err != nil {
@@ -105,7 +74,7 @@ func PruneSweep(docsPer int, sizeScale float64, seed uint64, workers int) ([]Pru
 	}
 
 	var rows []PruneRow
-	for _, name := range pruneCorpora {
+	for _, name := range mixedCorpora {
 		c, _ := corpus.ByName(name)
 		q := c.Queries[1]
 

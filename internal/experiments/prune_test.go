@@ -15,8 +15,8 @@ func TestPruneSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != len(pruneCorpora) {
-		t.Fatalf("%d rows, want %d", len(rows), len(pruneCorpora))
+	if len(rows) != len(mixedCorpora) {
+		t.Fatalf("%d rows, want %d", len(rows), len(mixedCorpora))
 	}
 	for _, r := range rows {
 		if r.Pruned+r.Scanned != r.Docs {

@@ -1,0 +1,202 @@
+package plan_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dagtest"
+	"repro/internal/plan"
+	"repro/internal/skeleton"
+	"repro/internal/synopsis"
+)
+
+// Property tests for the planner's two soundness invariants, over random
+// documents and random queries: the estimator may order work but never
+// prove emptiness the evaluator would refute, and an exact synopsis
+// chain count must equal what full evaluation selects. dagtest's random
+// generators supply the documents and queries; the unplanned core
+// evaluator is the oracle.
+
+var propTags = []string{"t0", "t1", "t2", "t3", "t4", "t5"}
+
+// propDocs builds random documents plus their synopses, all interned
+// into one shared index — the same shape a store catalog has.
+func propDocs(t *testing.T, rng *rand.Rand, n int) (map[string][]byte, *synopsis.Index) {
+	t.Helper()
+	idx := synopsis.NewIndex()
+	docs := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("doc%02d", i)
+		xml := dagtest.RandomXML(rng, 60, 4, len(propTags))
+		inst, _, err := skeleton.BuildCompressed(xml, skeleton.Options{Mode: skeleton.TagsAll})
+		if err != nil {
+			t.Fatalf("building %s: %v", name, err)
+		}
+		docs[name] = xml
+		idx.Put(name, synopsis.Build(inst, idx.Dict(), synopsis.Options{}))
+	}
+	return docs, idx
+}
+
+// TestEstimatorNeverContradictsEvaluation: wherever the unplanned
+// evaluator finds matches for //tag in some document, the catalog
+// estimator must know that label and must not report a count below what
+// that single document selects — the Estimator contract plan.Build's
+// ordering (and nothing else) relies on.
+func TestEstimatorNeverContradictsEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	docs, idx := propDocs(t, rng, 12)
+	for name, xml := range docs {
+		d := core.Load(xml)
+		for _, tag := range propTags {
+			res, err := d.Query("//" + tag)
+			if err != nil {
+				t.Fatalf("//%s on %s: %v", tag, name, err)
+			}
+			if res.SelectedTree == 0 {
+				continue
+			}
+			lbl := skeleton.TagLabel(tag)
+			count, known := idx.LabelCount(lbl)
+			if !known {
+				t.Fatalf("//%s selects %d nodes in %s but the estimator does not know %s",
+					tag, res.SelectedTree, name, lbl)
+			}
+			if count < res.SelectedTree {
+				t.Fatalf("estimator counts %d for %s but %s alone selects %d",
+					count, lbl, name, res.SelectedTree)
+			}
+		}
+	}
+}
+
+// TestChainCountMatchesEvaluation: for random pure child chains — the
+// shapes the synopsis-direct fast path answers — an exact per-document
+// ChainCount must equal the unplanned evaluator's tree-level selection
+// for the count shape, and decide the exists shape.
+func TestChainCountMatchesEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	docs, idx := propDocs(t, rng, 12)
+	exactChecks := 0
+	for trial := 0; trial < 60; trial++ {
+		steps := 1 + rng.Intn(4)
+		names := make([]string, steps)
+		for i := range names {
+			names[i] = propTags[rng.Intn(len(propTags))]
+		}
+		countQ := "/" + strings.Join(names, "/")
+		existsQ := "/self::*[" + strings.Join(names, "/") + "]"
+
+		prog, err := core.Compile(countQ)
+		if err != nil {
+			t.Fatalf("compile %s: %v", countQ, err)
+		}
+		if prog.Chain == nil || prog.Chain.Exists {
+			t.Fatalf("%s must classify as a count chain, got %+v", countQ, prog.Chain)
+		}
+		eprog, err := core.Compile(existsQ)
+		if err != nil {
+			t.Fatalf("compile %s: %v", existsQ, err)
+		}
+		if eprog.Chain == nil || !eprog.Chain.Exists {
+			t.Fatalf("%s must classify as an exists chain, got %+v", existsQ, eprog.Chain)
+		}
+		chain := idx.Dict().ResolveChain(prog.Chain.Labels)
+
+		for name, xml := range docs {
+			count, exact := idx.Get(name).ChainCount(chain)
+			d := core.Load(xml)
+			cres, err := d.Run(prog)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", countQ, name, err)
+			}
+			eres, err := d.Run(eprog)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", existsQ, name, err)
+			}
+			if !exact {
+				continue // the synopsis declined; the caller evaluates
+			}
+			exactChecks++
+			if count != cres.SelectedTree {
+				t.Fatalf("%s on %s: synopsis counts %d, evaluation selects %d",
+					countQ, name, count, cres.SelectedTree)
+			}
+			wantRoot := uint64(0)
+			if count > 0 {
+				wantRoot = 1
+			}
+			if eres.SelectedTree != wantRoot {
+				t.Fatalf("%s on %s: chain count %d but evaluation selects %d roots",
+					existsQ, name, count, eres.SelectedTree)
+			}
+		}
+	}
+	if exactChecks == 0 {
+		t.Fatal("no chain was answered exactly; the property is vacuous")
+	}
+}
+
+// TestPlannedProgramsMatchOnRandomQueries is the randomized arm of the
+// differential harness: random queries over random documents, planned
+// (against the real catalog estimator) versus syntactic order.
+func TestPlannedProgramsMatchOnRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	docs, idx := propDocs(t, rng, 8)
+	words := []string{"alpha", "beta", "veto"}
+	reordered := 0
+	for trial := 0; trial < 120; trial++ {
+		q := dagtest.RandomQuery(rng, propTags, words)
+		prog, err := core.Compile(q)
+		if err != nil {
+			continue // random generator can exceed compile limits
+		}
+		pl := plan.Build(prog, idx)
+		if pl.Reordered {
+			reordered++
+		}
+		for name, xml := range docs {
+			d := core.Load(xml)
+			base, err := d.Run(prog)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", q, name, err)
+			}
+			got, err := d.Run(pl.Prog)
+			if err != nil {
+				t.Fatalf("planned %s on %s: %v", q, name, err)
+			}
+			if got.SelectedTree != base.SelectedTree {
+				t.Fatalf("%s on %s: planned selects %d, syntactic %d", q, name, got.SelectedTree, base.SelectedTree)
+			}
+			if gp, bp := got.Paths(8), base.Paths(8); !reflect.DeepEqual(gp, bp) {
+				t.Fatalf("%s on %s: planned paths %v, syntactic %v", q, name, gp, bp)
+			}
+		}
+	}
+	if reordered == 0 {
+		t.Fatal("no random query was reordered; the differential is vacuous")
+	}
+}
+
+// FuzzPlanCacheKey pins the cache key's injectivity: two distinct
+// (query, dictionary version, index generation) triples must never
+// share a key, or a store could serve a plan built against the wrong
+// statistics — or the wrong query.
+func FuzzPlanCacheKey(f *testing.F) {
+	f.Add("/a/b", uint64(1), uint64(0), "/a/b", uint64(1), uint64(1))
+	f.Add("/a:1", uint64(2), uint64(3), "/a", uint64(12), uint64(3))
+	f.Add("", uint64(0), uint64(0), "0:", uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, q1 string, v1, g1 uint64, q2 string, v2, g2 uint64) {
+		k1 := plan.CacheKey(q1, v1, g1)
+		k2 := plan.CacheKey(q2, v2, g2)
+		same := q1 == q2 && v1 == v2 && g1 == g2
+		if same != (k1 == k2) {
+			t.Fatalf("CacheKey(%q,%d,%d)=%q vs CacheKey(%q,%d,%d)=%q: same-triple=%v",
+				q1, v1, g1, k1, q2, v2, g2, k2, same)
+		}
+	})
+}

@@ -126,6 +126,12 @@ type QueryResponse struct {
 	// fields below stay zero (the document was never touched).
 	Pruned bool `json:"pruned,omitempty"`
 
+	// Direct marks a document the planner answered from synopsis
+	// statistics alone during a fan-out: matches is exact but no
+	// evaluation ran, so selected_dag and the instance-size fields stay
+	// zero (requesting paths of a count-shaped result evaluates lazily).
+	Direct bool `json:"direct,omitempty"`
+
 	// Engine statistics for the evaluation (the Figure 7 columns).
 	SelectedDAG int   `json:"selected_dag"`
 	VertsBefore int   `json:"verts_before"`
@@ -144,6 +150,7 @@ type FanoutResponse struct {
 	Failed       []FanoutError   `json:"failed,omitempty"`
 	TotalMatches uint64          `json:"total_matches"`
 	Pruned       int             `json:"pruned"` // documents the synopsis index skipped
+	Direct       int             `json:"direct"` // documents answered from synopsis statistics
 	WallNanos    int64           `json:"wall_ns"`
 	Workers      int             `json:"workers"`
 }
@@ -205,6 +212,10 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		qr.Pruned = br.Pruned
 		if br.Pruned {
 			resp.Pruned++
+		}
+		qr.Direct = br.Direct
+		if br.Direct {
+			resp.Direct++
 		}
 		remaining -= len(qr.Paths)
 		resp.Docs = append(resp.Docs, qr)

@@ -58,6 +58,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/engine"
+	"repro/internal/label"
+	"repro/internal/plan"
 	"repro/internal/skeleton"
 	"repro/internal/synopsis"
 	"repro/internal/xpath"
@@ -88,7 +90,14 @@ type Options struct {
 	// DisableSynopsis turns the path-synopsis index off: no sidecars are
 	// read, built or written, and every fan-out scans every document.
 	// For benchmarking the unpruned path and for read-only media.
+	// Implies DisablePlanner (the planner consumes the index statistics).
 	DisableSynopsis bool
+	// DisablePlanner turns the cost-based query planner off: programs
+	// evaluate in syntactic order and exists/count-shaped queries never
+	// answer from synopsis statistics alone. The escape hatch for
+	// benchmarking the unplanned path and for differential verification
+	// (the plan-smoke CI job runs a store each way and compares bytes).
+	DisablePlanner bool
 }
 
 // Store serves queries from a directory of archives. It is safe for
@@ -112,6 +121,17 @@ type Store struct {
 
 	pruneConsidered, prunePruned atomic.Uint64
 
+	// noPlan disables the cost-based planner (Options.DisablePlanner, or
+	// implied by a disabled synopsis index — there are no statistics to
+	// plan from). Planner counters: planReordered counts plan builds that
+	// changed evaluation order, planDirect documents answered from
+	// synopsis statistics alone, planFallback direct results that later
+	// evaluated for real because a consumer wanted paths or an instance.
+	noPlan        bool
+	planReordered atomic.Uint64
+	planDirect    atomic.Uint64
+	planFallback  atomic.Uint64
+
 	// packMu serialises the cold-tier maintenance passes (PackLoose,
 	// AuditBundles) against each other. It is never held together with mu;
 	// both passes take mu briefly only to snapshot or publish.
@@ -132,6 +152,13 @@ type Store struct {
 
 	progs   map[string]*list.Element
 	progLRU *list.List
+
+	// plans caches planner outcomes keyed by plan.CacheKey — query text
+	// plus the dictionary version and index generation the statistics were
+	// read at, so a stale plan cannot survive a catalog change. Bounded by
+	// progCap, like the program cache it shadows.
+	plans   map[string]*list.Element
+	planLRU *list.List
 
 	docHits, docMisses, evictions uint64
 	progHits, progMisses          uint64
@@ -214,7 +241,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		lru:     list.New(),
 		progs:   make(map[string]*list.Element),
 		progLRU: list.New(),
+		plans:   make(map[string]*list.Element),
+		planLRU: list.New(),
 		bundles: make(map[uint64]*bundle.Bundle),
+		noPlan:  opts.DisablePlanner || opts.DisableSynopsis,
 	}
 	if s.budget <= 0 {
 		s.budget = DefaultCacheBytes
@@ -858,18 +888,75 @@ type progEntry struct {
 	prog  *xpath.Program
 }
 
+// planEntry is one cached planner outcome: the (possibly reordered)
+// plan and the chain labels resolved against the dictionary version the
+// cache key pins.
+type planEntry struct {
+	key   string
+	pl    *plan.Plan
+	chain []label.ID // resolved ChainShape labels; nil when not chain-shaped
+}
+
+// planFor plans one compiled query against the synopsis statistics,
+// caching the outcome. The cache key binds the plan to the dictionary
+// version and index generation its statistics were read at, so catalog
+// changes (AddArchive/RemoveArchive, new labels) invalidate by key
+// mismatch — stale entries just age out of the LRU. With the planner
+// disabled the original program evaluates as-is.
+func (s *Store) planFor(query string, prog *xpath.Program) (*plan.Plan, []label.ID) {
+	if s.noPlan || s.syn == nil {
+		return &plan.Plan{Prog: prog}, nil
+	}
+	key := plan.CacheKey(query, uint64(s.syn.Dict().Len()), s.syn.Generation())
+	s.mu.Lock()
+	if el, ok := s.plans[key]; ok {
+		s.planLRU.MoveToFront(el)
+		pe := el.Value.(*planEntry)
+		s.mu.Unlock()
+		return pe.pl, pe.chain
+	}
+	s.mu.Unlock()
+
+	pl := plan.Build(prog, s.syn)
+	var chain []label.ID
+	if pl.Chain != nil {
+		chain = s.syn.Dict().ResolveChain(pl.Chain.Labels)
+	}
+	if pl.Reordered {
+		s.planReordered.Add(1)
+	}
+
+	s.mu.Lock()
+	if _, ok := s.plans[key]; !ok {
+		s.plans[key] = s.planLRU.PushFront(&planEntry{key: key, pl: pl, chain: chain})
+		for s.planLRU.Len() > s.progCap {
+			back := s.planLRU.Back()
+			pe := back.Value.(*planEntry)
+			s.planLRU.Remove(back)
+			delete(s.plans, pe.key)
+		}
+	}
+	s.mu.Unlock()
+	return pl, chain
+}
+
 // Query evaluates one query against one document, through both caches.
+// The planner's reordered program is used (cheapest operands first) but
+// the synopsis-direct shortcut is not: a single-document caller is about
+// to touch the document anyway, and its response reports evaluation
+// statistics a direct answer cannot supply.
 func (s *Store) Query(name, query string) (*core.Result, error) {
 	prog, err := s.Program(query)
 	if err != nil {
 		return nil, err
 	}
+	pl, _ := s.planFor(query, prog)
 	d, err := s.Doc(name)
 	if err != nil {
 		return nil, err
 	}
 	s.queries.Add(1)
-	res, err := d.Run(prog)
+	res, err := d.Run(pl.Prog)
 	if err == nil {
 		// Tag-only queries grow the frozen view's caches too (path
 		// counts, label columns), so every query re-estimates.
@@ -901,10 +988,13 @@ func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	pl, chain := s.planFor(query, prog)
+	eval := pl.Prog
 	names := s.Names()
 	out := make([]core.BatchResult, len(names))
 	docs := make([]*Doc, len(names))
 	skip := s.pruneSet(prog, names, out)
+	skip = s.directSet(pl, chain, eval, names, out, skip)
 	s.forEach(len(names), func(i int) {
 		out[i].Name = names[i]
 		if skip != nil && skip[i] {
@@ -918,7 +1008,7 @@ func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 		if out[i].Err != nil || (skip != nil && skip[i]) {
 			return
 		}
-		out[i].Result, out[i].Err = docs[i].Run(prog)
+		out[i].Result, out[i].Err = docs[i].Run(eval)
 		if out[i].Err == nil {
 			s.recharge(names[i], docs[i])
 		}
@@ -932,6 +1022,74 @@ func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 	}
 	s.queries.Add(scanned)
 	return out, nil
+}
+
+// directSet marks every document an exists/count-shaped plan can answer
+// from its synopsis statistics alone, filling its result slot with a
+// Direct result — no load, no decode, no evaluation. Documents already
+// pruned stay pruned (an exact-zero chain count and a signature proof
+// agree). The returned skip set is the union of pruned and direct
+// documents; nil means nothing was skippable either way. Count-shaped
+// direct results carry a fallback that evaluates the planned program for
+// real if a consumer asks for paths or an instance — counted as a
+// planner fallback, and charged like any other query.
+func (s *Store) directSet(pl *plan.Plan, chain []label.ID, eval *xpath.Program, names []string, out []core.BatchResult, skip []bool) []bool {
+	if s.syn == nil || pl.Chain == nil || chain == nil {
+		return skip
+	}
+	live := s.liveView()
+	direct := uint64(0)
+	for i, name := range names {
+		if skip != nil && skip[i] {
+			continue
+		}
+		count, exact := s.docSynopsis(live, name).ChainCount(chain)
+		if !exact {
+			continue
+		}
+		if skip == nil {
+			skip = make([]bool, len(names))
+		}
+		skip[i] = true
+		out[i].Direct = true
+		direct++
+		switch {
+		case pl.Chain.Exists:
+			out[i].Result = core.ExistsResult(count > 0)
+		case count == 0:
+			out[i].Result = core.ExistsResult(false)
+		default:
+			nm := name
+			out[i].Result = core.DirectResult(count, func() (*core.Result, error) {
+				s.planFallback.Add(1)
+				d, err := s.Doc(nm)
+				if err != nil {
+					return nil, err
+				}
+				res, err := d.Run(eval)
+				if err == nil {
+					s.recharge(nm, d)
+				}
+				return res, err
+			})
+		}
+	}
+	s.planDirect.Add(direct)
+	return skip
+}
+
+// docSynopsis returns the synopsis describing the currently served
+// version of name: the live document's own synopsis when the name is
+// live (so a replacement ingested over an archived name is never judged
+// by the stale archive summary), else the indexed one. May be nil —
+// every consumer (CanMatch, ChainCount) treats nil as "no information".
+func (s *Store) docSynopsis(live Live, name string) *synopsis.Synopsis {
+	if live != nil {
+		if ls, isLive := live.LiveSynopsis(name); isLive {
+			return ls
+		}
+	}
+	return s.syn.Get(name)
 }
 
 // pruneSet consults the synopsis index for one fan-out: it resolves the
@@ -953,17 +1111,7 @@ func (s *Store) pruneSet(prog *xpath.Program, names []string, out []core.BatchRe
 	skip := make([]bool, len(names))
 	pruned := 0
 	for i, name := range names {
-		var syn *synopsis.Synopsis
-		if live != nil {
-			if ls, isLive := live.LiveSynopsis(name); isLive {
-				syn = ls
-			} else {
-				syn = s.syn.Get(name)
-			}
-		} else {
-			syn = s.syn.Get(name)
-		}
-		if !syn.CanMatch(rs) {
+		if !s.docSynopsis(live, name).CanMatch(rs) {
 			skip[i] = true
 			out[i].Pruned = true
 			out[i].Result = core.EmptyResult()
@@ -1009,6 +1157,15 @@ type Stats struct {
 	PrunePruned         uint64 `json:"prune_pruned"`
 	PruneScanned        uint64 `json:"prune_scanned"`
 
+	// Cost-based planner counters. Reordered counts plan builds that
+	// changed evaluation order; SynopsisDirect documents answered from
+	// synopsis statistics without touching the document; Fallback direct
+	// results that later evaluated for real (a consumer wanted paths or
+	// an instance).
+	PlanReordered      uint64 `json:"plan_reordered"`
+	PlanSynopsisDirect uint64 `json:"plan_synopsis_direct"`
+	PlanFallback       uint64 `json:"plan_fallback"`
+
 	// Cold-tier (bundle) counters.
 	Bundles         int    `json:"bundles"`           // open bundle files
 	BundledDocs     int    `json:"bundled_docs"`      // catalogued documents served from bundles
@@ -1025,10 +1182,13 @@ func (s *Store) Stats() Stats {
 	pruned := s.prunePruned.Load()
 	considered := s.pruneConsidered.Load()
 	st := Stats{
-		Queries:         s.queries.Load(),
-		PruneConsidered: considered,
-		PrunePruned:     pruned,
-		PruneScanned:    considered - pruned,
+		Queries:            s.queries.Load(),
+		PruneConsidered:    considered,
+		PrunePruned:        pruned,
+		PruneScanned:       considered - pruned,
+		PlanReordered:      s.planReordered.Load(),
+		PlanSynopsisDirect: s.planDirect.Load(),
+		PlanFallback:       s.planFallback.Load(),
 	}
 	if s.syn != nil {
 		st.SynopsisDocs = s.syn.Len()

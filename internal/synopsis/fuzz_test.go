@@ -43,12 +43,35 @@ func FuzzDecodeSidecar(f *testing.F) {
 		if err != nil {
 			return
 		}
+		// Whatever estimator statistics the decoder accepted, querying
+		// them must not panic and must be deterministic — the planner
+		// consumes them straight off disk.
+		members := s.labels.Members()
+		chain := members
+		if len(chain) > 3 {
+			chain = chain[:3]
+		}
+		c1, e1 := s.ChainCount(chain)
+		c2, e2 := s.ChainCount(chain)
+		if c1 != c2 || e1 != e2 {
+			t.Fatalf("ChainCount not deterministic: (%d,%v) then (%d,%v)", c1, e1, c2, e2)
+		}
+		for _, id := range members {
+			_ = s.LabelTreeCount(id)
+		}
 		var buf bytes.Buffer
 		if err := EncodeSidecar(&buf, s, d, archiveBytes); err != nil {
 			t.Fatalf("re-encoding an accepted sidecar: %v", err)
 		}
-		if _, _, err := DecodeSidecar(buf.Bytes(), NewDict()); err != nil {
+		s2, _, err := DecodeSidecar(buf.Bytes(), NewDict())
+		if err != nil {
 			t.Fatalf("re-decoding a re-encoded sidecar: %v", err)
+		}
+		// The estimator statistics must survive the roundtrip.
+		if s2.TreeSize() != s.TreeSize() || s2.Saturated() != s.Saturated() ||
+			s2.Overflow() != s.Overflow() || s2.Depth() != s.Depth() ||
+			s2.NumLabels() != s.NumLabels() || s2.NumPathNodes() != s.NumPathNodes() {
+			t.Fatalf("roundtrip changed the synopsis: %+v vs %+v", s, s2)
 		}
 	})
 }

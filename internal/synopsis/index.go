@@ -1,6 +1,7 @@
 package synopsis
 
 import (
+	"strings"
 	"sync"
 
 	"repro/internal/label"
@@ -57,16 +58,30 @@ func (d *Dict) Name(id label.ID) string {
 // map lookup; synopses themselves are immutable. Writers (store open,
 // compaction publish, tombstone removal) are rare and never block
 // readers for longer than a map operation.
+//
+// Alongside the per-document synopses the index maintains their
+// aggregate statistics — catalog-wide tree size and per-label tree-node
+// totals, updated incrementally on Put/Remove — which make it the
+// plan.Estimator the cost-based planner orders steps by. A generation
+// counter, bumped on every mutation, lets plan caches detect that
+// estimates may have shifted.
 type Index struct {
 	dict *Dict
 
-	mu   sync.RWMutex
-	syns map[string]*Synopsis
+	mu        sync.RWMutex
+	syns      map[string]*Synopsis
+	totals    map[label.ID]uint64 // sum of per-document label tree counts
+	treeTotal uint64              // sum of per-document tree sizes
+	gen       uint64              // bumped on every Put/Remove
 }
 
 // NewIndex returns an empty index over a fresh dictionary.
 func NewIndex() *Index {
-	return &Index{dict: NewDict(), syns: make(map[string]*Synopsis)}
+	return &Index{
+		dict:   NewDict(),
+		syns:   make(map[string]*Synopsis),
+		totals: make(map[label.ID]uint64),
+	}
 }
 
 // Dict returns the index's shared label dictionary — synopses stored in
@@ -78,11 +93,19 @@ func (x *Index) Dict() *Dict { return x.dict }
 func (x *Index) Put(name string, syn *Synopsis) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	x.gen++
+	if old := x.syns[name]; old != nil {
+		x.subtractLocked(old)
+	}
 	if syn == nil {
 		delete(x.syns, name)
 		return
 	}
 	x.syns[name] = syn
+	x.treeTotal += syn.treeSize
+	for id, c := range syn.counts {
+		x.totals[id] += c
+	}
 }
 
 // Remove drops the synopsis for name, if any. Call whenever the document
@@ -91,7 +114,67 @@ func (x *Index) Put(name string, syn *Synopsis) {
 func (x *Index) Remove(name string) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	x.gen++
+	if old := x.syns[name]; old != nil {
+		x.subtractLocked(old)
+	}
 	delete(x.syns, name)
+}
+
+// subtractLocked reverses a synopsis's contribution to the aggregates.
+// Counts are exact per document, so add/subtract round-trips cleanly;
+// saturated documents contribute their (lower-bound) saturated values
+// symmetrically.
+func (x *Index) subtractLocked(s *Synopsis) {
+	x.treeTotal -= s.treeSize
+	for id, c := range s.counts {
+		if rest := x.totals[id] - c; rest != 0 {
+			x.totals[id] = rest
+		} else {
+			delete(x.totals, id)
+		}
+	}
+}
+
+// Generation returns the mutation counter: any Put or Remove since a
+// caller last observed it may have changed the aggregate estimates, so
+// plans derived from them should be rebuilt.
+func (x *Index) Generation() uint64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.gen
+}
+
+// LabelCount implements the planner's estimator contract: the
+// catalog-wide number of tree nodes carrying the given (skeleton-form,
+// "tag:"-prefixed) label. known=false means the index has no information
+// about names of that shape — string-pattern labels, for example, are
+// never indexed, and an unknown name must not be confused with a proven
+// absence. known=true with count 0 is an upper bound like any other:
+// no indexed document contains the label. Counts are upper bounds for
+// every individual document, which is the planner's never-underestimate
+// soundness requirement: a document whose evaluation selects a label
+// always contributes its exact occurrence count here.
+func (x *Index) LabelCount(name string) (count uint64, known bool) {
+	if !strings.HasPrefix(name, tagPrefix) {
+		return 0, false
+	}
+	id := x.dict.Lookup(name)
+	if id == label.Invalid {
+		return 0, true
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.totals[id], true
+}
+
+// TreeSize implements the planner's estimator contract: the total number
+// of element tree nodes across all indexed documents — the cost ceiling
+// for steps the estimator knows nothing about.
+func (x *Index) TreeSize() uint64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.treeTotal
 }
 
 // Get returns the synopsis for name, or nil.

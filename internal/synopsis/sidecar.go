@@ -19,11 +19,17 @@ const Ext = ".xcs"
 
 // Sidecar format. The whole file is one CRC-framed payload:
 //
-//	payload := magic "XCS1" version archiveBytes depth flags(bit0 overflow)
-//	           nLabels (label string)*            the document's tag-label set
+//	payload := magic "XCS1" version archiveBytes depth
+//	           flags(bit0 overflow, bit1 saturated)
+//	           treeSize                           element tree nodes
+//	           nLabels (label string count)*      tag-label set + tree counts
 //	           nNodes node(root)                  path trie, preorder
-//	node    := flags(bit0 deeper) nChildren (labelIndex node)*
+//	node    := flags(bit0 deeper) count nChildren (labelIndex node)*
 //	file    := payload crc32(payload)             IEEE, little-endian
+//
+// Version 2 added the estimator statistics (treeSize, per-label counts,
+// per-node counts, the saturated flag); version-1 sidecars decode as
+// ErrCorrupt and are rebuilt by the store like any stale sidecar.
 //
 // Varints are unsigned little-endian; strings are length-prefixed UTF-8.
 // Trie labels reference the label table by index. archiveBytes is the
@@ -44,7 +50,7 @@ const Ext = ".xcs"
 // data.
 const (
 	sidecarMagic = "XCS1"
-	version      = 1
+	version      = 2
 
 	maxLabels   = 1 << 20
 	maxNameLen  = 1 << 16
@@ -85,7 +91,11 @@ func EncodeSidecar(w io.Writer, s *Synopsis, dict *Dict, archiveBytes int64) err
 	if s.overflow {
 		flags |= 1
 	}
+	if s.sat {
+		flags |= 2
+	}
 	buf.WriteByte(flags)
+	uv(s.treeSize)
 
 	members := s.labels.Members()
 	index := make(map[label.ID]int, len(members))
@@ -96,6 +106,7 @@ func EncodeSidecar(w io.Writer, s *Synopsis, dict *Dict, archiveBytes int64) err
 		index[id] = i
 		uv(uint64(len(name)))
 		buf.WriteString(name)
+		uv(s.counts[id])
 	}
 	dict.mu.RUnlock()
 
@@ -108,6 +119,7 @@ func EncodeSidecar(w io.Writer, s *Synopsis, dict *Dict, archiveBytes int64) err
 			f |= 1
 		}
 		buf.WriteByte(f)
+		uv(n.count)
 		uv(uint64(len(n.children)))
 		for _, cr := range n.children {
 			uv(uint64(index[cr.lbl]))
@@ -151,13 +163,15 @@ func DecodeSidecar(data []byte, dict *Dict) (*Synopsis, int64, error) {
 		return nil, 0, fmt.Errorf("%w: depth %d too large", ErrCorrupt, depth)
 	}
 	flags := d.byte()
-	s := &Synopsis{depth: int(depth), overflow: flags&1 != 0}
+	s := &Synopsis{depth: int(depth), overflow: flags&1 != 0, sat: flags&2 != 0}
+	s.treeSize = d.uvarint()
 
 	nLabels := d.uvarint()
 	if nLabels > maxLabels {
 		return nil, 0, fmt.Errorf("%w: %d labels exceeds bound", ErrCorrupt, nLabels)
 	}
 	ids := make([]label.ID, nLabels)
+	counts := make([]uint64, nLabels)
 	dict.mu.Lock()
 	for i := range ids {
 		nameLen := d.uvarint()
@@ -171,10 +185,15 @@ func DecodeSidecar(data []byte, dict *Dict) (*Synopsis, int64, error) {
 		}
 		ids[i] = dict.internLocked(string(name))
 		s.labels = s.labels.Set(ids[i])
+		counts[i] = d.uvarint()
 	}
 	dict.mu.Unlock()
 	if d.fail {
 		return nil, 0, fmt.Errorf("%w: truncated label table", ErrCorrupt)
+	}
+	s.counts = make(map[label.ID]uint64, nLabels)
+	for i, id := range ids {
+		s.counts[id] = counts[i]
 	}
 
 	nNodes := d.uvarint()
@@ -189,6 +208,7 @@ func DecodeSidecar(data []byte, dict *Dict) (*Synopsis, int64, error) {
 		}
 		f := d.byte()
 		s.nodes[ni].deeper = f&1 != 0
+		s.nodes[ni].count = d.uvarint()
 		nChildren := d.uvarint()
 		if d.fail || nChildren > uint64(nNodes) {
 			return false
@@ -331,6 +351,7 @@ type SidecarInfo struct {
 	PathNodes int
 	Depth     int
 	Overflow  bool
+	TreeSize  uint64
 }
 
 // StatSidecar inspects the sidecar paired with archivePath.
@@ -355,6 +376,7 @@ func StatSidecar(archivePath string, archiveBytes int64) SidecarInfo {
 	info.PathNodes = syn.NumPathNodes()
 	info.Depth = syn.Depth()
 	info.Overflow = syn.Overflow()
+	info.TreeSize = syn.TreeSize()
 	return info
 }
 
@@ -371,6 +393,6 @@ func (info SidecarInfo) String() string {
 	if info.Overflow {
 		over = ", path trie overflowed"
 	}
-	return fmt.Sprintf("%d bytes, %d labels, %d path nodes, depth %d%s",
-		info.Bytes, info.Labels, info.PathNodes, info.Depth, over)
+	return fmt.Sprintf("%d bytes, %d labels, %d path nodes, depth %d, %d tree nodes%s",
+		info.Bytes, info.Labels, info.PathNodes, info.Depth, info.TreeSize, over)
 }

@@ -20,6 +20,15 @@
 // the store: lookups share the Dict under a read lock and synopses with
 // no lock at all.
 //
+// Beyond the boolean prune, a synopsis is also a cardinality estimator:
+// every label carries its tree-node occurrence count and every trie node
+// the number of tree nodes whose root path ends there, both computed by
+// multiplicity propagation over the DAG without decompressing. The
+// counts feed the cost-based planner (internal/plan) — per-label totals
+// aggregated across the Index order commuting steps by selectivity, and
+// ChainCount answers root-anchored child-chain queries exactly, straight
+// from the sidecar, when the trie fully covers the chain.
+//
 // Synopses persist as versioned, CRC-framed sidecar files next to each
 // archive (doc.xca -> doc.xcs, see sidecar.go); absent or unreadable
 // sidecars degrade to a full scan of that document, never to a wrong
@@ -27,6 +36,7 @@
 package synopsis
 
 import (
+	"math"
 	"strings"
 
 	"repro/internal/dag"
@@ -58,18 +68,22 @@ type Options struct {
 // Synopsis is one document's summary. It is immutable after Build (or
 // sidecar decode) and safe for concurrent use without locking.
 type Synopsis struct {
-	labels   label.Set  // dict IDs of tag labels present anywhere
-	nodes    []pathNode // root-path trie; nodes[0] is the (unlabelled) root
-	depth    int        // truncation depth the trie was built with
-	overflow bool       // trie capped: prefix checks are inconclusive
+	labels   label.Set           // dict IDs of tag labels present anywhere
+	counts   map[label.ID]uint64 // tree-node occurrences per tag label
+	treeSize uint64              // element tree nodes in the document
+	nodes    []pathNode          // root-path trie; nodes[0] is the (unlabelled) root
+	depth    int                 // truncation depth the trie was built with
+	overflow bool                // trie capped: prefix checks are inconclusive
+	sat      bool                // a count saturated: counts are lower bounds only
 }
 
-// pathNode is one trie vertex: its children, keyed by dict label ID, and
+// pathNode is one trie vertex: its children, keyed by dict label ID,
 // whether the document's element paths continue below the truncation
-// depth here.
+// depth here, and how many tree nodes have exactly this root path.
 type pathNode struct {
 	children []childRef
 	deeper   bool
+	count    uint64
 }
 
 // childRef orders children by dict ID for deterministic encoding.
@@ -92,12 +106,25 @@ func (s *Synopsis) NumLabels() int { return s.labels.Count() }
 // virtual root).
 func (s *Synopsis) NumPathNodes() int { return len(s.nodes) - 1 }
 
+// TreeSize returns the number of element nodes of the uncompressed tree,
+// computed at build time by multiplicity propagation. When Saturated
+// reports true it is a lower bound.
+func (s *Synopsis) TreeSize() uint64 { return s.treeSize }
+
+// Saturated reports whether any statistic overflowed uint64 during the
+// build; counts are then lower bounds and ChainCount answers inexactly.
+func (s *Synopsis) Saturated() bool { return s.sat }
+
+// LabelTreeCount returns how many tree nodes of the document carry the
+// given dict label (0 for labels the document does not contain).
+func (s *Synopsis) LabelTreeCount(id label.ID) uint64 { return s.counts[id] }
+
 // MemBytes estimates the synopsis's in-memory footprint for cache and
 // stats accounting.
 func (s *Synopsis) MemBytes() int64 {
-	b := int64(len(s.labels))*8 + 64
+	b := int64(len(s.labels))*8 + 64 + int64(len(s.counts))*16
 	for i := range s.nodes {
-		b += 24 + int64(len(s.nodes[i].children))*8
+		b += 32 + int64(len(s.nodes[i].children))*8
 	}
 	return b
 }
@@ -150,15 +177,15 @@ func Build(in *dag.Instance, dict *Dict, opts Options) *Synopsis {
 	if in.Root == dag.NilVertex {
 		return s
 	}
+	s.countTotals(in, tags)
 
 	b := &trieBuilder{
 		syn:      s,
 		inst:     in,
 		tags:     tags,
 		maxNodes: opts.MaxNodes,
-		visited:  make(map[visitKey]bool),
 	}
-	b.walk(in.Root, 0, opts.Depth)
+	b.walk(in.Root, opts.Depth)
 	if s.overflow {
 		// A capped trie under-represents the document; keep it empty so
 		// matching relies on the overflow flag alone.
@@ -168,10 +195,40 @@ func Build(in *dag.Instance, dict *Dict, opts Options) *Synopsis {
 	return s
 }
 
-// visitKey memoises trie expansion per (vertex, trie node): a shared DAG
-// subtree reached twice under the same label prefix contributes the same
-// paths, which is exactly the DAG-deduplication that keeps synopses tiny
-// on highly compressed documents.
+// countTotals computes treeSize and the per-label tree-node counts by one
+// multiplicity-propagation pass in topological order — the same trick
+// PathCounts uses, so a vertex shared by many DAG paths is weighted by
+// how many tree nodes it stands for, without decompressing.
+func (s *Synopsis) countTotals(in *dag.Instance, tags [][]label.ID) {
+	mult := make([]uint64, len(in.Verts))
+	mult[in.Root] = 1
+	for _, v := range in.TopoOrder() {
+		m := mult[v]
+		if m == 0 {
+			continue
+		}
+		for _, e := range in.Verts[v].Edges {
+			mult[e.Child] = s.satAdd(mult[e.Child], s.satMul(m, uint64(e.Count)))
+		}
+	}
+	s.counts = make(map[label.ID]uint64)
+	for i := range in.Verts {
+		if mult[i] == 0 || len(tags[i]) == 0 {
+			continue
+		}
+		s.treeSize = s.satAdd(s.treeSize, mult[i])
+		for _, t := range tags[i] {
+			s.counts[t] = s.satAdd(s.counts[t], mult[i])
+		}
+	}
+}
+
+// visitKey identifies trie expansion state per (vertex, trie node): a
+// shared DAG subtree reached twice under the same label prefix
+// contributes the same paths, which is exactly the DAG-deduplication
+// that keeps synopses tiny on highly compressed documents. The builder
+// carries one multiplicity per key so node counts weight each shared
+// subtree by the number of tree nodes it stands for.
 type visitKey struct {
 	v    dag.VertexID
 	node int32
@@ -182,46 +239,57 @@ type trieBuilder struct {
 	inst     *dag.Instance
 	tags     [][]label.ID
 	maxNodes int
-	visited  map[visitKey]bool
 }
 
-// walk inserts the label paths of v's element descendants below trie
-// node `node`, with depthLeft levels of the truncation budget remaining.
-func (b *trieBuilder) walk(v dag.VertexID, node int32, depthLeft int) {
-	if b.syn.overflow {
-		return
-	}
-	key := visitKey{v, node}
-	if b.visited[key] {
-		return
-	}
-	b.visited[key] = true
-	for _, e := range b.inst.Verts[v].Edges {
-		c := e.Child
-		ct := b.tags[c]
-		if len(ct) == 0 {
-			// Not an element (text/attribute leaf in archive skeletons).
-			// An unlabelled vertex with children would make child-step
-			// reasoning unsound, so degrade to overflow if one appears.
-			if len(b.inst.Verts[c].Edges) > 0 {
-				b.syn.overflow = true
-				return
-			}
-			continue
-		}
-		for _, t := range ct {
-			n2, ok := b.child(node, t)
-			if !ok {
-				return // overflow
-			}
-			if depthLeft == 1 {
-				if b.hasElementChild(c) {
-					b.syn.nodes[n2].deeper = true
+// walk inserts the label paths of root's element descendants into the
+// trie, level by level so the multiplicity of every (vertex, trie node)
+// pair is complete before the pair expands. Iteration follows the
+// first-visit order of each level (never map order), keeping trie child
+// order — and therefore the sidecar encoding — deterministic.
+func (b *trieBuilder) walk(root dag.VertexID, depth int) {
+	level := []visitKey{{root, 0}}
+	mult := map[visitKey]uint64{{root, 0}: 1}
+	for d := 0; d < depth && len(level) > 0; d++ {
+		nextMult := make(map[visitKey]uint64, len(level))
+		next := level[:0:0]
+		for _, it := range level {
+			m := mult[it]
+			for _, e := range b.inst.Verts[it.v].Edges {
+				c := e.Child
+				ct := b.tags[c]
+				if len(ct) == 0 {
+					// Not an element (text/attribute leaf in archive
+					// skeletons). An unlabelled vertex with children would
+					// make child-step reasoning unsound, so degrade to
+					// overflow if one appears.
+					if len(b.inst.Verts[c].Edges) > 0 {
+						b.syn.overflow = true
+						return
+					}
+					continue
 				}
-			} else {
-				b.walk(c, n2, depthLeft-1)
+				em := b.syn.satMul(m, uint64(e.Count))
+				for _, t := range ct {
+					n2, ok := b.child(it.node, t)
+					if !ok {
+						return // overflow
+					}
+					b.syn.nodes[n2].count = b.syn.satAdd(b.syn.nodes[n2].count, em)
+					if d == depth-1 {
+						if b.hasElementChild(c) {
+							b.syn.nodes[n2].deeper = true
+						}
+						continue
+					}
+					key := visitKey{c, n2}
+					if _, seen := nextMult[key]; !seen {
+						next = append(next, key)
+					}
+					nextMult[key] += em
+				}
 			}
 		}
+		level, mult = next, nextMult
 	}
 }
 
@@ -241,6 +309,28 @@ func (b *trieBuilder) child(node int32, t label.ID) (int32, bool) {
 	b.syn.nodes = append(b.syn.nodes, pathNode{})
 	b.syn.nodes[node].children = append(b.syn.nodes[node].children, childRef{lbl: t, node: n2})
 	return n2, true
+}
+
+// satAdd and satMul saturate at MaxUint64 and latch the sat flag, so an
+// adversarially compressed document can never wrap a count into a small
+// "exact" answer — it degrades to inexact instead.
+func (s *Synopsis) satAdd(a, b uint64) uint64 {
+	if c := a + b; c >= a {
+		return c
+	}
+	s.sat = true
+	return math.MaxUint64
+}
+
+func (s *Synopsis) satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if c := a * b; c/a == b {
+		return c
+	}
+	s.sat = true
+	return math.MaxUint64
 }
 
 func (b *trieBuilder) hasElementChild(v dag.VertexID) bool {
@@ -340,6 +430,78 @@ func (s *Synopsis) CanMatch(rs *Resolved) bool {
 		return true
 	}
 	return s.matchPrefix(rs.prefix)
+}
+
+// ChainCount returns the number of tree nodes whose root path is exactly
+// the given label chain. exact=true makes count authoritative either
+// way: a positive count is the precise answer a full evaluation of
+// /a/b/.../z would produce (matching the query algebra's
+// one-tree-node-per-edge-path semantics), and an exact zero is a proof
+// of emptiness. exact=false means the synopsis cannot decide — the trie
+// overflowed, a count saturated, the chain descends past the truncation
+// depth, or the chain is empty — and the caller must evaluate.
+//
+// Chain entries come from Dict.ResolveChain; an entry for a label the
+// catalog dictionary has never seen yields an exact zero, since every
+// indexed synopsis interned all its labels.
+func (s *Synopsis) ChainCount(chain []label.ID) (count uint64, exact bool) {
+	if s == nil || len(chain) == 0 {
+		return 0, false
+	}
+	for _, p := range chain {
+		if p == unknownLbl {
+			return 0, true
+		}
+		if p < 0 { // wildcardLbl or other sentinel: not chain-countable
+			return 0, false
+		}
+	}
+	if s.overflow || s.sat {
+		return 0, false
+	}
+	frontier := []int32{0}
+	next := make([]int32, 0, 4)
+	for _, p := range chain {
+		next = next[:0]
+		for _, ni := range frontier {
+			n := &s.nodes[ni]
+			if n.deeper {
+				return 0, false // paths continue beyond the synopsis depth
+			}
+			for _, cr := range n.children {
+				if cr.lbl == p {
+					next = append(next, cr.node)
+					break
+				}
+			}
+		}
+		if len(next) == 0 {
+			return 0, true
+		}
+		frontier, next = next, frontier
+	}
+	for _, ni := range frontier {
+		count += s.nodes[ni].count
+	}
+	return count, true
+}
+
+// ResolveChain translates a chain of label names (as a ChainShape
+// carries them) to dict IDs for ChainCount. Names the dictionary has
+// never interned map to a sentinel that ChainCount answers with an
+// exact zero — no indexed document can contain them.
+func (d *Dict) ResolveChain(names []string) []label.ID {
+	ids := make([]label.ID, len(names))
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for i, name := range names {
+		if id := d.schema.Lookup(name); id != label.Invalid {
+			ids[i] = id
+		} else {
+			ids[i] = unknownLbl
+		}
+	}
+	return ids
 }
 
 // matchPrefix walks the trie along the prefix, branching over every

@@ -60,6 +60,25 @@ func (i Instr) String() string {
 	return "?"
 }
 
+// Commutative reports whether the operator treats its two operands
+// symmetrically, so a planner may swap (or re-associate) them without
+// changing the result: set intersection and union commute, difference
+// does not, and the remaining kinds are not binary.
+func (k OpKind) Commutative() bool { return k == OpIntersect || k == OpUnion }
+
+// Operands returns the temporaries the instruction reads, in A-then-B
+// order — the program's def-use edges, which any rewrite must preserve.
+func (i Instr) Operands() []int {
+	switch i.Op {
+	case OpLabel, OpAll, OpRoot:
+		return nil
+	case OpAxis, OpComplement, OpRootFilter:
+		return []int{i.A}
+	default: // OpUnion, OpIntersect, OpDiff
+		return []int{i.A, i.B}
+	}
+}
+
 // Program is a compiled Core XPath query: a straight-line sequence of
 // algebra instructions whose final temporary holds the query result.
 // Tags and Strings list the node-set leaves the instance must provide —
@@ -78,6 +97,10 @@ type Program struct {
 	// path-synopsis index checks to skip documents that provably cannot
 	// match (see Signature). Always non-nil for compiled programs.
 	Sig *Signature
+	// Chain, when non-nil, marks the query as exists/count-shaped: its
+	// full answer is determined by one root-anchored child chain, which
+	// the planner can serve from synopsis statistics alone (ChainShape).
+	Chain *ChainShape
 }
 
 // String renders the program one instruction per line.
@@ -114,6 +137,7 @@ func (c *compiler) finish(path *Path, res int) *Program {
 		NumTemp:  c.nextTemp,
 		Downward: c.downward,
 		Sig:      signatureOf(path, c.context != ""),
+		Chain:    chainShapeOf(path, c.context != ""),
 	}
 	for t := range c.tags {
 		prog.Tags = append(prog.Tags, t)

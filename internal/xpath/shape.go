@@ -1,0 +1,76 @@
+package xpath
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/skeleton"
+)
+
+// ChainShape describes a query whose whole answer is determined by one
+// root-anchored child chain — the shapes a path synopsis can answer
+// exactly from its trie statistics, without decoding the document:
+//
+//   - count shape (/a/b/c): every step is child::tag with no predicates.
+//     The result selects the tree nodes whose root path is exactly the
+//     chain, so the tree-level match count equals the synopsis's
+//     ChainCount and emptiness is decided by it.
+//   - exists shape (/self::*[a/b/c]): the paper's Q1 pattern — the root
+//     is selected iff the document contains the chain, so the whole
+//     result is "root or nothing", decided by ChainCount > 0.
+//
+// Wildcard tests are excluded: a trie path matches exactly one label per
+// level, and per-level summation would double-count shared subtrees.
+type ChainShape struct {
+	// Labels holds the chain's node-set relation names in skeleton form
+	// ("tag:" prefixed), outermost first.
+	Labels []string
+	// Exists marks the exists shape: the answer is the root node when
+	// the chain count is positive and empty otherwise, rather than the
+	// chain's own nodes.
+	Exists bool
+}
+
+// chainShapeOf classifies a parsed path, or returns nil. hasContext
+// marks compilation with a user-defined context selection; a relative
+// path then no longer starts at the document root, which breaks the
+// root-anchoring both shapes rely on (mirroring signatureOf).
+func chainShapeOf(p *Path, hasContext bool) *ChainShape {
+	if hasContext && !p.Absolute {
+		return nil
+	}
+	if labels := childChainLabels(p.Steps); labels != nil {
+		return &ChainShape{Labels: labels}
+	}
+	// /self::*[chain] — the single predicate is itself a pure child
+	// chain, relative (anchored at the selected root) or absolute.
+	if len(p.Steps) != 1 {
+		return nil
+	}
+	st := p.Steps[0]
+	if st.Axis != algebra.Self || st.Test != "*" || len(st.Preds) != 1 {
+		return nil
+	}
+	cond, ok := st.Preds[0].(*Path)
+	if !ok {
+		return nil
+	}
+	if labels := childChainLabels(cond.Steps); labels != nil {
+		return &ChainShape{Labels: labels, Exists: true}
+	}
+	return nil
+}
+
+// childChainLabels returns the skeleton label names of a pure child
+// chain (child::tag steps only, no wildcards, no predicates), or nil.
+func childChainLabels(steps []Step) []string {
+	if len(steps) == 0 {
+		return nil
+	}
+	labels := make([]string, len(steps))
+	for i, st := range steps {
+		if st.Axis != algebra.Child || st.Test == "*" || len(st.Preds) != 0 {
+			return nil
+		}
+		labels[i] = skeleton.TagLabel(st.Test)
+	}
+	return labels
+}
