@@ -12,6 +12,7 @@
 //	xcbench -planbench       # query planning: synopsis-direct answering vs overlay evaluation
 //	xcbench -ingestbench     # ingest-while-querying: write throughput vs latency
 //	xcbench -bundlebench     # cold tier: bundle-packed vs loose small-doc catalogs
+//	xcbench -obsbench        # observability: instrumented vs -no-metrics warm serving
 //	xcbench -all             # everything
 //	xcbench -compare old.json new.json   # delta two -json trajectory files
 //
@@ -39,6 +40,11 @@
 // off, reporting synopsis-direct coverage, archive decodes during the
 // count-only loop (must be zero) and the planned-vs-overlay speedup
 // (results verified equal); with -check it enforces those invariants.
+// -obsbench builds the same mixed store twice — metrics registry live
+// and store.Options.DisableMetrics — and times each corpus's structural
+// query over both warm stores; with -check it enforces the <= 5%
+// instrumentation-overhead budget (skipped below 100µs of baseline
+// wall, where the measurement is noise).
 //
 // -json replaces every table with machine-readable output: one JSON
 // object per experiment, {"experiment": NAME, "rows": [...]}, on stdout
@@ -77,6 +83,7 @@ func main() {
 		planbench  = flag.Bool("planbench", false, "run the mixed-corpus query-planning sweep (synopsis-direct vs overlay)")
 		ingbench   = flag.Bool("ingestbench", false, "run the ingest-while-querying sweep")
 		bundbench  = flag.Bool("bundlebench", false, "run the bundle-packed vs loose cold-tier sweep")
+		obsbench   = flag.Bool("obsbench", false, "run the instrumentation-overhead sweep (metrics on vs off)")
 		bundleDocs = flag.String("bundledocs", "1000,10000", "comma-separated catalog sizes for -bundlebench")
 		all        = flag.Bool("all", false, "run every experiment")
 		scale      = flag.Float64("scale", 1.0, "corpus size multiplier")
@@ -98,9 +105,9 @@ func main() {
 		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *maxRegress))
 	}
 	if *all {
-		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *planbench, *ingbench, *bundbench = true, true, true, true, true, true, true, true, true, true, true
+		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *planbench, *ingbench, *bundbench, *obsbench = true, true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*planbench && !*ingbench && !*bundbench {
+	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*planbench && !*ingbench && !*bundbench && !*obsbench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -281,6 +288,24 @@ func main() {
 			if !*jsonOut {
 				fmt.Println("all bundle-tier invariants hold")
 				fmt.Println()
+			}
+		}
+	}
+
+	if *obsbench {
+		rows, err := experiments.ObsSweep(*docs, *scale, *seed, *workers)
+		cli.Fatal(err)
+		emit("obs", rows, func() {
+			fmt.Printf("=== Observability: mixed store, %d documents per corpus, metrics registry on vs off ===\n", *docs)
+			experiments.PrintObs(os.Stdout, rows)
+			fmt.Println()
+		})
+		if *check {
+			if err := experiments.CheckObsInvariants(rows); err != nil {
+				cli.Fatal(err)
+			}
+			if !*jsonOut {
+				fmt.Println("obs invariants OK: instrumentation overhead within the 5% budget")
 			}
 		}
 	}

@@ -14,6 +14,15 @@
 //	/query?q=XPATH[&max=N]           fan out over the whole catalog
 //	/docs                            the catalog with per-document sizes
 //	/stats                           cache, query and ingest counters
+//	/metrics                         Prometheus text exposition
+//	/debug/slow                      the slow-query ring (-slow-query)
+//
+// Adding trace=1 to a /query request attaches a per-stage timing
+// breakdown (plan, prune, direct, load, eval, materialize) plus
+// documents considered/pruned/scanned and bytes decoded. Queries at or
+// over -slow-query land in a ring buffer served at /debug/slow.
+// -debug-addr starts a second listener with net/http/pprof;
+// -access-log writes one structured line per request to stderr.
 //
 // With -ingest, the write path (internal/ingest) comes up too: documents
 // POSTed to /docs/NAME are WAL-logged, compressed into the memtable and
@@ -45,7 +54,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr serves the DefaultServeMux profiles
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -54,6 +65,7 @@ import (
 
 	"repro/internal/bundle"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -80,6 +92,12 @@ func main() {
 		packMaxDoc  = flag.Int64("pack-max-doc-bytes", 0, "leave archives over this many bytes loose when packing (0 = pack everything)")
 		bundleMax   = flag.Int64("bundle-max-bytes", bundle.DefaultMaxBytes, "roll to a new bundle file past this many bytes")
 		bundleGC    = flag.Float64("bundle-gc-ratio", store.DefaultBundleGCRatio, "rewrite a bundle once this fraction of its bytes is dead")
+
+		slowQuery = flag.Duration("slow-query", time.Second, "log queries at or over this wall time to /debug/slow (0 = off)")
+		slowSize  = flag.Int("slow-log", 128, "slow-query ring capacity")
+		debugAddr = flag.String("debug-addr", "", "also listen here with net/http/pprof profiles (empty = off)")
+		accessLog = flag.Bool("access-log", false, "write one structured JSON line per request to stderr")
+		noMetrics = flag.Bool("no-metrics", false, "disable latency histograms and runtime gauges (/stats counters stay live)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -88,15 +106,20 @@ func main() {
 	}
 
 	s, err := store.Open(*dir, store.Options{
-		CacheBytes:      *cacheBytes,
-		Workers:         *workers,
-		ProgramCache:    *progCache,
-		DisableSynopsis: *noSynopsis,
-		DisablePlanner:  *noPlanner,
+		CacheBytes:         *cacheBytes,
+		Workers:            *workers,
+		ProgramCache:       *progCache,
+		DisableSynopsis:    *noSynopsis,
+		DisablePlanner:     *noPlanner,
+		DisableMetrics:     *noMetrics,
+		SlowQueryThreshold: *slowQuery,
+		SlowLogSize:        *slowSize,
 	})
 	if err != nil {
 		log.Fatalf("xcserve: %v", err)
 	}
+	build := obs.Build()
+	log.Printf("xcserve: %s (%s, %s, GOMAXPROCS=%d)", build.Version, build.Commit, build.GoVersion, build.GOMAXPROCS)
 	if !*noSynopsis {
 		st := s.Stats()
 		log.Printf("xcserve: path-synopsis index: %d document(s) indexed, %d sidecar(s) rebuilt, %s",
@@ -108,6 +131,9 @@ func main() {
 
 	var ing *ingest.Ingester
 	serverOpts := store.ServerOptions{MaxPaths: *maxPaths, MaxBodyBytes: *maxBody}
+	if *accessLog {
+		serverOpts.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	if *ingestOn {
 		wd := *walDir
 		if wd == "" {
@@ -131,6 +157,20 @@ func main() {
 		ist := ing.Stats()
 		log.Printf("xcserve: ingest enabled (wal=%s sync=%v memtable=%s); replayed %d WAL record(s)",
 			wd, *walSync, humanBytes(*memBytes), ist.Replayed)
+	}
+
+	if *debugAddr != "" {
+		// The pprof import registered its profiles on the DefaultServeMux;
+		// mirror /metrics there too, so the debug port is a complete
+		// scrape-and-profile target that can stay firewalled off while
+		// -addr is public.
+		http.Handle("/metrics", s.Metrics().Handler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("xcserve: debug listener: %v", err)
+			}
+		}()
+		log.Printf("xcserve: debug listener on %s (profiles at /debug/pprof/, metrics at /metrics)", *debugAddr)
 	}
 
 	srv := &http.Server{

@@ -75,20 +75,18 @@ type Ingester struct {
 	// Lock order: walMu before mu, never the reverse. walMu serialises
 	// the writers (WAL appends, rotation, close) and guards closed; it
 	// is the lock held across disk I/O. mu guards the memtable and
-	// counters and is only ever held for map and field operations.
+	// compactErr and is only ever held for map and field operations.
+	// Activity counters live in m (sharded atomics on the store's
+	// metrics registry) and need no lock at all.
 	walMu  sync.Mutex
 	wal    *Log
 	closed bool
 
-	mu       sync.Mutex
-	table    *memtable
-	replayed int
+	mu         sync.Mutex
+	table      *memtable
+	compactErr error // last background-compaction failure
 
-	ingested, deleted          uint64
-	compactions, compactedDocs uint64
-	packedDocs                 uint64 // documents migrated into cold-tier bundles
-	synBuilds                  uint64 // per-document synopses built at ingest/replay
-	compactErr                 error  // last background-compaction failure
+	m *ingestMetrics
 
 	sealCh    chan struct{}
 	stopCh    chan struct{}
@@ -113,17 +111,19 @@ func Open(opts Options) (*Ingester, error) {
 	ing := &Ingester{
 		opts:   opts,
 		table:  newMemtable(),
+		m:      newIngestMetrics(opts.Store.Metrics()),
 		sealCh: make(chan struct{}, 1),
 		stopCh: make(chan struct{}),
 	}
 	wal, err := OpenLog(opts.WALDir, LogOptions{Sync: opts.Sync, SegmentBytes: opts.SegmentBytes}, func(rec Record) error {
-		ing.replayed++
+		ing.m.replayed.Inc()
 		return ing.apply(rec)
 	})
 	if err != nil {
 		return nil, err
 	}
 	ing.wal = wal
+	ing.registerGauges()
 	opts.Store.SetLive(ing)
 	ing.done.Add(1)
 	go ing.compactor()
@@ -175,9 +175,7 @@ func (ing *Ingester) buildDoc(name string, xml []byte) (*memDoc, error) {
 	d := &memDoc{doc: doc, archive: a, bytes: doc.MemBytes()}
 	if idx := ing.opts.Store.Synopses(); idx != nil {
 		d.syn = synopsis.Build(a.Skeleton, idx.Dict(), synopsis.Options{})
-		ing.mu.Lock()
-		ing.synBuilds++
-		ing.mu.Unlock()
+		ing.m.synBuilds.Inc()
 	}
 	return d, nil
 }
@@ -212,14 +210,16 @@ func (ing *Ingester) Add(name string, xml []byte) error {
 	if ing.closed {
 		return ErrClosed
 	}
+	t0 := ing.m.now()
 	if err := ing.wal.Append(Record{Op: OpAdd, Name: name, Data: xml}); err != nil {
 		return err
 	}
+	ing.m.walAppend.ObserveSince(t0)
 	ing.mu.Lock()
 	ing.table.put(name, d)
-	ing.ingested++
 	needSeal := ing.table.active.bytes >= ing.opts.MemTableBytes
 	ing.mu.Unlock()
+	ing.m.ingested.Inc()
 	if needSeal {
 		// The write itself is already durable and visible; a rotation
 		// failure here is a background-compaction problem (surfaced by
@@ -249,14 +249,16 @@ func (ing *Ingester) Delete(name string) error {
 	if !ing.opts.Store.Has(name) {
 		return fmt.Errorf("ingest: %w: no document %q", store.ErrNotFound, name)
 	}
+	t0 := ing.m.now()
 	if err := ing.wal.Append(Record{Op: OpDelete, Name: name}); err != nil {
 		return err
 	}
+	ing.m.walAppend.ObserveSince(t0)
 	ing.mu.Lock()
 	ing.table.put(name, &memDoc{tomb: true})
-	ing.deleted++
 	needSeal := ing.table.active.bytes >= ing.opts.MemTableBytes
 	ing.mu.Unlock()
+	ing.m.deleted.Inc()
 	if needSeal {
 		if err := ing.sealWALLocked(); err != nil {
 			ing.setCompactErr(err) // the tombstone itself is durable and visible
@@ -342,9 +344,7 @@ func (ing *Ingester) packCold() error {
 	if err != nil {
 		return fmt.Errorf("ingest: packing loose archives: %w", err)
 	}
-	ing.mu.Lock()
-	ing.packedDocs += uint64(pst.Packed)
-	ing.mu.Unlock()
+	ing.m.packedDocs.Add(uint64(pst.Packed))
 	if _, err := ing.opts.Store.AuditBundles(ing.opts.BundleGCRatio); err != nil {
 		return fmt.Errorf("ingest: auditing bundles: %w", err)
 	}
@@ -372,9 +372,11 @@ func (ing *Ingester) drain() error {
 		g := ing.table.sealed[0]
 		ing.mu.Unlock()
 
+		t0 := ing.m.now()
 		if err := ing.compactGeneration(g); err != nil {
 			return err
 		}
+		ing.m.compaction.ObserveSince(t0)
 
 		ing.mu.Lock()
 		// The generation's documents are durable as archives and already
@@ -382,9 +384,9 @@ func (ing *Ingester) drain() error {
 		// reads from the memtable to those archives (identical content),
 		// and the WAL prefix that fed it can go.
 		ing.table.sealed = ing.table.sealed[1:]
-		ing.compactions++
-		ing.compactedDocs += uint64(len(g.docs))
 		ing.mu.Unlock()
+		ing.m.compactions.Inc()
+		ing.m.compactedDocs.Add(uint64(len(g.docs)))
 		ing.walMu.Lock()
 		err := ing.wal.TruncateThrough(g.walSealed)
 		ing.walMu.Unlock()
@@ -588,17 +590,20 @@ func (ing *Ingester) Stats() store.IngestStats {
 	ing.mu.Lock()
 	defer ing.mu.Unlock()
 	docs, bytes := ing.table.size()
+	// Counters are reported relative to their value at Open: the
+	// registry's series are monotone across reopens on the same store,
+	// but IngestStats has always described this instance only.
 	st := store.IngestStats{
-		Ingested:        ing.ingested,
-		Deleted:         ing.deleted,
-		Replayed:        ing.replayed,
+		Ingested:        ing.m.ingested.Value() - ing.m.base.ingested,
+		Deleted:         ing.m.deleted.Value() - ing.m.base.deleted,
+		Replayed:        int(ing.m.replayed.Value() - ing.m.base.replayed),
 		LiveDocs:        docs,
 		LiveBytes:       bytes,
 		SealedGens:      len(ing.table.sealed),
-		Compactions:     ing.compactions,
-		CompactedDocs:   ing.compactedDocs,
-		PackedDocs:      ing.packedDocs,
-		SynopsisBuilds:  ing.synBuilds,
+		Compactions:     ing.m.compactions.Value() - ing.m.base.compactions,
+		CompactedDocs:   ing.m.compactedDocs.Value() - ing.m.base.compactedDocs,
+		PackedDocs:      ing.m.packedDocs.Value() - ing.m.base.packedDocs,
+		SynopsisBuilds:  ing.m.synBuilds.Value() - ing.m.base.synBuilds,
 		WALSegments:     walSegs,
 		WALBytes:        walBytes,
 		WALSync:         walSync,

@@ -1,0 +1,107 @@
+package ingest
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ingestMetrics is the write path's handle set into the store's
+// metrics registry. The Prometheus counters are monotone across
+// Ingester instances on the same store (registration is idempotent, so
+// a reopen resumes them); IngestStats keeps its per-instance semantics
+// by subtracting the values captured at Open (base), so /stats is
+// byte-compatible with what it reported before the registry existed.
+type ingestMetrics struct {
+	ingested, deleted, replayed *obs.Counter
+	compactions, compactedDocs  *obs.Counter
+	packedDocs, synBuilds       *obs.Counter
+
+	walAppend  *obs.Histogram // WAL append (encode + write + optional fsync)
+	compaction *obs.Histogram // one generation drained to archives
+
+	off bool // registry disabled: skip the time.Now() pairs too
+
+	base struct {
+		ingested, deleted, replayed uint64
+		compactions, compactedDocs  uint64
+		packedDocs, synBuilds       uint64
+	}
+}
+
+func newIngestMetrics(r *obs.Registry) *ingestMetrics {
+	m := &ingestMetrics{
+		ingested:      r.Counter("xc_ingest_ingested_total", "Documents accepted by the write path."),
+		deleted:       r.Counter("xc_ingest_deleted_total", "Tombstones accepted by the write path."),
+		replayed:      r.Counter("xc_ingest_replayed_total", "WAL records replayed at open."),
+		compactions:   r.Counter("xc_ingest_compactions_total", "Sealed generations drained to archives."),
+		compactedDocs: r.Counter("xc_ingest_compacted_docs_total", "Documents written or tombstoned by compaction."),
+		packedDocs:    r.Counter("xc_ingest_packed_docs_total", "Documents migrated into cold-tier bundles."),
+		synBuilds:     r.Counter("xc_ingest_synopsis_builds_total", "Per-document synopses built at ingest and replay."),
+
+		walAppend:  r.Histogram("xc_wal_append_seconds", "WAL append latency (encode, write, fsync when enabled).", obs.UnitSeconds),
+		compaction: r.Histogram("xc_compaction_seconds", "Wall time draining one sealed generation to archives.", obs.UnitSeconds),
+
+		off: r.Disabled(),
+	}
+	// Captured before any replay or write: IngestStats reports this
+	// instance's activity only.
+	m.base.ingested = m.ingested.Value()
+	m.base.deleted = m.deleted.Value()
+	m.base.replayed = m.replayed.Value()
+	m.base.compactions = m.compactions.Value()
+	m.base.compactedDocs = m.compactedDocs.Value()
+	m.base.packedDocs = m.packedDocs.Value()
+	m.base.synBuilds = m.synBuilds.Value()
+	return m
+}
+
+// now returns the histogram start stamp, or the zero time when the
+// registry is disabled — ObserveSince ignores zero stamps, so disabled
+// metrics cost no clock reads on the write path.
+func (m *ingestMetrics) now() time.Time {
+	if m.off {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// registerGauges exposes the memtable and WAL footprint. Gauge
+// functions run at scrape time under the registry lock and take ing.mu
+// or ing.walMu; that order (registry → ingester locks) is never
+// reversed — nothing registers while holding an ingester lock.
+// Re-registration replaces the closure, so after a reopen on the same
+// store the gauges follow the newest Ingester.
+func (ing *Ingester) registerGauges() {
+	r := ing.opts.Store.Metrics()
+	r.Gauge("xc_memtable_docs", "Memtable entries awaiting compaction.", func() float64 {
+		ing.mu.Lock()
+		docs, _ := ing.table.size()
+		ing.mu.Unlock()
+		return float64(docs)
+	})
+	r.Gauge("xc_memtable_bytes", "Estimated memtable size in bytes.", func() float64 {
+		ing.mu.Lock()
+		_, bytes := ing.table.size()
+		ing.mu.Unlock()
+		return float64(bytes)
+	})
+	r.Gauge("xc_sealed_generations", "Sealed generations queued for compaction.", func() float64 {
+		ing.mu.Lock()
+		n := len(ing.table.sealed)
+		ing.mu.Unlock()
+		return float64(n)
+	})
+	r.Gauge("xc_wal_segments", "Open write-ahead-log segments.", func() float64 {
+		ing.walMu.Lock()
+		n := ing.wal.Segments()
+		ing.walMu.Unlock()
+		return float64(n)
+	})
+	r.Gauge("xc_wal_bytes", "Total write-ahead-log bytes on disk.", func() float64 {
+		ing.walMu.Lock()
+		n := ing.wal.SizeBytes()
+		ing.walMu.Unlock()
+		return float64(n)
+	})
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Version and Commit identify the running build. Set them at link time:
+//
+//	go build -ldflags "-X repro/internal/obs.Version=v1.2.3 -X repro/internal/obs.Commit=$(git rev-parse --short HEAD)"
+//
+// When unset, Version reports "dev" and Commit falls back to the VCS
+// revision stamped by the Go toolchain (module builds only).
+var (
+	Version string
+	Commit  string
+)
+
+// BuildInfo identifies a deployed node: reported under "build" in
+// /stats and as the xc_build_info metric.
+type BuildInfo struct {
+	Version    string `json:"version"`
+	Commit     string `json:"commit,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+var buildOnce = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{Version: Version, Commit: Commit, GoVersion: runtime.Version()}
+	if b.Version == "" {
+		b.Version = "dev"
+	}
+	if b.Commit == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					b.Commit = s.Value
+					break
+				}
+			}
+		}
+	}
+	return b
+})
+
+// Build returns the running binary's identification. GOMAXPROCS is
+// sampled per call (it can change at runtime).
+func Build() BuildInfo {
+	b := buildOnce()
+	b.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	return b
+}
+
+// runtimeSampler caches one runtime.ReadMemStats per scrape burst: a
+// /metrics scrape reads several memstats-backed gauges, and each
+// ReadMemStats stops the world briefly.
+type runtimeSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	mem  runtime.MemStats
+	ttl  time.Duration
+	read func(*runtime.MemStats) // swap point for tests
+}
+
+func (rs *runtimeSampler) sample() *runtime.MemStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if time.Since(rs.at) > rs.ttl {
+		rs.read(&rs.mem)
+		rs.at = time.Now()
+	}
+	return &rs.mem
+}
+
+// RegisterRuntime adds process-level gauges to r: goroutine and GC
+// counts, heap sizes, cumulative GC pause seconds, and an xc_build_info
+// series carrying the build identification in labels.
+func RegisterRuntime(r *Registry) {
+	rs := &runtimeSampler{ttl: time.Second, read: runtime.ReadMemStats}
+	mem := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 { return f(rs.sample()) }
+	}
+	r.Gauge("go_goroutines", "Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.Gauge("go_gomaxprocs", "GOMAXPROCS.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.Gauge("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapSys) }))
+	r.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	r.Gauge("go_gc_cycles", "Completed GC cycles.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.Gauge("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause seconds.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+	r.Gauge("go_memstats_last_gc_time_seconds", "Unix time of the last garbage collection.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.LastGC) / 1e9 }))
+
+	b := Build()
+	labels := Label("version", b.Version) + "," +
+		Label("commit", b.Commit) + "," +
+		Label("go", b.GoVersion)
+	r.LabeledGauge("xc_build_info", "Build identification; value is always 1.", labels,
+		func() float64 { return 1 })
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Unit tells the exposition how to scale a histogram's raw uint64
+// observations into the exported unit.
+type Unit int
+
+const (
+	// UnitSeconds: observations are nanoseconds, exported as seconds.
+	UnitSeconds Unit = iota
+	// UnitBytes: observations are bytes, exported as-is.
+	UnitBytes
+	// UnitCount: dimensionless observations, exported as-is.
+	UnitCount
+)
+
+// scale returns the divisor from raw observation to exported unit.
+func (u Unit) scale() float64 {
+	if u == UnitSeconds {
+		return 1e9
+	}
+	return 1
+}
+
+// Log-linear bucket layout: values below 2^(subBits+1) get one bucket
+// each (exact); above, every power-of-two octave is split into
+// 2^subBits linear sub-buckets, bounding the relative width of any
+// bucket — and so the relative error of any quantile estimate — at
+// 2^-subBits (25%).
+const (
+	subBits    = 2
+	subCount   = 1 << subBits       // sub-buckets per octave
+	smallLimit = 1 << (subBits + 1) // exclusive top of the exact range
+	smallCount = smallLimit         // buckets 0..smallLimit-1, one value each
+	numOctaves = 64 - (subBits + 1) // octaves subBits+1 .. 63
+	numBuckets = smallCount + numOctaves*subCount
+)
+
+// bucketIndex maps an observation to its bucket. Monotone in v.
+func bucketIndex(v uint64) int {
+	if v < smallLimit {
+		return int(v)
+	}
+	octave := bits.Len64(v) - 1 // >= subBits+1
+	sub := int(v>>(uint(octave)-subBits)) - subCount
+	return smallCount + (octave-(subBits+1))*subCount + sub
+}
+
+// bucketUpper returns the largest value that maps to bucket i — the
+// bucket's inclusive upper bound, used as the quantile estimate and the
+// exposition's `le` boundary.
+func bucketUpper(i int) uint64 {
+	if i < smallCount {
+		return uint64(i)
+	}
+	rel := i - smallCount
+	octave := uint(subBits + 1 + rel/subCount)
+	sub := uint64(rel%subCount) + subCount
+	lower := sub << (octave - subBits)
+	return lower + 1<<(octave-subBits) - 1
+}
+
+// histShard is one recorder's view: the bucket array plus running
+// count, sum and max. Shards are written by (mostly) distinct
+// goroutines and summed only at scrape time. The bucket array itself
+// spans many cache lines, so shards do not need explicit padding.
+type histShard struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Histogram is a sharded, allocation-free, log-bucketed histogram of
+// uint64 observations (typically nanoseconds). Obtain one from
+// Registry.Histogram. A nil *Histogram is safe to observe into.
+type Histogram struct {
+	unit   Unit
+	off    bool
+	shards []histShard
+}
+
+func newHistogram(unit Unit, off bool) *Histogram {
+	return &Histogram{unit: unit, off: off, shards: make([]histShard, shardCount)}
+}
+
+// Observe records one value. Safe for concurrent use; allocation-free;
+// nil-safe; a no-op on a disabled registry's histograms.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil || h.off {
+		return
+	}
+	sh := &h.shards[shardIndex()]
+	sh.buckets[bucketIndex(v)].Add(1)
+	sh.count.Add(1)
+	sh.sum.Add(v)
+	for {
+		old := sh.max.Load()
+		if v <= old || sh.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the nanoseconds elapsed since t0. A zero t0 is
+// ignored (the convention for "timing was off for this call").
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil || h.off || t0.IsZero() {
+		return
+	}
+	h.Observe(uint64(time.Since(t0)))
+}
+
+// HistSnapshot is a merged point-in-time view of a histogram.
+type HistSnapshot struct {
+	Buckets [numBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Unit    Unit
+}
+
+// Snapshot merges the shards. Concurrent observations may be partially
+// included; Count always equals the sum of Buckets.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Unit = h.unit
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.buckets {
+			s.Buckets[b] += sh.buckets[b].Load()
+		}
+		s.Sum += sh.sum.Load()
+		if m := sh.max.Load(); m > s.Max {
+			s.Max = m
+		}
+	}
+	// Derive Count from the merged buckets rather than the per-shard
+	// count fields: a concurrent Observe between the two loads could
+	// otherwise make Count disagree with the bucket total, and the
+	// exposition's +Inf bucket must equal _count exactly.
+	for _, n := range s.Buckets {
+		s.Count += n
+	}
+	return s
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the snapshot in
+// raw units: the inclusive upper bound of the bucket holding the q-th
+// observation, clamped to the observed maximum. Never underestimates
+// the true sample quantile by more than one bucket's width (25%
+// relative, exact below 8). Returns 0 on an empty snapshot.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			if u := bucketUpper(i); u < s.Max {
+				return u
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the snapshot's mean in raw units (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

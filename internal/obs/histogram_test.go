@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketLayout pins the log-linear bucketing: indices are monotone
+// in the value, every value maps into a bucket whose bounds contain it,
+// and the relative bucket width never exceeds 25% past the exact range.
+func TestBucketLayout(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 7, 8, 9, 15, 16, 31, 32, 100, 1000, 1 << 20, 1<<40 + 12345, 1<<63 + 1, ^uint64(0)} {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if u := bucketUpper(i); v > u {
+			t.Fatalf("value %d above its bucket's upper bound %d (bucket %d)", v, u, i)
+		}
+		if i > 0 {
+			if l := bucketUpper(i - 1); v <= l {
+				t.Fatalf("value %d at or below previous bucket's upper bound %d (bucket %d)", v, l, i)
+			}
+		}
+	}
+	// Exhaustive continuity: every bucket's upper bound maps back to it,
+	// and upper+1 maps to the next.
+	for i := 0; i < numBuckets-1; i++ {
+		u := bucketUpper(i)
+		if got := bucketIndex(u); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", i, u, got)
+		}
+		if got := bucketIndex(u + 1); got != i+1 {
+			t.Fatalf("bucketIndex(%d+1) = %d, want %d", u, got, i+1)
+		}
+	}
+}
+
+// TestHistogramQuantileOracle checks estimated quantiles against the
+// sorted-sample oracle over several distributions: the estimate must
+// never fall below the true quantile and never exceed it by more than
+// one bucket width (25% relative, +1 for integer truncation at the
+// exact/log boundary).
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() uint64{
+		"uniform":     func() uint64 { return uint64(rng.Int63n(1_000_000)) },
+		"exponential": func() uint64 { return uint64(rng.ExpFloat64() * 50_000) },
+		"constant":    func() uint64 { return 12345 },
+		"small":       func() uint64 { return uint64(rng.Int63n(8)) },
+		"heavy-tail":  func() uint64 { return uint64(rng.Int63n(1000) * rng.Int63n(1000) * rng.Int63n(1000)) },
+	}
+	for name, gen := range dists {
+		h := newHistogram(UnitCount, false)
+		samples := make([]uint64, 10_000)
+		for i := range samples {
+			samples[i] = gen()
+			h.Observe(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.Snapshot()
+		if snap.Count != uint64(len(samples)) {
+			t.Fatalf("%s: count %d, want %d", name, snap.Count, len(samples))
+		}
+		var sum uint64
+		for _, v := range samples {
+			sum += v
+		}
+		if snap.Sum != sum {
+			t.Fatalf("%s: sum %d, want %d", name, snap.Sum, sum)
+		}
+		if snap.Max != samples[len(samples)-1] {
+			t.Fatalf("%s: max %d, want %d", name, snap.Max, samples[len(samples)-1])
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(q * float64(len(samples)))
+			if rank >= len(samples) {
+				rank = len(samples) - 1
+			}
+			oracle := samples[rank]
+			got := snap.Quantile(q)
+			if got < oracle {
+				t.Errorf("%s p%g: estimate %d below oracle %d", name, q*100, got, oracle)
+			}
+			if limit := oracle + oracle/4 + 1; got > limit {
+				t.Errorf("%s p%g: estimate %d above oracle %d by more than a bucket (limit %d)",
+					name, q*100, got, oracle, limit)
+			}
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram and one counter from
+// many goroutines (run with -race in CI) and verifies no observation
+// was lost.
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(UnitCount, false)
+	c := newCounter()
+	const goroutines, perG = 16, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(uint64(g*perG + i))
+				c.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if want := uint64(goroutines * perG); snap.Count != want {
+		t.Fatalf("lost observations: count %d, want %d", snap.Count, want)
+	}
+	if want := uint64(goroutines * perG); c.Value() != want {
+		t.Fatalf("lost counter adds: %d, want %d", c.Value(), want)
+	}
+	if want := uint64(goroutines*perG - 1); snap.Max != want {
+		t.Fatalf("max %d, want %d", snap.Max, want)
+	}
+}
+
+// TestRecordingAllocationFree pins the hot-path contract: counter adds
+// and histogram observations allocate nothing (shard selection via the
+// stack-address hash must not force an escape).
+func TestRecordingAllocationFree(t *testing.T) {
+	h := newHistogram(UnitSeconds, false)
+	c := newCounter()
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n > 0 {
+		t.Errorf("Counter.Add allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(98765) }); n > 0 {
+		t.Errorf("Histogram.Observe allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestDisabledRegistry verifies a disabled registry's histograms
+// discard observations while counters keep counting (serving statistics
+// depend on them).
+func TestDisabledRegistry(t *testing.T) {
+	r := NewDisabled()
+	h := r.Histogram("h_seconds", "", UnitSeconds)
+	c := r.Counter("c_total", "")
+	h.Observe(100)
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	c.Add(7)
+	if got := h.Snapshot().Count; got != 0 {
+		t.Fatalf("disabled histogram recorded %d observations", got)
+	}
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter on disabled registry: %d, want 7", got)
+	}
+	if !r.Disabled() {
+		t.Fatal("Disabled() = false")
+	}
+}
+
+// TestNilSafety: every record-path method must be a no-op on nil
+// receivers, so optional instrumentation needs no call-site guards.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	var l *SlowLog
+	var tr *Trace
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram has observations")
+	}
+	l.Observe(NewTrace("q", ""), nil)
+	if l.Entries() != nil || l.Total() != 0 || l.Threshold() != 0 {
+		t.Fatal("nil slow log not empty")
+	}
+	tr.Record(StageEval, tr.Now())
+	tr.Finish()
+	tr.AddDecodedBytes(5)
+	if tr.BytesDecoded() != 0 {
+		t.Fatal("nil trace accumulated bytes")
+	}
+}

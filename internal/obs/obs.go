@@ -1,0 +1,252 @@
+// Package obs is the zero-dependency observability core: a metrics
+// registry of counters, gauges and log-bucketed latency histograms, a
+// per-query stage trace, and a ring-buffered slow-query log.
+//
+// The design constraint is the read path: PR 4 made a warm tag-only
+// query cost 4 allocations, and instrumentation must not reintroduce
+// coordination or allocation there. Counters and histograms are
+// therefore sharded arrays of cache-line-padded atomics — recording is
+// one shard pick plus a handful of uncontended atomic adds, no locks,
+// no allocation — in the spirit of coordination-avoiding design: the
+// hot path only ever writes, and the scrape path pays the full-fence
+// cost of summing shards.
+//
+// Shard selection hashes the address of a stack variable. Goroutine
+// stacks are distinct allocations, so concurrent recorders spread over
+// shards without any per-goroutine state, runtime hooks or thread
+// locals; two goroutines occasionally sharing a shard costs one bounced
+// cache line, never a lost update.
+//
+// A Registry is an instance, not a process global: every store owns its
+// own, so tests and benchmarks can open many stores without metric
+// collisions. Registration is idempotent — asking for an already
+// registered name returns the existing metric — which lets subsystems
+// (store, ingest) re-attach across reopens.
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// shardCount is the number of counter/histogram shards: enough to make
+// concurrent recording effectively uncontended at typical GOMAXPROCS,
+// small enough that a store's few dozen metrics stay in the tens of
+// kilobytes.
+var shardCount = func() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 16 {
+		n <<= 1
+	}
+	return n
+}()
+
+// shardIndex picks this goroutine's shard: a multiplicative hash of a
+// stack address. The conversion to uintptr keeps the local on the
+// stack (no escape), so the pick is allocation-free.
+func shardIndex() int {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return int((p * 0x9E3779B97F4A7C15) >> 32 & uintptr(shardCount-1))
+}
+
+// counterShard is one cache-line-isolated accumulator.
+type counterShard struct {
+	n atomic.Uint64
+	_ [7]uint64 // pad to a 64-byte line so shards never share one
+}
+
+// Counter is a monotonically increasing sharded counter. The zero
+// Counter is not usable; obtain one from Registry.Counter. A nil
+// *Counter is safe to Add to (a no-op), so optional instrumentation
+// needs no call-site guards.
+type Counter struct {
+	shards []counterShard
+}
+
+func newCounter() *Counter { return &Counter{shards: make([]counterShard, shardCount)} }
+
+// Add increments the counter by n. Safe for concurrent use;
+// allocation-free; nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].n.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the shards. Concurrent Adds may or may not be included —
+// the usual snapshot semantics of statistics counters.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a value sampled at scrape time by calling a function — cache
+// sizes, queue depths, runtime statistics. The function must be safe
+// for concurrent use and must not call back into the Registry.
+type Gauge struct {
+	fn func() float64
+}
+
+// Value samples the gauge.
+func (g *Gauge) Value() float64 { return g.fn() }
+
+// metric kinds for exposition.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// item is one registered time series: a metric name plus an optional
+// preformatted label set, backed by exactly one of the value sources.
+type item struct {
+	labels string // `k="v",k2="v2"` (no braces), "" for none
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the items sharing one metric name: one HELP/TYPE block
+// in the exposition.
+type family struct {
+	name  string
+	help  string
+	kind  string
+	items []*item
+}
+
+// Registry is a named collection of metrics. Safe for concurrent use;
+// registration is idempotent by (name, labels).
+type Registry struct {
+	// off disables histogram recording (Observe becomes a no-op after
+	// one branch) so benchmarks can measure the uninstrumented path.
+	// Counters stay live: pre-existing serving statistics (/stats)
+	// depend on them and they predate this package.
+	off bool
+
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{families: make(map[string]*family)} }
+
+// NewDisabled returns a registry whose histograms discard observations.
+// Counters and gauges still work.
+func NewDisabled() *Registry {
+	r := New()
+	r.off = true
+	return r
+}
+
+// Disabled reports whether histogram recording is off. Callers use it
+// to skip the time.Now() pairs that feed observations.
+func (r *Registry) Disabled() bool { return r == nil || r.off }
+
+// Label formats one label pair for the Labeled* registration calls.
+// Values are escaped per the Prometheus text format.
+func Label(k, v string) string {
+	return k + `="` + labelEscaper.Replace(v) + `"`
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// lookup returns the item registered under (name, labels), creating
+// family and item through mk on first registration.
+func (r *Registry) lookup(name, help, kind, labels string, mk func() *item) *item {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	for _, it := range f.items {
+		if it.labels == labels {
+			return it
+		}
+	}
+	it := mk()
+	it.labels = labels
+	f.items = append(f.items, it)
+	return it
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.LabeledCounter(name, help, "")
+}
+
+// LabeledCounter registers a counter time series with a preformatted
+// label set (see Label).
+func (r *Registry) LabeledCounter(name, help, labels string) *Counter {
+	return r.lookup(name, help, kindCounter, labels, func() *item {
+		return &item{c: newCounter()}
+	}).c
+}
+
+// Gauge registers a sampled-at-scrape gauge under name. Re-registering
+// the same name replaces the sampling function (the reopened subsystem
+// owns the fresher state).
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.LabeledGauge(name, help, "", fn)
+}
+
+// LabeledGauge registers a gauge time series with a preformatted label
+// set.
+func (r *Registry) LabeledGauge(name, help, labels string, fn func() float64) {
+	it := r.lookup(name, help, kindGauge, labels, func() *item {
+		return &item{g: &Gauge{}}
+	})
+	r.mu.Lock()
+	it.g.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+func (r *Registry) Histogram(name, help string, unit Unit) *Histogram {
+	return r.LabeledHistogram(name, help, unit, "")
+}
+
+// LabeledHistogram registers a histogram time series with a
+// preformatted label set.
+func (r *Registry) LabeledHistogram(name, help string, unit Unit, labels string) *Histogram {
+	return r.lookup(name, help, kindHistogram, labels, func() *item {
+		return &item{h: newHistogram(unit, r.off)}
+	}).h
+}
+
+// lockedFamilies returns the family list in name order with items in
+// label order — the stable exposition order. Caller holds r.mu (the
+// exposition path keeps it held so registration cannot race the walk;
+// recording never takes this lock).
+func (r *Registry) lockedFamilies() []*family {
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for _, f := range out {
+		sort.Slice(f.items, func(i, j int) bool { return f.items[i].labels < f.items[j].labels })
+	}
+	return out
+}

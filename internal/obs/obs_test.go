@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parsePrometheus is a strict mini-parser for the text exposition
+// format, enough to validate what this package emits: it returns the
+// sample values by full series name and fails the test on malformed
+// lines, duplicate series, unsorted or non-cumulative histogram
+// buckets, or count/sum inconsistencies.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	types := make(map[string]string)
+	var lastName string
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("duplicate TYPE for %s", parts[2])
+			}
+			types[parts[2]] = parts[3]
+			if parts[2] < lastName {
+				t.Fatalf("families not sorted: %s after %s", parts[2], lastName)
+			}
+			lastName = parts[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		series, valStr := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if _, dup := samples[series]; dup {
+			t.Fatalf("duplicate series %q", series)
+		}
+		samples[series] = v
+	}
+
+	// Histogram structural checks: le ascending, counts cumulative,
+	// +Inf == _count, and _sum/_count present.
+	for name, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		type bucket struct {
+			le  float64
+			n   float64
+			raw string
+		}
+		byLabels := make(map[string][]bucket)
+		for series, v := range samples {
+			if !strings.HasPrefix(series, name+"_bucket{") {
+				continue
+			}
+			inner := strings.TrimSuffix(strings.TrimPrefix(series, name+"_bucket{"), "}")
+			j := strings.LastIndex(inner, `le="`)
+			if j < 0 {
+				t.Fatalf("bucket without le: %q", series)
+			}
+			leStr := strings.TrimSuffix(inner[j+4:], `"`)
+			le := float64(0)
+			if leStr == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				var err error
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					t.Fatalf("bad le %q: %v", leStr, err)
+				}
+			}
+			key := strings.TrimSuffix(inner[:j], ",")
+			byLabels[key] = append(byLabels[key], bucket{le, v, series})
+		}
+		for key, bs := range byLabels {
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			prev := -1.0
+			for _, b := range bs {
+				if b.n < prev {
+					t.Fatalf("%s: non-cumulative bucket %q: %g after %g", name, b.raw, b.n, prev)
+				}
+				prev = b.n
+			}
+			countSeries := name + "_count"
+			if key != "" {
+				countSeries += "{" + key + "}"
+			}
+			count, ok := samples[countSeries]
+			if !ok {
+				t.Fatalf("%s: missing %s", name, countSeries)
+			}
+			if last := bs[len(bs)-1]; !math.IsInf(last.le, 1) || last.n != count {
+				t.Fatalf("%s{%s}: +Inf bucket %g != count %g (last %q)", name, key, last.n, count, last.raw)
+			}
+			sumSeries := name + "_sum"
+			if key != "" {
+				sumSeries += "{" + key + "}"
+			}
+			if _, ok := samples[sumSeries]; !ok {
+				t.Fatalf("%s: missing %s", name, sumSeries)
+			}
+		}
+	}
+	return samples
+}
+
+// TestWritePrometheus registers one of everything with known values and
+// validates the scrape both structurally and numerically.
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	c := r.Counter("xc_widgets_total", "Widgets made.")
+	c.Add(41)
+	c.Inc()
+	r.LabeledCounter("xc_labeled_total", "By kind.", Label("kind", "a")).Add(3)
+	r.LabeledCounter("xc_labeled_total", "By kind.", Label("kind", `we"ird\`)).Add(4)
+	r.Gauge("xc_depth", "Queue depth.", func() float64 { return 2.5 })
+	h := r.Histogram("xc_wait_seconds", "Wait time.", UnitSeconds)
+	for _, ns := range []uint64{1000, 2000, 3000, 4_000_000} {
+		h.Observe(ns)
+	}
+	sh := r.LabeledHistogram("xc_stage_seconds", "Per stage.", UnitSeconds, Label("stage", "eval"))
+	sh.Observe(500)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePrometheus(t, buf.String())
+
+	if got := samples["xc_widgets_total"]; got != 42 {
+		t.Errorf("xc_widgets_total = %g, want 42", got)
+	}
+	if got := samples[`xc_labeled_total{kind="a"}`]; got != 3 {
+		t.Errorf(`labeled counter = %g, want 3`, got)
+	}
+	if got := samples[`xc_labeled_total{kind="we\"ird\\"}`]; got != 4 {
+		t.Errorf("escaped labeled counter missing (got %g); scrape:\n%s", got, buf.String())
+	}
+	if got := samples["xc_depth"]; got != 2.5 {
+		t.Errorf("gauge = %g, want 2.5", got)
+	}
+	if got := samples["xc_wait_seconds_count"]; got != 4 {
+		t.Errorf("histogram count = %g, want 4", got)
+	}
+	wantSum := (1000 + 2000 + 3000 + 4_000_000) / 1e9
+	if got := samples["xc_wait_seconds_sum"]; got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Errorf("histogram sum = %g, want ~%g", got, wantSum)
+	}
+	if got := samples[`xc_stage_seconds_count{stage="eval"}`]; got != 1 {
+		t.Errorf("labeled histogram count = %g, want 1", got)
+	}
+	// Idempotent registration: same name+labels returns the same metric.
+	if again := r.Counter("xc_widgets_total", "Widgets made."); again != c {
+		t.Error("re-registration returned a different counter")
+	}
+}
+
+// TestRegisterRuntime checks the process gauges and build info are
+// present and sane.
+func TestRegisterRuntime(t *testing.T) {
+	r := New()
+	RegisterRuntime(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePrometheus(t, buf.String())
+	if samples["go_goroutines"] < 1 {
+		t.Errorf("go_goroutines = %g", samples["go_goroutines"])
+	}
+	if samples["go_memstats_heap_alloc_bytes"] <= 0 {
+		t.Errorf("heap alloc = %g", samples["go_memstats_heap_alloc_bytes"])
+	}
+	found := false
+	for series := range samples {
+		if strings.HasPrefix(series, "xc_build_info{") {
+			if !strings.Contains(series, `version="`) || !strings.Contains(series, `go="go`) {
+				t.Errorf("build info labels incomplete: %s", series)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("xc_build_info missing")
+	}
+	if b := Build(); b.Version == "" || b.GoVersion == "" || b.GOMAXPROCS < 1 {
+		t.Errorf("Build() = %+v", b)
+	}
+}
+
+// TestSlowLogRing pins eviction order: a ring of 4 fed 10 entries keeps
+// the newest 4, newest first, while Total counts all 10.
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(time.Nanosecond, 4)
+	for i := 0; i < 10; i++ {
+		tr := NewTrace(fmt.Sprintf("q%d", i), "")
+		tr.Spans[StageEval] = time.Duration(i+1) * time.Millisecond
+		tr.Total = time.Millisecond
+		l.Observe(tr, nil)
+	}
+	entries := l.Entries()
+	if len(entries) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(entries))
+	}
+	for i, e := range entries {
+		if want := fmt.Sprintf("q%d", 9-i); e.Query != want {
+			t.Errorf("entry %d = %q, want %q (newest first)", i, e.Query, want)
+		}
+		if e.Stages["eval"] == 0 {
+			t.Errorf("entry %d lost its stage breakdown", i)
+		}
+	}
+	if l.Total() != 10 {
+		t.Errorf("Total = %d, want 10", l.Total())
+	}
+
+	// Below-threshold traces are not retained.
+	fast := NewSlowLog(time.Hour, 4)
+	tr := NewTrace("fast", "")
+	tr.Total = time.Millisecond
+	fast.Observe(tr, nil)
+	if len(fast.Entries()) != 0 {
+		t.Error("below-threshold query retained")
+	}
+
+	// Disabled by threshold <= 0.
+	if NewSlowLog(0, 4) != nil {
+		t.Error("NewSlowLog(0) should be nil (disabled)")
+	}
+}

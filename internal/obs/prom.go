@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE block per metric
+// name, series sorted by name then label set, histograms as cumulative
+// `_bucket{le=...}` series (non-empty boundaries only, plus `+Inf`)
+// with `_sum` and `_count`.
+//
+// The registry lock is held for the duration, so a scrape sees a
+// consistent metric set; recording (counter adds, histogram observes)
+// never takes that lock and is unaffected.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	for _, f := range r.lockedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, helpEscaper.Replace(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, it := range f.items {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s %d\n", series(f.name, it.labels), it.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s %s\n", series(f.name, it.labels), formatFloat(it.g.Value()))
+			case kindHistogram:
+				writeHistogram(bw, f.name, it.labels, it.h.Snapshot())
+			}
+		}
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// series renders one sample's name{labels} prefix.
+func series(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// seriesLe renders a histogram bucket's name{labels,le="bound"} prefix.
+func seriesLe(name, labels, le string) string {
+	if labels == "" {
+		return name + `_bucket{le="` + le + `"}`
+	}
+	return name + "_bucket{" + labels + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHistogram emits one histogram series set. Bucket boundaries are
+// the log-linear buckets' inclusive upper bounds scaled to the exported
+// unit; only boundaries whose bucket holds observations are emitted
+// (cumulative counts stay correct — Prometheus buckets are cumulative,
+// so omitting an empty boundary loses nothing).
+func writeHistogram(w io.Writer, name, labels string, s HistSnapshot) {
+	div := s.Unit.scale()
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		le := formatFloat(float64(bucketUpper(i)) / div)
+		fmt.Fprintf(w, "%s %d\n", seriesLe(name, labels, le), cum)
+	}
+	fmt.Fprintf(w, "%s %d\n", seriesLe(name, labels, "+Inf"), s.Count)
+	fmt.Fprintf(w, "%s %s\n", series(name+"_sum", labels), formatFloat(float64(s.Sum)/div))
+	fmt.Fprintf(w, "%s %d\n", series(name+"_count", labels), s.Count)
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

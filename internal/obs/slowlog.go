@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one retained slow query: the trace flattened into plain
+// JSON-friendly fields.
+type SlowEntry struct {
+	Time       time.Time `json:"time"`
+	Query      string    `json:"query"`
+	Doc        string    `json:"doc,omitempty"`
+	TotalNanos int64     `json:"total_ns"`
+
+	// Per-stage wall nanoseconds, zero stages omitted.
+	Stages map[string]int64 `json:"stages,omitempty"`
+
+	Considered   int    `json:"docs_considered"`
+	Pruned       int    `json:"docs_pruned"`
+	Direct       int    `json:"docs_direct"`
+	Scanned      int    `json:"docs_scanned"`
+	Failed       int    `json:"docs_failed,omitempty"`
+	BytesDecoded int64  `json:"bytes_decoded"`
+	Err          string `json:"error,omitempty"`
+}
+
+// SlowLog is a fixed-size ring of the most recent queries whose total
+// wall time met a threshold. A nil *SlowLog is safe to observe into, so
+// the feature costs one pointer test when disabled.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu    sync.Mutex
+	ring  []SlowEntry
+	next  int    // ring write cursor
+	count int    // entries currently held (<= len(ring))
+	total uint64 // slow queries ever seen (including evicted)
+}
+
+// NewSlowLog retains the size most recent queries at least threshold
+// slow. Returns nil when threshold <= 0 (disabled); size <= 0 selects
+// 128.
+func NewSlowLog(threshold time.Duration, size int) *SlowLog {
+	if threshold <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = 128
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowEntry, size)}
+}
+
+// Threshold returns the configured threshold (0 on a nil log).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Observe retains tr if its total meets the threshold. The trace is
+// flattened immediately, so the caller may keep mutating or pooling it.
+func (l *SlowLog) Observe(tr *Trace, err error) {
+	if l == nil || tr == nil || tr.Total < l.threshold {
+		return
+	}
+	e := SlowEntry{
+		Time:         tr.Begin,
+		Query:        tr.Query,
+		Doc:          tr.Doc,
+		TotalNanos:   int64(tr.Total),
+		Considered:   tr.Considered,
+		Pruned:       tr.Pruned,
+		Direct:       tr.Direct,
+		Scanned:      tr.Scanned,
+		Failed:       tr.Failed,
+		BytesDecoded: tr.BytesDecoded(),
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		if d := tr.Spans[st]; d > 0 {
+			if e.Stages == nil {
+				e.Stages = make(map[string]int64, int(NumStages))
+			}
+			e.Stages[st.String()] = int64(d)
+		}
+	}
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.count < len(l.ring) {
+		l.count++
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Entries returns the retained entries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, l.count)
+	for i := 1; i <= l.count; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Total returns how many slow queries were ever observed, including
+// ones the ring has since evicted.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

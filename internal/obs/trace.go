@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one segment of a query's critical path. The stages
+// mirror the serving pipeline: plan (compile + cost-based planning),
+// prune (synopsis pruning), direct (synopsis-direct answering), load
+// (archive read + decode into the document cache), eval (overlay
+// evaluation), materialize (result paths and response assembly).
+type Stage uint8
+
+const (
+	StagePlan Stage = iota
+	StagePrune
+	StageDirect
+	StageLoad
+	StageEval
+	StageMaterialize
+	NumStages
+)
+
+var stageNames = [NumStages]string{"plan", "prune", "direct", "load", "eval", "materialize"}
+
+// String returns the stage's wire name (the `stage` label value).
+func (st Stage) String() string {
+	if int(st) < len(stageNames) {
+		return stageNames[st]
+	}
+	return "unknown"
+}
+
+// Trace is one query's stage-timed breakdown: wall time per stage plus
+// the document and byte counters a fan-out accumulates. A nil *Trace is
+// safe to use everywhere (every method no-ops), so untraced paths pay a
+// single pointer test per call site.
+//
+// Span recording is single-threaded (the fan-out driver owns the
+// trace); only the decoded-byte counter is written from worker
+// goroutines and is therefore atomic.
+type Trace struct {
+	Query string
+	Doc   string // set for single-document queries, "" for fan-outs
+	Begin time.Time
+	Total time.Duration
+	Spans [NumStages]time.Duration
+
+	// Fan-out document accounting: Considered = Pruned + Direct +
+	// Scanned + Failed. A single-document query counts as one
+	// considered/scanned.
+	Considered int
+	Pruned     int
+	Direct     int
+	Scanned    int
+	Failed     int
+
+	bytesDecoded atomic.Int64
+}
+
+// NewTrace starts a trace for query (doc optional).
+func NewTrace(query, doc string) *Trace {
+	return &Trace{Query: query, Doc: doc, Begin: time.Now()}
+}
+
+// Now returns the current time, or the zero time on a nil trace — the
+// matching Record ignores zero starts, so call sites need no guards.
+func (t *Trace) Now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Record adds the wall time since t0 to the stage's span.
+func (t *Trace) Record(st Stage, t0 time.Time) {
+	if t == nil || t0.IsZero() {
+		return
+	}
+	t.Spans[st] += time.Since(t0)
+}
+
+// Finish stamps the total wall time.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.Total = time.Since(t.Begin)
+}
+
+// AddDecodedBytes accumulates archive bytes decoded on behalf of this
+// query (cache misses only). Safe from concurrent fan-out workers.
+func (t *Trace) AddDecodedBytes(n int64) {
+	if t == nil {
+		return
+	}
+	t.bytesDecoded.Add(n)
+}
+
+// BytesDecoded returns the accumulated decode volume.
+func (t *Trace) BytesDecoded() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.bytesDecoded.Load()
+}

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // IngestStats is a point-in-time snapshot of the write path, reported
@@ -72,6 +74,9 @@ type ServerOptions struct {
 	Ingest Ingestor
 	// MaxBodyBytes caps an ingested document's size. <= 0 selects 64 MiB.
 	MaxBodyBytes int64
+	// AccessLog, when non-nil, wraps the handler in structured
+	// per-request logging (method, path, status, duration, bytes).
+	AccessLog *slog.Logger
 }
 
 // NewHandler wraps a Store in the xcserve HTTP API:
@@ -80,17 +85,23 @@ type ServerOptions struct {
 //	GET /query?q=XPATH[&max=N]           fan out over every document
 //	GET /docs                            the catalog
 //	GET /stats                           cache, query and ingest counters
+//	GET /metrics                         Prometheus text exposition
+//	GET /debug/slow                      slow-query ring (when enabled)
 //
-// and, when ServerOptions.Ingest is set, the write API:
+// Adding trace=1 to /query attaches a per-stage timing breakdown to
+// the response.
+//
+// When ServerOptions.Ingest is set, the write API:
 //
 //	POST   /docs/NAME   body = XML      ingest (or replace) a document
 //	DELETE /docs/NAME                   tombstone a document
 //	POST   /flush                       force compaction to archives
 //
-// All responses are JSON; errors are {"error": "..."} with a matching
-// status code. The handler is safe for concurrent use — it adds no state
-// of its own beyond the start time, the Store is coordination-free on
-// the read path, and the Ingestor serialises the write path internally.
+// All responses are JSON (except /metrics, which is Prometheus text);
+// errors are {"error": "..."} with a matching status code. The handler
+// is safe for concurrent use — it adds no state of its own beyond the
+// start time, the Store is coordination-free on the read path, and the
+// Ingestor serialises the write path internally.
 func NewHandler(s *Store, opts ServerOptions) http.Handler {
 	if opts.MaxPaths <= 0 {
 		opts.MaxPaths = 100
@@ -105,6 +116,11 @@ func NewHandler(s *Store, opts ServerOptions) http.Handler {
 	mux.HandleFunc("/docs/", h.doc)
 	mux.HandleFunc("/flush", h.flush)
 	mux.HandleFunc("/stats", h.stats)
+	mux.Handle("/metrics", s.Metrics().Handler())
+	mux.HandleFunc("/debug/slow", h.slow)
+	if opts.AccessLog != nil {
+		return obs.AccessLog(opts.AccessLog, mux)
+	}
 	return mux
 }
 
@@ -140,6 +156,47 @@ type QueryResponse struct {
 	EdgesAfter  int   `json:"edges_after"`
 	PrepNanos   int64 `json:"prep_ns"` // string distillation + merge; 0 for tag-only
 	EvalNanos   int64 `json:"eval_ns"`
+
+	// Trace is the per-stage timing breakdown, present when the request
+	// asked for it with trace=1.
+	Trace *TraceInfo `json:"trace,omitempty"`
+}
+
+// TraceInfo is the JSON rendering of a query's stage trace (trace=1).
+type TraceInfo struct {
+	TotalNanos int64            `json:"total_ns"`
+	Stages     map[string]int64 `json:"stages_ns"` // only stages that ran
+
+	Considered   int   `json:"docs_considered"`
+	Pruned       int   `json:"docs_pruned,omitempty"`
+	Direct       int   `json:"docs_direct,omitempty"`
+	Scanned      int   `json:"docs_scanned"`
+	Failed       int   `json:"docs_failed,omitempty"`
+	BytesDecoded int64 `json:"bytes_decoded"` // archive bytes decoded on cache misses
+}
+
+// traceInfo renders a finalized trace. Callers must have passed tr
+// through CloseTrace first (Total is stamped there).
+func traceInfo(tr *obs.Trace) *TraceInfo {
+	if tr == nil {
+		return nil
+	}
+	stages := make(map[string]int64, obs.NumStages)
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		if d := tr.Spans[st]; d > 0 {
+			stages[st.String()] = int64(d)
+		}
+	}
+	return &TraceInfo{
+		TotalNanos:   int64(tr.Total),
+		Stages:       stages,
+		Considered:   tr.Considered,
+		Pruned:       tr.Pruned,
+		Direct:       tr.Direct,
+		Scanned:      tr.Scanned,
+		Failed:       tr.Failed,
+		BytesDecoded: tr.BytesDecoded(),
+	}
 }
 
 // FanoutResponse is the /query response when no document is named: one
@@ -153,6 +210,10 @@ type FanoutResponse struct {
 	Direct       int             `json:"direct"` // documents answered from synopsis statistics
 	WallNanos    int64           `json:"wall_ns"`
 	Workers      int             `json:"workers"`
+
+	// Trace is the per-stage timing breakdown, present when the request
+	// asked for it with trace=1.
+	Trace *TraceInfo `json:"trace,omitempty"`
 }
 
 // FanoutError reports one document that failed during a fan-out.
@@ -183,22 +244,34 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	wantTrace := r.URL.Query().Get("trace") == "1"
+
 	if name := r.URL.Query().Get("doc"); name != "" {
-		res, err := h.store.Query(name, q)
+		res, tr, err := h.store.QueryTrace(name, q, wantTrace)
 		if err != nil {
+			h.store.CloseTrace(tr, err)
 			httpError(w, statusFor(h.store, name), err)
 			return
 		}
-		writeJSON(w, toResponse(name, q, res, max))
+		t0 := tr.Now()
+		qr := toResponse(name, q, res, max)
+		tr.Record(obs.StageMaterialize, t0)
+		h.store.CloseTrace(tr, nil)
+		if wantTrace {
+			qr.Trace = traceInfo(tr)
+		}
+		writeJSON(w, qr)
 		return
 	}
 
 	t0 := time.Now()
-	results, err := h.store.QueryAll(q)
+	results, tr, err := h.store.QueryAllTrace(q, wantTrace)
 	if err != nil {
+		h.store.CloseTrace(tr, err)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	m0 := tr.Now()
 	resp := FanoutResponse{Query: q, Docs: []QueryResponse{}, WallNanos: int64(time.Since(t0)), Workers: h.store.Workers()}
 	// max caps the addresses of the whole response, not of each document:
 	// documents early in catalog order consume the budget first.
@@ -220,6 +293,11 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		remaining -= len(qr.Paths)
 		resp.Docs = append(resp.Docs, qr)
 		resp.TotalMatches += br.Result.SelectedTree
+	}
+	tr.Record(obs.StageMaterialize, m0)
+	h.store.CloseTrace(tr, nil)
+	if wantTrace {
+		resp.Trace = traceInfo(tr)
 	}
 	writeJSON(w, resp)
 }
@@ -364,12 +442,15 @@ func ingestStatus(err error) int {
 }
 
 // StatsResponse is the /stats response: store statistics plus server
-// uptime, and the write path's counters when ingest is enabled.
+// uptime and build identity, and the write path's counters when ingest
+// is enabled.
 type StatsResponse struct {
 	Stats
-	UptimeNanos int64        `json:"uptime_ns"`
-	Workers     int          `json:"workers"`
-	Ingest      *IngestStats `json:"ingest,omitempty"`
+	UptimeNanos   int64         `json:"uptime_ns"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Workers       int           `json:"workers"`
+	Build         obs.BuildInfo `json:"build"`
+	Ingest        *IngestStats  `json:"ingest,omitempty"`
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
@@ -377,16 +458,48 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	uptime := time.Since(h.start)
 	resp := StatsResponse{
-		Stats:       h.store.Stats(),
-		UptimeNanos: int64(time.Since(h.start)),
-		Workers:     h.store.Workers(),
+		Stats:         h.store.Stats(),
+		UptimeNanos:   int64(uptime),
+		UptimeSeconds: uptime.Seconds(),
+		Workers:       h.store.Workers(),
+		Build:         obs.Build(),
 	}
 	if h.opts.Ingest != nil {
 		ist := h.opts.Ingest.Stats()
 		resp.Ingest = &ist
 	}
 	writeJSON(w, resp)
+}
+
+// SlowResponse is the /debug/slow response: the retained slow-query
+// entries, newest first.
+type SlowResponse struct {
+	ThresholdNanos int64           `json:"threshold_ns"`
+	Total          uint64          `json:"total"` // includes ring-evicted entries
+	Entries        []obs.SlowEntry `json:"entries"`
+}
+
+func (h *handler) slow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	l := h.store.SlowLog()
+	if l == nil {
+		httpError(w, http.StatusNotFound, errors.New("slow-query log disabled (start xcserve with -slow-query)"))
+		return
+	}
+	entries := l.Entries()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, SlowResponse{
+		ThresholdNanos: int64(l.Threshold()),
+		Total:          l.Total(),
+		Entries:        entries,
+	})
 }
 
 // statusFor distinguishes "no such document" (404) from query and

@@ -51,6 +51,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bundle"
 	"repro/internal/codec"
@@ -59,6 +60,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/engine"
 	"repro/internal/label"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/skeleton"
 	"repro/internal/synopsis"
@@ -98,6 +100,16 @@ type Options struct {
 	// benchmarking the unplanned path and for differential verification
 	// (the plan-smoke CI job runs a store each way and compares bytes).
 	DisablePlanner bool
+	// DisableMetrics turns latency-histogram recording and per-query
+	// trace timing off. Counters stay live — /stats predates the metrics
+	// registry and depends on them. For benchmarking the uninstrumented
+	// path (xcbench -obsbench measures the difference).
+	DisableMetrics bool
+	// SlowQueryThreshold retains queries at least this slow in the
+	// slow-query ring served at GET /debug/slow. <= 0 disables the ring.
+	SlowQueryThreshold time.Duration
+	// SlowLogSize is the slow-query ring capacity. <= 0 selects 128.
+	SlowLogSize int
 }
 
 // Store serves queries from a directory of archives. It is safe for
@@ -108,29 +120,25 @@ type Store struct {
 	workers int
 	progCap int
 
-	queries atomic.Uint64
+	// reg is the store's metrics registry, m the counter and histogram
+	// handles registered in it (see metrics.go), slow the optional
+	// slow-query ring. Every serving counter lives in m exactly once;
+	// Stats() and the /metrics exposition read the same values.
+	reg  *obs.Registry
+	m    *storeMetrics
+	slow *obs.SlowLog
 
 	// syn is the catalog-level path-synopsis index (nil when disabled):
 	// per-document summaries over a shared label dictionary that
 	// QueryAll checks to skip documents a query provably cannot match.
 	// Entries track the archive catalog (Open/AddArchive/RemoveArchive);
 	// live documents carry their own synopses through the Live view.
-	syn          *synopsis.Index
-	synBuilds    uint64 // sidecars rebuilt at Open (missing or unreadable)
-	synWriteErrs uint64 // sidecar persists that failed at Open (rebuilt next open)
-
-	pruneConsidered, prunePruned atomic.Uint64
+	syn *synopsis.Index
 
 	// noPlan disables the cost-based planner (Options.DisablePlanner, or
 	// implied by a disabled synopsis index — there are no statistics to
-	// plan from). Planner counters: planReordered counts plan builds that
-	// changed evaluation order, planDirect documents answered from
-	// synopsis statistics alone, planFallback direct results that later
-	// evaluated for real because a consumer wanted paths or an instance.
-	noPlan        bool
-	planReordered atomic.Uint64
-	planDirect    atomic.Uint64
-	planFallback  atomic.Uint64
+	// plan from).
+	noPlan bool
 
 	// packMu serialises the cold-tier maintenance passes (PackLoose,
 	// AuditBundles) against each other. It is never held together with mu;
@@ -146,9 +154,8 @@ type Store struct {
 
 	// bundles holds the open cold-tier bundle files by id. Entries whose
 	// documents live in a bundle point at it directly (entry.b).
-	bundles        map[uint64]*bundle.Bundle
-	nextBundleID   uint64
-	bundleRebuilds uint64 // needle indexes rebuilt by scanning at Open
+	bundles      map[uint64]*bundle.Bundle
+	nextBundleID uint64
 
 	progs   map[string]*list.Element
 	progLRU *list.List
@@ -159,9 +166,6 @@ type Store struct {
 	// progCap, like the program cache it shadows.
 	plans   map[string]*list.Element
 	planLRU *list.List
-
-	docHits, docMisses, evictions uint64
-	progHits, progMisses          uint64
 }
 
 // entry is one catalogued document source. Exactly one tier backs it:
@@ -232,11 +236,18 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: reading archive directory: %w", err)
 	}
+	reg := obs.New()
+	if opts.DisableMetrics {
+		reg = obs.NewDisabled()
+	}
 	s := &Store{
 		dir:     dir,
 		budget:  opts.CacheBytes,
 		workers: opts.Workers,
 		progCap: opts.ProgramCache,
+		reg:     reg,
+		m:       newStoreMetrics(reg),
+		slow:    obs.NewSlowLog(opts.SlowQueryThreshold, opts.SlowLogSize),
 		entries: make(map[string]*entry),
 		lru:     list.New(),
 		progs:   make(map[string]*list.Element),
@@ -293,6 +304,8 @@ func Open(dir string, opts Options) (*Store, error) {
 			// nil: undecodable source — serve-time error path, full scan.
 		}
 	}
+	obs.RegisterRuntime(reg)
+	s.registerGauges()
 	return s, nil
 }
 
@@ -313,7 +326,7 @@ func (s *Store) openBundles(ids []uint64) error {
 			return fmt.Errorf("store: %w", err)
 		}
 		if b.Rebuilt() {
-			s.bundleRebuilds++
+			s.m.bundleRebuilds.Inc()
 		}
 		s.bundles[b.ID()] = b
 		if b.ID() >= s.nextBundleID {
@@ -369,7 +382,7 @@ func (s *Store) entrySynopsis(e *entry, loggedWriteErr *bool) *synopsis.Synopsis
 		if err != nil {
 			return nil
 		}
-		s.synBuilds++
+		s.m.synBuilds.Inc()
 		return synopsis.Build(skel, dict, synopsis.Options{})
 	}
 	syn, err := synopsis.LoadSidecar(synopsis.SidecarPath(e.path), dict, e.fileBytes)
@@ -384,12 +397,12 @@ func (s *Store) entrySynopsis(e *entry, loggedWriteErr *bool) *synopsis.Synopsis
 	if syn == nil {
 		return nil
 	}
-	s.synBuilds++
+	s.m.synBuilds.Inc()
 	if werr != nil {
 		// Not fatal — the synopsis serves from memory and the next open
 		// rebuilds it — but it must not be invisible: every open repeats
 		// the full-skeleton pass until the write lands.
-		s.synWriteErrs++
+		s.m.synWriteErrs.Inc()
 		if !*loggedWriteErr {
 			log.Printf("store: persisting synopsis sidecar failed (serving from memory, rebuilt next open): %v", werr)
 			*loggedWriteErr = true
@@ -512,6 +525,13 @@ func (s *Store) Names() []string {
 // (PackLoose unlinked the loose file, or an audit rewrote the bundle)
 // retries once against the freshly catalogued entry.
 func (s *Store) Doc(name string) (*Doc, error) {
+	return s.doc(name, nil)
+}
+
+// doc is Doc with decode accounting: a cache miss charges the decoded
+// bytes to the store counter and, when tr is non-nil, to the query's
+// trace.
+func (s *Store) doc(name string, tr *obs.Trace) (*Doc, error) {
 	if l := s.liveView(); l != nil {
 		if d, deleted := l.LiveDoc(name); d != nil {
 			return d, nil
@@ -532,7 +552,7 @@ func (s *Store) Doc(name string) (*Doc, error) {
 		}
 		s.mu.Unlock()
 
-		d, err := s.loadThrough(e)
+		d, err := s.loadThrough(e, tr)
 		if err != nil {
 			// If the catalogued entry changed under us the source moved
 			// (tier migration or replacement) and the error is expected
@@ -551,7 +571,7 @@ func (s *Store) Doc(name string) (*Doc, error) {
 
 // loadThrough decodes e's document with the per-entry load lock held,
 // installing the result in the cache if e is still catalogued.
-func (s *Store) loadThrough(e *entry) (*Doc, error) {
+func (s *Store) loadThrough(e *entry, tr *obs.Trace) (*Doc, error) {
 	e.loadMu.Lock()
 	defer e.loadMu.Unlock()
 	// A concurrent loader may have finished while we waited.
@@ -562,7 +582,7 @@ func (s *Store) loadThrough(e *entry) (*Doc, error) {
 	}
 	s.mu.Unlock()
 
-	d, err := loadEntry(e)
+	d, err := s.loadEntry(e, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -578,7 +598,7 @@ func (s *Store) loadThrough(e *entry) (*Doc, error) {
 		e.charged = docCharge(d)
 		d.lastCharge.Store(e.charged)
 		s.curBytes += e.charged
-		s.docMisses++
+		s.m.docMisses.Inc()
 		s.evictLocked()
 	}
 	s.mu.Unlock()
@@ -736,7 +756,7 @@ func (s *Store) touchLocked(e *entry) *Doc {
 		return nil
 	}
 	s.lru.MoveToFront(e.elem)
-	s.docHits++
+	s.m.docHits.Inc()
 	return e.doc
 }
 
@@ -752,19 +772,29 @@ func (s *Store) evictLocked() {
 		e.doc = nil
 		e.elem = nil
 		e.charged = 0
-		s.evictions++
+		s.m.evictions.Inc()
 	}
 }
 
-// loadEntry decodes e's document from whichever tier backs it.
-func loadEntry(e *entry) (*Doc, error) {
+// loadEntry decodes e's document from whichever tier backs it, charging
+// the decoded bytes to the store counter and the query's trace (tr may
+// be nil — fan-out workers share one trace, whose byte counter is
+// atomic).
+func (s *Store) loadEntry(e *entry, tr *obs.Trace) (*Doc, error) {
 	if e.b == nil {
-		return loadDoc(e.name, e.path)
+		d, err := loadDoc(e.name, e.path)
+		if err == nil {
+			s.m.decodeBytes.Add(uint64(e.fileBytes))
+			tr.AddDecodedBytes(e.fileBytes)
+		}
+		return d, err
 	}
 	data, err := e.b.Archive(e.name)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	s.m.bundleReads.Inc()
+	s.m.bundleReadBytes.Add(uint64(len(data)))
 	a, err := codec.DecodeArchiveBytes(data)
 	if err != nil {
 		return nil, fmt.Errorf("store: decoding %q from %s: %w", e.name, e.b.Path(), err)
@@ -773,6 +803,8 @@ func loadEntry(e *entry) (*Doc, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: rebuilding skeleton of %q: %w", e.name, err)
 	}
+	s.m.decodeBytes.Add(uint64(len(data)))
+	tr.AddDecodedBytes(int64(len(data)))
 	return d, nil
 }
 
@@ -856,12 +888,12 @@ func (s *Store) Program(query string) (*xpath.Program, error) {
 	s.mu.Lock()
 	if el, ok := s.progs[query]; ok {
 		s.progLRU.MoveToFront(el)
-		s.progHits++
+		s.m.progHits.Inc()
 		prog := el.Value.(*progEntry).prog
 		s.mu.Unlock()
 		return prog, nil
 	}
-	s.progMisses++
+	s.m.progMisses.Inc()
 	s.mu.Unlock()
 
 	prog, err := xpath.CompileQuery(query)
@@ -923,7 +955,7 @@ func (s *Store) planFor(query string, prog *xpath.Program) (*plan.Plan, []label.
 		chain = s.syn.Dict().ResolveChain(pl.Chain.Labels)
 	}
 	if pl.Reordered {
-		s.planReordered.Add(1)
+		s.m.planReordered.Inc()
 	}
 
 	s.mu.Lock()
@@ -946,23 +978,56 @@ func (s *Store) planFor(query string, prog *xpath.Program) (*plan.Plan, []label.
 // to touch the document anyway, and its response reports evaluation
 // statistics a direct answer cannot supply.
 func (s *Store) Query(name, query string) (*core.Result, error) {
+	res, tr, err := s.QueryTrace(name, query, false)
+	s.CloseTrace(tr, err)
+	return res, err
+}
+
+// QueryTrace is Query with a stage-timed trace: plan (compile +
+// planning), load (cache lookup or decode) and eval spans, plus the
+// decoded-byte count. The returned trace is unfinalized — the caller
+// records its materialize span (response assembly) and then must pass
+// the trace to CloseTrace, which stamps the total and feeds the latency
+// histograms and slow-query log. tr is nil (and safe to pass on) when
+// tracing is off and force is false.
+func (s *Store) QueryTrace(name, query string, force bool) (*core.Result, *obs.Trace, error) {
+	tr := s.newTrace(query, name, force)
+	t0 := tr.Now()
 	prog, err := s.Program(query)
 	if err != nil {
-		return nil, err
+		tr.Record(obs.StagePlan, t0)
+		return nil, tr, err
 	}
 	pl, _ := s.planFor(query, prog)
-	d, err := s.Doc(name)
-	if err != nil {
-		return nil, err
+	tr.Record(obs.StagePlan, t0)
+
+	t0 = tr.Now()
+	d, err := s.doc(name, tr)
+	tr.Record(obs.StageLoad, t0)
+	if tr != nil {
+		tr.Considered = 1
 	}
-	s.queries.Add(1)
+	if err != nil {
+		if tr != nil {
+			tr.Failed = 1
+		}
+		return nil, tr, err
+	}
+	s.m.queries.Inc()
+	t0 = tr.Now()
 	res, err := d.Run(pl.Prog)
+	tr.Record(obs.StageEval, t0)
 	if err == nil {
+		if tr != nil {
+			tr.Scanned = 1
+		}
 		// Tag-only queries grow the frozen view's caches too (path
 		// counts, label columns), so every query re-estimates.
 		s.recharge(name, d)
+	} else if tr != nil {
+		tr.Failed = 1
 	}
-	return res, err
+	return res, tr, err
 }
 
 // QueryAll evaluates one query against every catalogued document and
@@ -984,26 +1049,48 @@ func (s *Store) Query(name, query string) (*core.Result, error) {
 // Per-document failures are reported in the results, not as a call
 // error.
 func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
+	out, tr, err := s.QueryAllTrace(query, false)
+	s.CloseTrace(tr, err)
+	return out, err
+}
+
+// QueryAllTrace is QueryAll with a stage-timed trace: plan, prune,
+// direct, load and eval spans, plus the fan-out's document accounting
+// (considered/pruned/direct/scanned/failed) and decoded bytes. Like
+// QueryTrace, the returned trace is unfinalized and must reach
+// CloseTrace; it is nil when tracing is off and force is false.
+func (s *Store) QueryAllTrace(query string, force bool) ([]core.BatchResult, *obs.Trace, error) {
+	tr := s.newTrace(query, "", force)
+	t0 := tr.Now()
 	prog, err := s.Program(query)
 	if err != nil {
-		return nil, err
+		tr.Record(obs.StagePlan, t0)
+		return nil, tr, err
 	}
 	pl, chain := s.planFor(query, prog)
+	tr.Record(obs.StagePlan, t0)
 	eval := pl.Prog
 	names := s.Names()
 	out := make([]core.BatchResult, len(names))
 	docs := make([]*Doc, len(names))
+	t0 = tr.Now()
 	skip := s.pruneSet(prog, names, out)
+	tr.Record(obs.StagePrune, t0)
+	t0 = tr.Now()
 	skip = s.directSet(pl, chain, eval, names, out, skip)
+	tr.Record(obs.StageDirect, t0)
+	t0 = tr.Now()
 	s.forEach(len(names), func(i int) {
 		out[i].Name = names[i]
 		if skip != nil && skip[i] {
 			return
 		}
-		docs[i], out[i].Err = s.Doc(names[i])
+		docs[i], out[i].Err = s.doc(names[i], tr)
 	})
+	tr.Record(obs.StageLoad, t0)
 
 	scanned := uint64(len(names))
+	t0 = tr.Now()
 	s.forEach(len(names), func(i int) {
 		if out[i].Err != nil || (skip != nil && skip[i]) {
 			return
@@ -1013,6 +1100,7 @@ func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 			s.recharge(names[i], docs[i])
 		}
 	})
+	tr.Record(obs.StageEval, t0)
 	if skip != nil {
 		for _, sk := range skip {
 			if sk {
@@ -1020,8 +1108,23 @@ func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 			}
 		}
 	}
-	s.queries.Add(scanned)
-	return out, nil
+	s.m.queries.Add(scanned)
+	if tr != nil {
+		tr.Considered = len(names)
+		for i := range out {
+			switch {
+			case out[i].Pruned:
+				tr.Pruned++
+			case out[i].Direct:
+				tr.Direct++
+			case out[i].Err != nil:
+				tr.Failed++
+			default:
+				tr.Scanned++
+			}
+		}
+	}
+	return out, tr, nil
 }
 
 // directSet marks every document an exists/count-shaped plan can answer
@@ -1061,7 +1164,7 @@ func (s *Store) directSet(pl *plan.Plan, chain []label.ID, eval *xpath.Program, 
 		default:
 			nm := name
 			out[i].Result = core.DirectResult(count, func() (*core.Result, error) {
-				s.planFallback.Add(1)
+				s.m.planFallback.Inc()
 				d, err := s.Doc(nm)
 				if err != nil {
 					return nil, err
@@ -1074,7 +1177,7 @@ func (s *Store) directSet(pl *plan.Plan, chain []label.ID, eval *xpath.Program, 
 			})
 		}
 	}
-	s.planDirect.Add(direct)
+	s.m.planDirect.Add(direct)
 	return skip
 }
 
@@ -1118,8 +1221,10 @@ func (s *Store) pruneSet(prog *xpath.Program, names []string, out []core.BatchRe
 			pruned++
 		}
 	}
-	s.pruneConsidered.Add(uint64(len(names)))
-	s.prunePruned.Add(uint64(pruned))
+	// Considered before pruned, matching the load order in Stats (pruned
+	// first), so considered >= pruned under any interleaving.
+	s.m.pruneConsidered.Add(uint64(len(names)))
+	s.m.prunePruned.Add(uint64(pruned))
 	return skip
 }
 
@@ -1172,42 +1277,52 @@ type Stats struct {
 	BundleBytes     int64  `json:"bundle_bytes"`      // summed bundle data-file sizes
 	BundleDeadBytes int64  `json:"bundle_dead_bytes"` // tombstoned or replaced needle bytes
 	BundleRebuilds  uint64 `json:"bundle_rebuilds"`   // needle indexes rebuilt at open
+
+	// Decode-traffic counters (also exported as xc_decode_bytes_total and
+	// xc_bundle_read{s,_bytes}_total on /metrics).
+	DecodeBytes     uint64 `json:"decode_bytes"`      // archive bytes decoded on cache misses
+	BundleReads     uint64 `json:"bundle_reads"`      // documents decoded from bundles
+	BundleReadBytes uint64 `json:"bundle_read_bytes"` // archive payload bytes pread from bundles
 }
 
-// Stats returns current cache statistics.
+// Stats returns current cache statistics. The counters are read from
+// the same obs.Registry metrics /metrics exports.
 func (s *Store) Stats() Stats {
 	// Load pruned before considered: pruneSet increments considered
 	// first, so this order guarantees considered >= pruned under any
 	// interleaving and the scanned subtraction can never wrap.
-	pruned := s.prunePruned.Load()
-	considered := s.pruneConsidered.Load()
+	pruned := s.m.prunePruned.Value()
+	considered := s.m.pruneConsidered.Value()
 	st := Stats{
-		Queries:            s.queries.Load(),
+		Queries:            s.m.queries.Value(),
+		DocHits:            s.m.docHits.Value(),
+		DocMisses:          s.m.docMisses.Value(),
+		Evictions:          s.m.evictions.Value(),
+		ProgramHits:        s.m.progHits.Value(),
+		ProgramMisses:      s.m.progMisses.Value(),
 		PruneConsidered:    considered,
 		PrunePruned:        pruned,
 		PruneScanned:       considered - pruned,
-		PlanReordered:      s.planReordered.Load(),
-		PlanSynopsisDirect: s.planDirect.Load(),
-		PlanFallback:       s.planFallback.Load(),
+		PlanReordered:      s.m.planReordered.Value(),
+		PlanSynopsisDirect: s.m.planDirect.Value(),
+		PlanFallback:       s.m.planFallback.Value(),
+		BundleRebuilds:     s.m.bundleRebuilds.Value(),
+		DecodeBytes:        s.m.decodeBytes.Value(),
+		BundleReads:        s.m.bundleReads.Value(),
+		BundleReadBytes:    s.m.bundleReadBytes.Value(),
 	}
 	if s.syn != nil {
 		st.SynopsisDocs = s.syn.Len()
 		st.SynopsisBytes = s.syn.MemBytes()
-		st.SynopsisBuilds = s.synBuilds
-		st.SynopsisWriteErrors = s.synWriteErrs
+		st.SynopsisBuilds = s.m.synBuilds.Value()
+		st.SynopsisWriteErrors = s.m.synWriteErrs.Value()
 	}
 	s.mu.Lock()
 	st.Docs = len(s.names)
 	st.Loaded = s.lru.Len()
 	st.CacheBytes = s.curBytes
 	st.BudgetBytes = s.budget
-	st.DocHits = s.docHits
-	st.DocMisses = s.docMisses
-	st.Evictions = s.evictions
 	st.ProgramsCached = s.progLRU.Len()
-	st.ProgramHits = s.progHits
-	st.ProgramMisses = s.progMisses
-	st.BundleRebuilds = s.bundleRebuilds
 	for _, e := range s.entries {
 		if e.b != nil {
 			st.BundledDocs++
