@@ -13,6 +13,7 @@
 //	xcbench -ingestbench     # ingest-while-querying: write throughput vs latency
 //	xcbench -bundlebench     # cold tier: bundle-packed vs loose small-doc catalogs
 //	xcbench -obsbench        # observability: instrumented vs -no-metrics warm serving
+//	xcbench -faultbench      # fault tolerance: scrub throughput, corruption recovery
 //	xcbench -all             # everything
 //	xcbench -compare old.json new.json   # delta two -json trajectory files
 //
@@ -44,7 +45,11 @@
 // and store.Options.DisableMetrics — and times each corpus's structural
 // query over both warm stores; with -check it enforces the <= 5%
 // instrumentation-overhead budget (skipped below 100µs of baseline
-// wall, where the measurement is noise).
+// wall, where the measurement is noise). -faultbench builds the mixed
+// store, times a clean scrub pass (store.Scrub, full CRC verification,
+// in MB/s), then flips one bit in ~10% of the archives and times
+// reopen-plus-scrub recovery; with -check it enforces exact quarantine:
+// every corrupted document quarantined, every healthy one still served.
 //
 // -json replaces every table with machine-readable output: one JSON
 // object per experiment, {"experiment": NAME, "rows": [...]}, on stdout
@@ -84,6 +89,7 @@ func main() {
 		ingbench   = flag.Bool("ingestbench", false, "run the ingest-while-querying sweep")
 		bundbench  = flag.Bool("bundlebench", false, "run the bundle-packed vs loose cold-tier sweep")
 		obsbench   = flag.Bool("obsbench", false, "run the instrumentation-overhead sweep (metrics on vs off)")
+		faultbench = flag.Bool("faultbench", false, "run the corruption-recovery sweep (scrub throughput, quarantine recovery)")
 		bundleDocs = flag.String("bundledocs", "1000,10000", "comma-separated catalog sizes for -bundlebench")
 		all        = flag.Bool("all", false, "run every experiment")
 		scale      = flag.Float64("scale", 1.0, "corpus size multiplier")
@@ -105,9 +111,9 @@ func main() {
 		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *maxRegress))
 	}
 	if *all {
-		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *planbench, *ingbench, *bundbench, *obsbench = true, true, true, true, true, true, true, true, true, true, true, true
+		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *planbench, *ingbench, *bundbench, *obsbench, *faultbench = true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*planbench && !*ingbench && !*bundbench && !*obsbench {
+	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*planbench && !*ingbench && !*bundbench && !*obsbench && !*faultbench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -306,6 +312,24 @@ func main() {
 			}
 			if !*jsonOut {
 				fmt.Println("obs invariants OK: instrumentation overhead within the 5% budget")
+			}
+		}
+	}
+
+	if *faultbench {
+		rows, err := experiments.FaultSweep(*docs, *scale, *seed, *workers)
+		cli.Fatal(err)
+		emit("fault", rows, func() {
+			fmt.Printf("=== Fault tolerance: mixed store, %d documents per corpus, scrub + corruption recovery ===\n", *docs)
+			experiments.PrintFault(os.Stdout, rows)
+			fmt.Println()
+		})
+		if *check {
+			if err := experiments.CheckFaultInvariants(rows); err != nil {
+				cli.Fatal(err)
+			}
+			if !*jsonOut {
+				fmt.Println("fault invariants OK: exact quarantine, zero false positives")
 			}
 		}
 	}

@@ -93,6 +93,11 @@ func main() {
 		bundleMax   = flag.Int64("bundle-max-bytes", bundle.DefaultMaxBytes, "roll to a new bundle file past this many bytes")
 		bundleGC    = flag.Float64("bundle-gc-ratio", store.DefaultBundleGCRatio, "rewrite a bundle once this fraction of its bytes is dead")
 
+		queryTimeout  = flag.Duration("query-timeout", 0, "bound each /query evaluation; past it the request fails 504 (0 = unbounded)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "cap in-flight /query requests; excess is shed with 429 (0 = unbounded)")
+		scrubEvery    = flag.Duration("scrub-interval", 0, "background scrub pass interval: re-verify archive checksums, quarantine corrupt files (0 = off)")
+		scrubRate     = flag.Int64("scrub-rate-bytes", 0, "scrub read-rate limit in bytes/sec (0 = unthrottled)")
+
 		slowQuery = flag.Duration("slow-query", time.Second, "log queries at or over this wall time to /debug/slow (0 = off)")
 		slowSize  = flag.Int("slow-log", 128, "slow-query ring capacity")
 		debugAddr = flag.String("debug-addr", "", "also listen here with net/http/pprof profiles (empty = off)")
@@ -129,8 +134,19 @@ func main() {
 		log.Printf("xcserve: warning: no %s archives in %s (pack some with: xcarchive pack-dir, or restart with -ingest and POST documents)", store.Ext, *dir)
 	}
 
+	if *scrubEvery > 0 {
+		s.StartScrubber(*scrubEvery, store.ScrubOptions{RateBytesPerSec: *scrubRate})
+		log.Printf("xcserve: background scrubber on (interval=%v, rate=%s/s); corrupt artifacts move to %s/",
+			*scrubEvery, humanBytes(*scrubRate), filepath.Join(*dir, store.QuarantineDir))
+	}
+
 	var ing *ingest.Ingester
-	serverOpts := store.ServerOptions{MaxPaths: *maxPaths, MaxBodyBytes: *maxBody}
+	serverOpts := store.ServerOptions{
+		MaxPaths:             *maxPaths,
+		MaxBodyBytes:         *maxBody,
+		QueryTimeout:         *queryTimeout,
+		MaxConcurrentQueries: *maxConcurrent,
+	}
 	if *accessLog {
 		serverOpts.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
@@ -200,6 +216,7 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("xcserve: drain: %v", err)
 	}
+	s.StopScrubber()
 	if ing != nil {
 		log.Printf("xcserve: flushing ingest WAL to archives")
 		if err := ing.Close(); err != nil {

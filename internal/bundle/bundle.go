@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // DefaultMaxBytes is the packing roll-over threshold callers use when
@@ -44,9 +46,10 @@ func ParseID(name string) (id uint64, ok bool) {
 type Bundle struct {
 	path string
 	id   uint64
+	fs   fault.FS
 
 	mu       sync.RWMutex
-	f        *os.File
+	f        fault.File
 	size     int64
 	dead     int64
 	refs     map[string]Ref
@@ -61,20 +64,26 @@ type Bundle struct {
 // tail is truncated away, and the fresh index is persisted. Open falls
 // back to read-only service when the data file is not writable.
 func Open(path string) (*Bundle, error) {
+	return OpenFS(fault.OS, path)
+}
+
+// OpenFS is Open over an injectable filesystem.
+func OpenFS(fsys fault.FS, path string) (*Bundle, error) {
+	fsys = fault.Get(fsys)
 	id, ok := ParseID(path)
 	if !ok {
 		return nil, fmt.Errorf("bundle: %q is not a bundle file name", path)
 	}
 	readOnly := false
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
-		f, err = os.Open(path)
+		f, err = fsys.Open(path)
 		if err != nil {
 			return nil, fmt.Errorf("bundle: %w", err)
 		}
 		readOnly = true
 	}
-	b := &Bundle{path: path, id: id, f: f, readOnly: readOnly}
+	b := &Bundle{path: path, id: id, fs: fsys, f: f, readOnly: readOnly}
 	fail := func(err error) (*Bundle, error) {
 		f.Close()
 		return nil, err
@@ -87,7 +96,7 @@ func Open(path string) (*Bundle, error) {
 	if err := b.checkFileHeader(); err != nil {
 		return fail(err)
 	}
-	if refs, dead, err := loadIndex(IndexPath(path), b.size); err == nil {
+	if refs, dead, err := loadIndex(fsys, IndexPath(path), b.size); err == nil {
 		b.refs, b.dead = refs, dead
 		return b, nil
 	}
@@ -121,7 +130,7 @@ func (b *Bundle) rebuildIndex() error {
 	}
 	refs := make(map[string]Ref)
 	var dead int64
-	good, err := scanNeedles(b.f, true, func(e scanEntry) {
+	good, err := scanNeedles(b.f, func(e scanEntry) {
 		if old, ok := refs[e.name]; ok {
 			dead += old.size()
 			delete(refs, e.name)
@@ -153,7 +162,7 @@ func (b *Bundle) rebuildIndex() error {
 	if !b.readOnly {
 		// Best-effort: serving works from memory either way, and the next
 		// open repeats the scan if this write does not land.
-		_ = writeIndex(IndexPath(b.path), b.refs, b.size, b.dead)
+		_ = writeIndex(b.fs, IndexPath(b.path), b.refs, b.size, b.dead)
 	}
 	return nil
 }
@@ -273,10 +282,28 @@ func (b *Bundle) Delete(name string) error {
 	// The tombstone is durable; a failed index rewrite only costs the
 	// next open a rebuild scan (the size pairing check rejects the stale
 	// index), so it is surfaced but nothing is rolled back.
-	if err := writeIndex(IndexPath(b.path), b.refs, b.size, b.dead); err != nil {
+	if err := writeIndex(b.fs, IndexPath(b.path), b.refs, b.size, b.dead); err != nil {
 		return fmt.Errorf("bundle: rewriting index of %s: %w", b.path, err)
 	}
 	return nil
+}
+
+// VerifyIndex reports whether the paired index file currently loads
+// clean and matches the data file — the scrubber's freshness probe.
+func (b *Bundle) VerifyIndex() error {
+	b.mu.RLock()
+	size := b.size
+	b.mu.RUnlock()
+	_, _, err := loadIndex(b.fs, IndexPath(b.path), size)
+	return err
+}
+
+// RewriteIndex persists a fresh index from the in-memory needle map —
+// the scrubber's repair for a corrupt or stale index file.
+func (b *Bundle) RewriteIndex() error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return writeIndex(b.fs, IndexPath(b.path), b.refs, b.size, b.dead)
 }
 
 // Size returns the data file's size in bytes.
@@ -344,10 +371,10 @@ func (b *Bundle) Remove() error {
 	if err := b.Close(); err != nil {
 		return err
 	}
-	if err := os.Remove(b.path); err != nil && !os.IsNotExist(err) {
+	if err := b.fs.Remove(b.path); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	if err := os.Remove(IndexPath(b.path)); err != nil && !os.IsNotExist(err) {
+	if err := b.fs.Remove(IndexPath(b.path)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	return nil
@@ -358,7 +385,8 @@ func (b *Bundle) Remove() error {
 // fsyncs the directory. A Writer is not safe for concurrent use.
 type Writer struct {
 	path string
-	f    *os.File
+	fs   fault.FS
+	f    fault.File
 	off  int64
 	refs map[string]Ref
 	buf  []byte
@@ -367,20 +395,26 @@ type Writer struct {
 // Create starts a new bundle data file at path (which must not exist —
 // bundles are never appended to by a Writer once sealed).
 func Create(path string) (*Writer, error) {
+	return CreateFS(fault.OS, path)
+}
+
+// CreateFS is Create over an injectable filesystem.
+func CreateFS(fsys fault.FS, path string) (*Writer, error) {
+	fsys = fault.Get(fsys)
 	if _, ok := ParseID(path); !ok {
 		return nil, fmt.Errorf("bundle: %q is not a bundle file name", path)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("bundle: %w", err)
 	}
 	hdr := append([]byte(fileMagic), version)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return nil, fmt.Errorf("bundle: %w", err)
 	}
-	return &Writer{path: path, f: f, off: headerOff, refs: make(map[string]Ref)}, nil
+	return &Writer{path: path, fs: fsys, f: f, off: headerOff, refs: make(map[string]Ref)}, nil
 }
 
 // Add appends one document's archive (and optional sidecar) as a needle.
@@ -431,23 +465,23 @@ func (w *Writer) Seal() error {
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("bundle: sealing %s: %w", w.path, err)
 	}
-	if err := writeIndex(IndexPath(w.path), w.refs, w.off, 0); err != nil {
+	if err := writeIndex(w.fs, IndexPath(w.path), w.refs, w.off, 0); err != nil {
 		return fmt.Errorf("bundle: writing index of %s: %w", w.path, err)
 	}
-	return syncDir(filepath.Dir(w.path))
+	return syncDir(w.fs, filepath.Dir(w.path))
 }
 
 // Abort discards an unsealed bundle (best-effort cleanup after a failed
 // pack).
 func (w *Writer) Abort() {
 	w.f.Close()
-	os.Remove(w.path)
+	w.fs.Remove(w.path)
 }
 
 // syncDir fsyncs a directory so entries created or renamed into it are
 // durable.
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
+func syncDir(fsys fault.FS, dir string) error {
+	f, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,64 @@
+package bundle
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBundleNeedle throws arbitrary bytes at the needle scan — the
+// parser that rebuilds a bundle's index from its data file when the
+// index is missing or corrupt, i.e. the crash-recovery path. Whatever
+// the input: no panic, no error (a malformed stream is a torn tail, not
+// a failure), the reported safe-truncation offset stays within the
+// stream, and every needle handed out lies fully inside it.
+func FuzzBundleNeedle(f *testing.F) {
+	// Seeds: a healthy needle pair, a tombstone, a lone magic, torn cuts.
+	frame, _ := appendNeedle(nil, "doc-a", false, []byte("archive-bytes"), []byte("sc"))
+	frame, _ = appendNeedle(frame, "doc-b", false, bytes.Repeat([]byte{0xAB}, 64), nil)
+	f.Add(frame)
+	tomb, _ := appendNeedle(nil, "doc-a", true, nil, nil)
+	f.Add(append(append([]byte{}, frame...), tomb...))
+	f.Add([]byte(needleMagic))
+	f.Add(frame[:len(frame)/2])
+	f.Add(frame[:len(frame)-1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var entries []scanEntry
+		good, err := scanNeedles(bytes.NewReader(data), func(e scanEntry) {
+			entries = append(entries, e)
+		})
+		if err != nil {
+			t.Fatalf("scan returned error on arbitrary input: %v", err)
+		}
+		limit := headerOff + int64(len(data))
+		if good < headerOff || good > limit {
+			t.Fatalf("safe offset %d outside [%d, %d]", good, headerOff, limit)
+		}
+		for _, e := range entries {
+			r := e.ref
+			if r.NeedleOff < headerOff || r.PayloadOff <= r.NeedleOff {
+				t.Fatalf("needle %q: bad offsets %+v", e.name, r)
+			}
+			if r.ArchiveLen < 0 || r.SidecarLen < 0 ||
+				r.PayloadOff+r.ArchiveLen+r.SidecarLen > limit {
+				t.Fatalf("needle %q: payload [%d, +%d+%d] exceeds stream end %d",
+					e.name, r.PayloadOff, r.ArchiveLen, r.SidecarLen, limit)
+			}
+			if int64(len(e.name)) > maxNameLen {
+				t.Fatalf("needle name of %d bytes exceeds cap", len(e.name))
+			}
+		}
+		if len(entries) == 0 {
+			return
+		}
+		// Scans are prefix-stable: the same stream cut at the safe offset
+		// yields the same needles — what rebuildIndex relies on when it
+		// truncates a torn tail and later re-scans.
+		n := 0
+		good2, err := scanNeedles(bytes.NewReader(data[:good-headerOff]), func(scanEntry) { n++ })
+		if err != nil || good2 != good || n != len(entries) {
+			t.Fatalf("re-scan of intact prefix: %d needles at %d (err %v), want %d at %d",
+				n, good2, err, len(entries), good)
+		}
+	})
+}

@@ -5,10 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/fault"
 )
 
 // Needle-index file format. The whole file is one CRC-framed payload:
@@ -162,16 +163,17 @@ func decodeIndex(data []byte) (refs map[string]Ref, bundleBytes, deadBytes int64
 // directory, fsync, rename, fsync the directory — the same discipline
 // archives and sidecars use, so a crash leaves the old index or the new
 // one, never a torn file.
-func writeIndex(path string, refs map[string]Ref, bundleBytes, deadBytes int64) error {
+func writeIndex(fsys fault.FS, path string, refs map[string]Ref, bundleBytes, deadBytes int64) error {
+	fsys = fault.Get(fsys)
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".bundleidx-*")
+	tmp, err := fsys.CreateTemp(dir, ".bundleidx-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if _, err := tmp.Write(encodeIndex(refs, bundleBytes, deadBytes)); err != nil {
@@ -181,14 +183,14 @@ func writeIndex(path string, refs map[string]Ref, bundleBytes, deadBytes int64) 
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return err
 	}
-	if df, err := os.Open(dir); err == nil {
+	if df, err := fsys.Open(dir); err == nil {
 		_ = df.Sync()
 		_ = df.Close()
 	}
@@ -198,8 +200,8 @@ func writeIndex(path string, refs map[string]Ref, bundleBytes, deadBytes int64) 
 // loadIndex reads and validates the index paired with a bundle of
 // wantBundleBytes. Any mismatch wraps ErrCorrupt; a missing file returns
 // the fs error. Either way the caller rebuilds by scanning.
-func loadIndex(path string, wantBundleBytes int64) (refs map[string]Ref, deadBytes int64, err error) {
-	data, err := os.ReadFile(path)
+func loadIndex(fsys fault.FS, path string, wantBundleBytes int64) (refs map[string]Ref, deadBytes int64, err error) {
+	data, err := fault.Get(fsys).ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}

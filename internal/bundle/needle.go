@@ -123,19 +123,26 @@ type scanEntry struct {
 	ref  Ref
 }
 
-// scanNeedles walks every intact needle of a bundle data stream starting
-// at headerOff, handing each to fn with absolute file offsets. It stops
-// at the first mid-needle truncation or CRC mismatch (a torn tail) and
-// returns the offset just past the last intact needle — the safe
-// truncation point; the caller compares it against the file size to
-// detect the tear. r must be positioned at headerOff. verifyPayload
-// additionally checks the payload CRCs (the rebuild path does; sealed
-// readers verify per read instead).
-func scanNeedles(r io.Reader, verifyPayload bool, fn func(scanEntry)) (good int64, err error) {
+// scanNeedles walks every structurally intact needle of a bundle data
+// stream starting at headerOff, handing each to fn with absolute file
+// offsets. It stops at the first mid-needle truncation or header-CRC
+// mismatch (a torn tail) and returns the offset just past the last
+// intact needle — the safe truncation point; the caller compares it
+// against the file size to detect the tear. r must be positioned at
+// headerOff.
+//
+// The scan deliberately trusts payload bytes it can read in full:
+// structure comes from the CRC-guarded headers alone. A payload whose
+// CRC has rotted mid-file is NOT a torn tail — truncating there would
+// destroy every healthy needle after it — so rotten needles are
+// registered as found and caught later, by the per-read CRC checks
+// every pread performs and by the scrubber, which tombstones them with
+// a quarantine reason.
+func scanNeedles(r io.Reader, fn func(scanEntry)) (good int64, err error) {
 	br := &countingReader{r: bufio.NewReader(r)}
 	good = headerOff
 	for {
-		e, ok, rerr := readNeedle(br, verifyPayload)
+		e, ok, rerr := readNeedle(br)
 		if rerr != nil {
 			return 0, rerr
 		}
@@ -150,8 +157,8 @@ func scanNeedles(r io.Reader, verifyPayload bool, fn func(scanEntry)) (good int6
 }
 
 // readNeedle reads one needle from br. ok=false means the stream ended
-// (cleanly or torn) before a full intact needle.
-func readNeedle(br *countingReader, verifyPayload bool) (e scanEntry, ok bool, err error) {
+// (cleanly or torn) before a full structurally intact needle.
+func readNeedle(br *countingReader) (e scanEntry, ok bool, err error) {
 	start := br.n
 	var magic [4]byte
 	if _, rerr := io.ReadFull(br, magic[:]); rerr != nil {
@@ -187,11 +194,6 @@ func readNeedle(br *countingReader, verifyPayload bool) (e scanEntry, ok bool, e
 	sidecar := make([]byte, sLen)
 	if _, rerr := io.ReadFull(br, sidecar); rerr != nil {
 		return e, false, nil
-	}
-	if verifyPayload {
-		if crc32.ChecksumIEEE(archive) != aCRC || crc32.ChecksumIEEE(sidecar) != sCRC {
-			return e, false, nil
-		}
 	}
 	return scanEntry{
 		name: name,

@@ -14,9 +14,21 @@
 //	            nEdges (childID count)*
 //	archive  := magic "XCA1" version instance
 //	            nContainers (key nChunks chunk*)*
+//	            [footer]
+//	footer   := magic "XCK1" crc32
 //
 // Strings are length-prefixed UTF-8. The format is self-contained and
 // versioned; decoding validates structural invariants before returning.
+//
+// The archive footer carries a CRC32 (IEEE, little-endian) over every
+// body byte, so bit rot anywhere — including inside value chunks whose
+// corruption is structurally invisible — fails decoding with
+// ErrCorrupt instead of serving wrong bytes. Archive version 2 made
+// the footer mandatory: optional footers leave a hole where a
+// corrupted length field swallows the footer into a value chunk and
+// the truncation passes as a footer-less file. Version-1 archives
+// (written before the footer existed) still decode, with structural
+// validation only.
 package codec
 
 import (
@@ -25,6 +37,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -36,7 +49,12 @@ import (
 const (
 	instanceMagic = "XCI1"
 	archiveMagic  = "XCA1"
+	footerMagic   = "XCK1"
+	footerLen     = 8 // magic + crc32
 	version       = 1
+	// archiveVersion 2 added the mandatory checksum footer; version-1
+	// archives (no footer) are still accepted.
+	archiveVersion = 2
 	// maxLen guards length fields against corrupt or hostile input
 	// before any allocation happens.
 	maxLen = 1 << 30
@@ -44,6 +62,26 @@ const (
 
 // ErrCorrupt is wrapped by all decoding errors caused by malformed input.
 var ErrCorrupt = errors.New("codec: corrupt input")
+
+// CheckArchiveHeader reads just the magic and version from r and reports
+// whether they plausibly begin an archive — the cheap probe store.Open
+// uses to skip garbage .xca files without decoding them. It cannot vouch
+// for the body (DecodeArchive's footer check does that); it only rejects
+// files that are certainly not archives.
+func CheckArchiveHeader(r io.Reader) error {
+	var hdr [len(archiveMagic) + 1]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: truncated archive header", ErrCorrupt)
+	}
+	if string(hdr[:len(archiveMagic)]) != archiveMagic {
+		return fmt.Errorf("%w: bad magic %q, want %q", ErrCorrupt, hdr[:len(archiveMagic)], archiveMagic)
+	}
+	// Both supported versions fit in one uvarint byte.
+	if v := hdr[len(archiveMagic)]; v != version && v != archiveVersion {
+		return fmt.Errorf("%w: unsupported archive version %d", ErrCorrupt, v)
+	}
+	return nil
+}
 
 type writer struct {
 	w   *bufio.Writer
@@ -72,8 +110,51 @@ func (w *writer) raw(s string) {
 	}
 }
 
+// crcWriter hashes everything written through it; EncodeArchive puts
+// it under the buffered writer so the flushed body bytes — and only
+// those — feed the footer checksum.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if n > 0 {
+		c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+	}
+	return n, err
+}
+
+// crcReader hashes exactly the bytes the decoder consumes. It sits
+// above the buffered reader on purpose: wrapping below it would hash
+// the read-ahead, folding the footer (or trailing garbage) into the
+// checksum it is supposed to verify.
+type crcReader struct {
+	br  *bufio.Reader
+	sum uint32
+	off bool // set once the body ends, so footer bytes stay unhashed
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	if n > 0 && !c.off {
+		c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+	}
+	return n, err
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil && !c.off {
+		var one = [1]byte{b}
+		c.sum = crc32.Update(c.sum, crc32.IEEETable, one[:])
+	}
+	return b, err
+}
+
 type reader struct {
-	r *bufio.Reader
+	r *crcReader
 }
 
 func (r *reader) uvarint() (uint64, error) {
@@ -155,7 +236,7 @@ func encodeInstance(bw *writer, in *dag.Instance) {
 
 // DecodeInstance reads an instance from r and validates its invariants.
 func DecodeInstance(r io.Reader) (*dag.Instance, error) {
-	br := &reader{r: bufio.NewReader(r)}
+	br := &reader{r: &crcReader{br: bufio.NewReader(r), off: true}}
 	in, err := decodeInstance(br)
 	if err != nil {
 		return nil, err
@@ -250,11 +331,13 @@ func decodeInstance(br *reader) (*dag.Instance, error) {
 	return in, nil
 }
 
-// EncodeArchive writes a container archive (skeleton + value containers).
+// EncodeArchive writes a container archive (skeleton + value
+// containers) followed by a checksum footer over the body bytes.
 func EncodeArchive(w io.Writer, a *container.Archive) error {
-	bw := &writer{w: bufio.NewWriter(w)}
+	cw := &crcWriter{w: w}
+	bw := &writer{w: bufio.NewWriter(cw)}
 	bw.raw(archiveMagic)
-	bw.uvarint(version)
+	bw.uvarint(archiveVersion)
 	encodeInstance(bw, a.Skeleton)
 	keys := a.Store.Keys()
 	bw.uvarint(uint64(len(keys)))
@@ -269,7 +352,14 @@ func EncodeArchive(w io.Writer, a *container.Archive) error {
 	if bw.err != nil {
 		return bw.err
 	}
-	return bw.w.Flush()
+	if err := bw.w.Flush(); err != nil {
+		return err
+	}
+	var foot [footerLen]byte
+	copy(foot[:4], footerMagic)
+	binary.LittleEndian.PutUint32(foot[4:], cw.sum)
+	_, err := w.Write(foot[:])
+	return err
 }
 
 // DecodeArchive reads a container archive.
@@ -288,7 +378,8 @@ func DecodeArchive(r io.Reader) (*container.Archive, error) {
 // to sink in encoding order. It is shared by DecodeArchive (which retains
 // the chunks) and StatArchive (which only tallies them).
 func decodeArchive(r io.Reader, sink func(key, chunk string)) (*dag.Instance, error) {
-	br := &reader{r: bufio.NewReader(r)}
+	cr := &crcReader{br: bufio.NewReader(r)}
+	br := &reader{r: cr}
 	if err := br.expect(archiveMagic); err != nil {
 		return nil, err
 	}
@@ -296,7 +387,7 @@ func decodeArchive(r io.Reader, sink func(key, chunk string)) (*dag.Instance, er
 	if err != nil {
 		return nil, err
 	}
-	if v != version {
+	if v != version && v != archiveVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
 	}
 	skel, err := decodeInstance(br)
@@ -322,6 +413,29 @@ func decodeArchive(r io.Reader, sink func(key, chunk string)) (*dag.Instance, er
 				return nil, err
 			}
 			sink(key, chunk)
+		}
+	}
+	// Body done: verify the checksum footer. Version-1 archives end
+	// right here (clean EOF); for version 2 the footer is mandatory —
+	// an "optional" footer would let a corrupted length field swallow
+	// it into a value chunk and pass the truncation off as legacy.
+	cr.off = true
+	var foot [footerLen]byte
+	n, err := io.ReadFull(cr.br, foot[:])
+	switch {
+	case n == 0 && err == io.EOF && v == version:
+		// Legacy version-1 archive: structural checks are all the
+		// protection it ever had; accept it.
+	case err != nil:
+		return nil, fmt.Errorf("%w: truncated checksum footer", ErrCorrupt)
+	case string(foot[:4]) != footerMagic:
+		return nil, fmt.Errorf("%w: trailing bytes after archive body", ErrCorrupt)
+	case binary.LittleEndian.Uint32(foot[4:]) != cr.sum:
+		return nil, fmt.Errorf("%w: archive checksum mismatch (stored %08x, computed %08x)",
+			ErrCorrupt, binary.LittleEndian.Uint32(foot[4:]), cr.sum)
+	default:
+		if _, err := cr.br.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("%w: trailing bytes after checksum footer", ErrCorrupt)
 		}
 	}
 	return skel, nil

@@ -229,3 +229,69 @@ func TestStatArchiveRejectsCorruption(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// The archive checksum footer must catch any single-bit flip in the
+// body — including flips inside value chunks, which are structurally
+// invisible — while still accepting footer-less legacy archives.
+func TestArchiveChecksumFooter(t *testing.T) {
+	doc := []byte(`<bib><book year="1995"><title>T1</title><author>Alice</author></book></bib>`)
+	a, err := container.Split(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := codec.EncodeArchive(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Every single-bit flip anywhere in the file must fail decoding.
+	for byteOff := 0; byteOff < len(good); byteOff++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), good...)
+			mut[byteOff] ^= 1 << uint(bit)
+			if _, err := codec.DecodeArchive(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("flip of bit %d at byte %d/%d decoded successfully", bit, byteOff, len(good))
+			} else if !errors.Is(err, codec.ErrCorrupt) {
+				t.Fatalf("flip of bit %d at byte %d: error not ErrCorrupt: %v", bit, byteOff, err)
+			}
+		}
+	}
+
+	// A legacy archive — version 1, body without footer — still
+	// decodes. (The version is the uvarint right after the magic.)
+	legacy := append([]byte(nil), good[:len(good)-8]...)
+	if legacy[4] != 2 {
+		t.Fatalf("archive version byte = %d, want 2", legacy[4])
+	}
+	legacy[4] = 1
+	back, err := codec.DecodeArchive(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("footer-less v1 archive rejected: %v", err)
+	}
+	if !dag.Equivalent(a.Skeleton, back.Skeleton) {
+		t.Fatal("legacy decode changed the skeleton")
+	}
+	// A version-2 body with the footer stripped is corrupt, not legacy.
+	if _, err := codec.DecodeArchive(bytes.NewReader(good[:len(good)-8])); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("v2 archive without footer: err = %v", err)
+	}
+
+	// A partial footer and trailing garbage are both corruption.
+	for cut := 1; cut < 8; cut++ {
+		if _, err := codec.DecodeArchive(bytes.NewReader(good[:len(good)-cut])); !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("footer truncated by %d bytes: err = %v", cut, err)
+		}
+	}
+	if _, err := codec.DecodeArchive(bytes.NewReader(append(append([]byte(nil), good...), 'x'))); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("trailing garbage after footer: err = %v", err)
+	}
+	if _, err := codec.DecodeSkeleton(bytes.NewReader(good)); err != nil {
+		t.Fatalf("DecodeSkeleton rejected a good archive: %v", err)
+	}
+	mut := append([]byte(nil), good...)
+	mut[len(mut)/2] ^= 0x10
+	if _, err := codec.DecodeSkeleton(bytes.NewReader(mut)); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("DecodeSkeleton accepted a corrupt archive: err = %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package dag
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/label"
 )
@@ -66,10 +67,20 @@ type Overlay struct {
 
 var overlayPool = sync.Pool{New: func() any { return new(Overlay) }}
 
+// overlayLive counts overlays acquired and not yet released. It exists
+// for leak detection: a query that errors or is cancelled must still
+// release its overlay, so after any burst of queries drains, the count
+// returns to its pre-burst value (robustness tests assert this).
+var overlayLive atomic.Int64
+
+// OverlaysLive reports the number of overlays currently acquired.
+func OverlaysLive() int64 { return overlayLive.Load() }
+
 // AcquireOverlay returns a pooled overlay positioned over f, with no
 // columns allocated yet (EnsureCols sizes them).
 func AcquireOverlay(f *Frozen) *Overlay {
 	o := overlayPool.Get().(*Overlay)
+	overlayLive.Add(1)
 	o.f = f
 	o.base = f.inst
 	o.nb = len(f.inst.Verts)
@@ -91,6 +102,7 @@ func (o *Overlay) Release() {
 	o.base = nil
 	// ext/extOrigin either were detached (nil) or their backing arrays are
 	// reusable scratch; keep whichever capacity remains.
+	overlayLive.Add(-1)
 	overlayPool.Put(o)
 }
 

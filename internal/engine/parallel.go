@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -90,17 +91,30 @@ func RunParallel(insts []*dag.Instance, prog *xpath.Program, workers int) (*Merg
 // harness. workers <= 0 selects GOMAXPROCS; fn must be safe for
 // concurrent invocation on distinct indices.
 func ForEach(n, workers int, fn func(int)) {
+	_ = ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done
+// no further indices are dispatched (indices already running finish —
+// fn is never interrupted mid-call) and the context's error is
+// returned. Indices that were never dispatched are simply skipped;
+// callers that need per-index disposition should check ctx in fn.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(int)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -113,11 +127,17 @@ func ForEach(n, workers int, fn func(int)) {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 func satAddU64(a, b uint64) uint64 {

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+// FaultRow is one measurement of the corruption-recovery experiment: a
+// clean scrub pass over a warm mixed catalog (the steady-state cost of
+// background verification, in MB/s), then a seeded corruption of part
+// of the catalog followed by reopen + scrub (the recovery path: detect,
+// quarantine, restore golden serving).
+type FaultRow struct {
+	Docs         int   // catalogued documents
+	CatalogBytes int64 // summed archive bytes on disk
+
+	// Clean pass: everything healthy, full verification.
+	ScrubWall  time.Duration
+	ScrubBytes int64   // bytes read and checksummed
+	ScrubMBps  float64 // ScrubBytes / ScrubWall
+
+	// Recovery pass: Corrupted archives bit-flipped at rest, store
+	// reopened, scrubbed until converged.
+	Corrupted    int
+	RecoveryWall time.Duration // reopen + scrub, to a clean catalog
+	Quarantined  int           // must equal Corrupted (no false positives)
+	Served       int           // documents still served after recovery
+}
+
+// FaultSweep packs docsPer documents of each mixed corpus into one
+// archive directory and measures scrub throughput on the healthy
+// catalog, then flips one bit in ~10% of the archives and measures the
+// reopen-and-scrub recovery wall until the catalog is clean again.
+func FaultSweep(docsPer int, sizeScale float64, seed uint64, workers int) ([]FaultRow, error) {
+	dir, err := os.MkdirTemp("", "xcfault-sweep")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	total, err := packMixedArchives(dir, mixedCorpora, docsPer, sizeScale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("fault sweep: %w", err)
+	}
+
+	s, err := store.Open(dir, store.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	row := FaultRow{Docs: total}
+	for _, info := range s.Docs() {
+		row.CatalogBytes += info.FileBytes
+	}
+
+	t0 := time.Now()
+	rep, err := s.Scrub(context.Background(), store.ScrubOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("fault sweep: clean scrub: %w", err)
+	}
+	row.ScrubWall = time.Since(t0)
+	row.ScrubBytes = rep.BytesRead
+	if row.ScrubWall > 0 {
+		row.ScrubMBps = float64(row.ScrubBytes) / (1 << 20) / row.ScrubWall.Seconds()
+	}
+	if rep.Corrupt != 0 || rep.Quarantined != 0 {
+		return nil, fmt.Errorf("fault sweep: clean catalog scrubbed dirty: %+v", rep)
+	}
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+
+	// Rot one bit in ~10% of the archives (at least one), seeded.
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+store.Ext))
+	if err != nil {
+		return nil, err
+	}
+	rnd := rand.New(rand.NewSource(int64(seed)))
+	rnd.Shuffle(len(paths), func(i, j int) { paths[i], paths[j] = paths[j], paths[i] })
+	victims := len(paths) / 10
+	if victims < 1 {
+		victims = 1
+	}
+	for _, p := range paths[:victims] {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := fault.FlipBit(p, 8*(5+rnd.Int63n(fi.Size()-5))); err != nil {
+			return nil, err
+		}
+	}
+	row.Corrupted = victims
+
+	t0 = time.Now()
+	s, err = store.Open(dir, store.Options{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("fault sweep: reopen over corruption: %w", err)
+	}
+	rep, err = s.Scrub(context.Background(), store.ScrubOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("fault sweep: recovery scrub: %w", err)
+	}
+	row.RecoveryWall = time.Since(t0)
+	row.Quarantined = rep.Quarantined
+	row.Served = s.Len()
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+	return []FaultRow{row}, nil
+}
+
+// CheckFaultInvariants enforces the recovery contract on sweep rows:
+// the quarantine set is exactly the corrupted set (no false positives,
+// no misses) and every healthy document is still served.
+func CheckFaultInvariants(rows []FaultRow) error {
+	for _, r := range rows {
+		if r.Quarantined != r.Corrupted {
+			return fmt.Errorf("fault invariant violated: %d corrupted but %d quarantined", r.Corrupted, r.Quarantined)
+		}
+		if r.Served != r.Docs-r.Corrupted {
+			return fmt.Errorf("fault invariant violated: %d of %d healthy documents served after recovery",
+				r.Served, r.Docs-r.Corrupted)
+		}
+	}
+	return nil
+}
+
+// PrintFault renders fault-sweep rows as an aligned table.
+func PrintFault(w io.Writer, rows []FaultRow) {
+	fmt.Fprintf(w, "%6s %12s %12s %10s %9s %12s %11s\n",
+		"docs", "catalog", "scrub wall", "scrub MB/s", "corrupt", "recovery", "quarantined")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %11.1fM %12s %10.1f %9d %12s %11d\n",
+			r.Docs, float64(r.CatalogBytes)/(1<<20), r.ScrubWall.Round(time.Millisecond),
+			r.ScrubMBps, r.Corrupted, r.RecoveryWall.Round(time.Millisecond), r.Quarantined)
+	}
+}

@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// At-rest corruption for torture harnesses: mutate files already on
+// disk — the state a store reopens into after a crash plus bit rot —
+// as opposed to the Injector, which faults live operations.
+
+// FlipBit flips one bit of the file at path. bit is taken modulo the
+// file's size in bits, so any non-negative value is a valid,
+// deterministic pick.
+func FlipBit(path string, bit int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		return fmt.Errorf("fault: FlipBit %s: empty file", path)
+	}
+	bit %= st.Size() * 8
+	if bit < 0 {
+		bit += st.Size() * 8
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], bit/8); err != nil {
+		return err
+	}
+	b[0] ^= 1 << uint(bit%8)
+	if _, err := f.WriteAt(b[:], bit/8); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// TruncateTail cuts the file to keep bytes (clamped to [0, size)), the
+// shape a torn append or lost tail leaves behind.
+func TruncateTail(path string, keep int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep >= st.Size() {
+		keep = st.Size() - 1
+		if keep < 0 {
+			keep = 0
+		}
+	}
+	return os.Truncate(path, keep)
+}
+
+// Retry runs op up to attempts times, sleeping backoff, 2*backoff,
+// 4*backoff ... (capped at maxBackoff) between tries. It reports how
+// many retries were spent and the final error (nil on success).
+// attempts < 1 is treated as 1; backoff <= 0 retries immediately.
+func Retry(attempts int, backoff, maxBackoff time.Duration, op func() error) (retries int, err error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			retries++
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+				if maxBackoff > 0 && backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+			}
+		}
+		if err = op(); err == nil {
+			return retries, nil
+		}
+	}
+	return retries, err
+}

@@ -1,0 +1,229 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Equal seeds over the same operation sequence must inject the same
+// faults — the property every torture run's reproducibility rests on.
+func TestInjectorDeterministic(t *testing.T) {
+	run := func(seed int64) []error {
+		dir := t.TempDir()
+		in := NewInjector(Config{Seed: seed, PerMille: map[Kind]int{TornWrite: 300, SyncFail: 300}})
+		fsys := in.FS(OS)
+		var errs []error
+		for i := 0; i < 40; i++ {
+			p := filepath.Join(dir, "f")
+			f, err := fsys.OpenFile(p, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, werr := f.Write([]byte("0123456789abcdef"))
+			serr := f.Sync()
+			f.Close()
+			errs = append(errs, werr, serr)
+		}
+		return errs
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	hits := 0
+	for i := range a {
+		ae, be := a[i] != nil, b[i] != nil
+		if ae != be {
+			t.Fatalf("op %d: run A err=%v, run B err=%v", i, a[i], b[i])
+		}
+		if ae {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("schedule with 30% per-op probability injected nothing over 80 ops")
+	}
+}
+
+func TestInjectorTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Config{Seed: 1, PerMille: map[Kind]int{TornWrite: 1000}})
+	fsys := in.FS(OS)
+	p := filepath.Join(dir, "torn")
+	f, err := fsys.OpenFile(p, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	_, werr := f.Write(payload)
+	f.Close()
+	var inj *InjectedError
+	if !errors.As(werr, &inj) || inj.Kind != TornWrite {
+		t.Fatalf("want injected torn write, got %v", werr)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:len(payload)/2]) {
+		t.Fatalf("torn write left %q on disk, want prefix %q", got, payload[:len(payload)/2])
+	}
+	if in.Counts()[TornWrite] != 1 {
+		t.Fatalf("counts = %v, want one torn write", in.Counts())
+	}
+}
+
+func TestInjectorENOSPCAndSync(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Config{Seed: 1, PerMille: map[Kind]int{ENOSPC: 1000}})
+	fsys := in.FS(OS)
+	f, err := fsys.OpenFile(filepath.Join(dir, "full"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, werr := f.Write([]byte("xxxx"))
+	f.Close()
+	if !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", werr)
+	}
+
+	in2 := NewInjector(Config{Seed: 1, PerMille: map[Kind]int{SyncFail: 1000}})
+	f2, err := in2.FS(OS).OpenFile(filepath.Join(dir, "s"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if serr := f2.Sync(); !errors.Is(serr, syscall.EIO) {
+		t.Fatalf("want injected EIO from fsync, got %v", serr)
+	}
+}
+
+func TestInjectorBitFlipIsSilent(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bits")
+	orig := bytes.Repeat([]byte{0xAA}, 64)
+	if err := os.WriteFile(p, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(Config{Seed: 3, PerMille: map[Kind]int{BitFlip: 1000}})
+	got, err := in.FS(OS).ReadFile(p)
+	if err != nil {
+		t.Fatalf("bit flips must be silent, got %v", err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("certain bit flip left the buffer untouched")
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^orig[i])&(1<<uint(b)) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flipped %d bits, want exactly 1", diff)
+	}
+}
+
+func TestInjectorMatchAndSkip(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Config{
+		Seed:     9,
+		PerMille: map[Kind]int{TornWrite: 1000},
+		Match:    func(p string) bool { return filepath.Ext(p) == ".xca" },
+	})
+	fsys := in.FS(OS)
+	if err := fsys.WriteFile(filepath.Join(dir, "safe.wal"), []byte("data"), 0o644); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	}
+	if err := fsys.WriteFile(filepath.Join(dir, "doc.xca"), []byte("data"), 0o644); err == nil {
+		t.Fatal("matching path escaped a certain fault")
+	}
+
+	in2 := NewInjector(Config{Seed: 9, PerMille: map[Kind]int{TornWrite: 1000}, SkipOps: 2})
+	fs2 := in2.FS(OS)
+	for i := 0; i < 2; i++ {
+		if err := fs2.WriteFile(filepath.Join(dir, "skip"), []byte("data"), 0o644); err != nil {
+			t.Fatalf("op %d inside SkipOps faulted: %v", i, err)
+		}
+	}
+	if err := fs2.WriteFile(filepath.Join(dir, "skip"), []byte("data"), 0o644); err == nil {
+		t.Fatal("first op past SkipOps escaped a certain fault")
+	}
+}
+
+func TestInjectorDisarm(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Config{Seed: 5, PerMille: map[Kind]int{TornWrite: 1000}})
+	in.Disarm()
+	fsys := in.FS(OS)
+	if err := fsys.WriteFile(filepath.Join(dir, "f"), []byte("data"), 0o644); err != nil {
+		t.Fatalf("disarmed injector faulted: %v", err)
+	}
+	in.Arm()
+	if err := fsys.WriteFile(filepath.Join(dir, "f"), []byte("data"), 0o644); err == nil {
+		t.Fatal("rearmed injector let a certain fault pass")
+	}
+}
+
+func TestFlipBitAndTruncateTail(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+	if err := os.WriteFile(p, []byte{0x00, 0x00, 0x00, 0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(p, 9); err != nil { // bit 1 of byte 1
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(p)
+	if !bytes.Equal(got, []byte{0x00, 0x02, 0x00, 0x00}) {
+		t.Fatalf("FlipBit left %v", got)
+	}
+	if err := FlipBit(p, 9+32); err != nil { // wraps modulo size: undoes the flip
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(p)
+	if !bytes.Equal(got, []byte{0x00, 0x00, 0x00, 0x00}) {
+		t.Fatalf("wrapped FlipBit left %v", got)
+	}
+
+	if err := TruncateTail(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := os.Stat(p); st.Size() != 1 {
+		t.Fatalf("TruncateTail kept %d bytes, want 1", st.Size())
+	}
+	if err := TruncateTail(p, 99); err != nil { // clamps below current size
+		t.Fatal(err)
+	}
+	if st, _ := os.Stat(p); st.Size() != 0 {
+		t.Fatalf("clamped TruncateTail kept %d bytes, want 0", st.Size())
+	}
+}
+
+func TestRetry(t *testing.T) {
+	calls := 0
+	retries, err := Retry(5, time.Microsecond, time.Millisecond, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || retries != 2 || calls != 3 {
+		t.Fatalf("retries=%d calls=%d err=%v, want 2/3/nil", retries, calls, err)
+	}
+
+	calls = 0
+	permanent := errors.New("permanent")
+	retries, err = Retry(3, 0, 0, func() error { calls++; return permanent })
+	if err != permanent || retries != 2 || calls != 3 {
+		t.Fatalf("retries=%d calls=%d err=%v, want 2/3/permanent", retries, calls, err)
+	}
+}

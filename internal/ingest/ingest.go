@@ -3,7 +3,6 @@ package ingest
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -11,12 +10,21 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/container"
+	"repro/internal/fault"
 	"repro/internal/store"
 	"repro/internal/synopsis"
 )
 
 // DefaultMemTableBytes is the seal threshold when Options leaves it zero.
 const DefaultMemTableBytes = 64 << 20
+
+// Compaction write steps (archive temp files, sidecars, packing) retry
+// transient failures before surfacing them: these defaults give a step
+// three attempts over roughly 75ms.
+const (
+	DefaultCompactRetries      = 2
+	DefaultCompactRetryBackoff = 25 * time.Millisecond
+)
 
 // ErrClosed is returned by writes against a closed Ingester. It wraps
 // store.ErrUnavailable so the HTTP layer can answer 503 (retry later)
@@ -60,6 +68,19 @@ type Options struct {
 	// BundleGCRatio is the dead-byte fraction above which the audit
 	// rewrites a bundle. <= 0 selects store.DefaultBundleGCRatio.
 	BundleGCRatio float64
+
+	// FS routes the write path's file I/O — WAL segments, archive temp
+	// files, sidecars, directory syncs. Nil selects Store.FS(), so a
+	// fault injector configured on the store covers ingest too.
+	FS fault.FS
+	// CompactRetries is how many extra attempts a failed compaction
+	// write step gets before the failure is surfaced (the step is
+	// re-run from scratch; all retried steps are idempotent). 0 selects
+	// DefaultCompactRetries; negative disables retrying.
+	CompactRetries int
+	// CompactRetryBackoff is the delay before the first retry, doubling
+	// per attempt up to 10x. <= 0 selects DefaultCompactRetryBackoff.
+	CompactRetryBackoff time.Duration
 }
 
 // Ingester is the write subsystem: WAL for durability, memtable for
@@ -108,6 +129,18 @@ func Open(opts Options) (*Ingester, error) {
 	if opts.MemTableBytes <= 0 {
 		opts.MemTableBytes = DefaultMemTableBytes
 	}
+	if opts.FS == nil {
+		opts.FS = opts.Store.FS()
+	}
+	switch {
+	case opts.CompactRetries == 0:
+		opts.CompactRetries = DefaultCompactRetries
+	case opts.CompactRetries < 0:
+		opts.CompactRetries = 0
+	}
+	if opts.CompactRetryBackoff <= 0 {
+		opts.CompactRetryBackoff = DefaultCompactRetryBackoff
+	}
 	ing := &Ingester{
 		opts:   opts,
 		table:  newMemtable(),
@@ -115,7 +148,7 @@ func Open(opts Options) (*Ingester, error) {
 		sealCh: make(chan struct{}, 1),
 		stopCh: make(chan struct{}),
 	}
-	wal, err := OpenLog(opts.WALDir, LogOptions{Sync: opts.Sync, SegmentBytes: opts.SegmentBytes}, func(rec Record) error {
+	wal, err := OpenLog(opts.WALDir, LogOptions{Sync: opts.Sync, SegmentBytes: opts.SegmentBytes, FS: opts.FS}, func(rec Record) error {
 		ing.m.replayed.Inc()
 		return ing.apply(rec)
 	})
@@ -336,19 +369,47 @@ func (ing *Ingester) packCold() error {
 	if ing.opts.PackMinDocs <= 0 {
 		return nil
 	}
-	pst, err := ing.opts.Store.PackLoose(store.PackOptions{
-		MaxBundleBytes: ing.opts.BundleMaxBytes,
-		MaxDocBytes:    ing.opts.PackMaxDocBytes,
-		MinDocs:        ing.opts.PackMinDocs,
+	// Both stages are retried whole: each re-run re-scans the catalog,
+	// so work a failed attempt did finish is not repeated, and work it
+	// tore down mid-flight is picked up again.
+	var pst store.PackStats
+	err := ing.retry(func() error {
+		var perr error
+		pst, perr = ing.opts.Store.PackLoose(store.PackOptions{
+			MaxBundleBytes: ing.opts.BundleMaxBytes,
+			MaxDocBytes:    ing.opts.PackMaxDocBytes,
+			MinDocs:        ing.opts.PackMinDocs,
+		})
+		return perr
 	})
 	if err != nil {
 		return fmt.Errorf("ingest: packing loose archives: %w", err)
 	}
 	ing.m.packedDocs.Add(uint64(pst.Packed))
-	if _, err := ing.opts.Store.AuditBundles(ing.opts.BundleGCRatio); err != nil {
+	err = ing.retry(func() error {
+		_, aerr := ing.opts.Store.AuditBundles(ing.opts.BundleGCRatio)
+		return aerr
+	})
+	if err != nil {
 		return fmt.Errorf("ingest: auditing bundles: %w", err)
 	}
 	return nil
+}
+
+// retry runs one compaction write step under the configured retry
+// policy, counting re-attempts and exhausted budgets. Only idempotent
+// steps route through here — notably not Erase, whose catalog removal
+// would make a re-run a silent no-op over an unfinished unlink.
+func (ing *Ingester) retry(op func() error) error {
+	retries, err := fault.Retry(1+ing.opts.CompactRetries,
+		ing.opts.CompactRetryBackoff, 10*ing.opts.CompactRetryBackoff, op)
+	if retries > 0 {
+		ing.m.compactionRetries.Add(uint64(retries))
+	}
+	if err != nil {
+		ing.m.compactionFailures.Inc()
+	}
+	return err
 }
 
 // setCompactErr records a background failure (or clears one, on nil) for
@@ -427,7 +488,7 @@ func (ing *Ingester) compactGeneration(g *generation) error {
 			}
 			continue
 		}
-		if err := writeArchive(path, d.archive); err != nil {
+		if err := ing.retry(func() error { return writeArchive(ing.opts.FS, path, d.archive) }); err != nil {
 			return fmt.Errorf("ingest: compacting %q: %w", name, err)
 		}
 		// Persist the sidecar (bound to the archive's exact size) before
@@ -435,11 +496,14 @@ func (ing *Ingester) compactGeneration(g *generation) error {
 		// finds a correctly paired sidecar or rejects the stale one and
 		// rebuilds from the archive at open.
 		if idx != nil && d.syn != nil {
-			fi, err := os.Stat(path)
+			fi, err := ing.opts.FS.Stat(path)
 			if err != nil {
 				return fmt.Errorf("ingest: sizing archive of %q: %w", name, err)
 			}
-			if err := synopsis.WriteSidecar(synopsis.SidecarPath(path), d.syn, idx.Dict(), fi.Size()); err != nil {
+			err = ing.retry(func() error {
+				return synopsis.WriteSidecarFS(ing.opts.FS, synopsis.SidecarPath(path), d.syn, idx.Dict(), fi.Size())
+			})
+			if err != nil {
 				return fmt.Errorf("ingest: writing sidecar of %q: %w", name, err)
 			}
 		}
@@ -450,33 +514,33 @@ func (ing *Ingester) compactGeneration(g *generation) error {
 			return fmt.Errorf("ingest: cataloguing %q: %w", name, err)
 		}
 	}
-	return syncDir(dir)
+	return syncDir(ing.opts.FS, dir)
 }
 
 // writeArchive encodes a to path via a temp file + fsync + rename, so a
 // crash leaves either the old file or the new one, never a torn archive.
-func writeArchive(path string, a *container.Archive) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".compact-*")
+func writeArchive(fsys fault.FS, path string, a *container.Archive) error {
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), ".compact-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	if err := codec.EncodeArchive(tmp, a); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return err
 	}
 	return nil
@@ -594,20 +658,22 @@ func (ing *Ingester) Stats() store.IngestStats {
 	// registry's series are monotone across reopens on the same store,
 	// but IngestStats has always described this instance only.
 	st := store.IngestStats{
-		Ingested:        ing.m.ingested.Value() - ing.m.base.ingested,
-		Deleted:         ing.m.deleted.Value() - ing.m.base.deleted,
-		Replayed:        int(ing.m.replayed.Value() - ing.m.base.replayed),
-		LiveDocs:        docs,
-		LiveBytes:       bytes,
-		SealedGens:      len(ing.table.sealed),
-		Compactions:     ing.m.compactions.Value() - ing.m.base.compactions,
-		CompactedDocs:   ing.m.compactedDocs.Value() - ing.m.base.compactedDocs,
-		PackedDocs:      ing.m.packedDocs.Value() - ing.m.base.packedDocs,
-		SynopsisBuilds:  ing.m.synBuilds.Value() - ing.m.base.synBuilds,
-		WALSegments:     walSegs,
-		WALBytes:        walBytes,
-		WALSync:         walSync,
-		WALOpenWarnings: walWarnings,
+		Ingested:           ing.m.ingested.Value() - ing.m.base.ingested,
+		Deleted:            ing.m.deleted.Value() - ing.m.base.deleted,
+		Replayed:           int(ing.m.replayed.Value() - ing.m.base.replayed),
+		LiveDocs:           docs,
+		LiveBytes:          bytes,
+		SealedGens:         len(ing.table.sealed),
+		Compactions:        ing.m.compactions.Value() - ing.m.base.compactions,
+		CompactedDocs:      ing.m.compactedDocs.Value() - ing.m.base.compactedDocs,
+		CompactionRetries:  ing.m.compactionRetries.Value() - ing.m.base.compactionRetries,
+		CompactionFailures: ing.m.compactionFailures.Value() - ing.m.base.compactionFailures,
+		PackedDocs:         ing.m.packedDocs.Value() - ing.m.base.packedDocs,
+		SynopsisBuilds:     ing.m.synBuilds.Value() - ing.m.base.synBuilds,
+		WALSegments:        walSegs,
+		WALBytes:           walBytes,
+		WALSync:            walSync,
+		WALOpenWarnings:    walWarnings,
 	}
 	if ing.compactErr != nil {
 		st.LastError = ing.compactErr.Error()

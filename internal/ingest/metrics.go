@@ -13,9 +13,10 @@ import (
 // by subtracting the values captured at Open (base), so /stats is
 // byte-compatible with what it reported before the registry existed.
 type ingestMetrics struct {
-	ingested, deleted, replayed *obs.Counter
-	compactions, compactedDocs  *obs.Counter
-	packedDocs, synBuilds       *obs.Counter
+	ingested, deleted, replayed           *obs.Counter
+	compactions, compactedDocs            *obs.Counter
+	packedDocs, synBuilds                 *obs.Counter
+	compactionRetries, compactionFailures *obs.Counter
 
 	walAppend  *obs.Histogram // WAL append (encode + write + optional fsync)
 	compaction *obs.Histogram // one generation drained to archives
@@ -23,9 +24,10 @@ type ingestMetrics struct {
 	off bool // registry disabled: skip the time.Now() pairs too
 
 	base struct {
-		ingested, deleted, replayed uint64
-		compactions, compactedDocs  uint64
-		packedDocs, synBuilds       uint64
+		ingested, deleted, replayed           uint64
+		compactions, compactedDocs            uint64
+		packedDocs, synBuilds                 uint64
+		compactionRetries, compactionFailures uint64
 	}
 }
 
@@ -38,6 +40,9 @@ func newIngestMetrics(r *obs.Registry) *ingestMetrics {
 		compactedDocs: r.Counter("xc_ingest_compacted_docs_total", "Documents written or tombstoned by compaction."),
 		packedDocs:    r.Counter("xc_ingest_packed_docs_total", "Documents migrated into cold-tier bundles."),
 		synBuilds:     r.Counter("xc_ingest_synopsis_builds_total", "Per-document synopses built at ingest and replay."),
+
+		compactionRetries:  r.Counter("xc_compaction_retries_total", "Compaction write steps re-attempted after a transient failure."),
+		compactionFailures: r.Counter("xc_compaction_failures_total", "Compaction write steps that failed after exhausting retries."),
 
 		walAppend:  r.Histogram("xc_wal_append_seconds", "WAL append latency (encode, write, fsync when enabled).", obs.UnitSeconds),
 		compaction: r.Histogram("xc_compaction_seconds", "Wall time draining one sealed generation to archives.", obs.UnitSeconds),
@@ -53,6 +58,8 @@ func newIngestMetrics(r *obs.Registry) *ingestMetrics {
 	m.base.compactedDocs = m.compactedDocs.Value()
 	m.base.packedDocs = m.packedDocs.Value()
 	m.base.synBuilds = m.synBuilds.Value()
+	m.base.compactionRetries = m.compactionRetries.Value()
+	m.base.compactionFailures = m.compactionFailures.Value()
 	return m
 }
 

@@ -29,6 +29,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/fault"
 )
 
 // Op is a WAL record type.
@@ -128,6 +130,9 @@ type LogOptions struct {
 	// SegmentBytes rotates to a new segment file once the current one
 	// exceeds this size. <= 0 selects DefaultSegmentBytes.
 	SegmentBytes int64
+	// FS is the filesystem the log runs against (nil: the real one).
+	// Tests thread a fault-injecting FS through here.
+	FS fault.FS
 }
 
 // Log is a segment-based write-ahead log: records are appended to
@@ -137,9 +142,10 @@ type LogOptions struct {
 type Log struct {
 	dir  string
 	opts LogOptions
+	fs   fault.FS
 
-	f       *os.File // current segment; nil when closed or between rotations
-	cur     uint64   // its index
+	f       fault.File // current segment; nil when closed or between rotations
+	cur     uint64     // its index
 	curSize int64
 	reopen  uint64           // segment to (re)open on next Append after a failed rotation
 	failed  error            // unrecoverable damage: refuse all further writes
@@ -169,10 +175,11 @@ func OpenLog(dir string, opts LogOptions, fn func(Record) error) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := fault.Get(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ingest: creating WAL dir: %w", err)
 	}
-	des, err := os.ReadDir(dir)
+	des, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: reading WAL dir: %w", err)
 	}
@@ -208,7 +215,7 @@ func OpenLog(dir string, opts LogOptions, fn func(Record) error) (*Log, error) {
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 
-	l := &Log{dir: dir, opts: opts, segs: segs, sizes: make(map[uint64]int64), openWarnings: warnings}
+	l := &Log{dir: dir, opts: opts, fs: fsys, segs: segs, sizes: make(map[uint64]int64), openWarnings: warnings}
 	for i, idx := range segs {
 		last := i == len(segs)-1
 		if err := l.replaySegment(idx, last, fn); err != nil {
@@ -216,7 +223,7 @@ func OpenLog(dir string, opts LogOptions, fn func(Record) error) (*Log, error) {
 		}
 		// One stat per segment at open (replay may have truncated a torn
 		// tail); SizeBytes is a pure in-memory read afterwards.
-		if fi, err := os.Stat(filepath.Join(dir, segName(idx))); err == nil {
+		if fi, err := fsys.Stat(filepath.Join(dir, segName(idx))); err == nil {
 			l.sizes[idx] = fi.Size()
 		}
 	}
@@ -235,7 +242,7 @@ func OpenLog(dir string, opts LogOptions, fn func(Record) error) (*Log, error) {
 // truncating a torn tail when the segment is the last one.
 func (l *Log) replaySegment(idx uint64, last bool, fn func(Record) error) error {
 	path := filepath.Join(l.dir, segName(idx))
-	f, err := os.Open(path)
+	f, err := l.fs.Open(path)
 	if err != nil {
 		return fmt.Errorf("ingest: %w", err)
 	}
@@ -253,7 +260,7 @@ func (l *Log) replaySegment(idx uint64, last bool, fn func(Record) error) error 
 				return fmt.Errorf("ingest: WAL segment %s corrupt at offset %d (not the final segment; refusing to drop history)", path, good)
 			}
 			// Torn tail: drop the partial record.
-			if err := os.Truncate(path, good); err != nil {
+			if err := l.fs.Truncate(path, good); err != nil {
 				return fmt.Errorf("ingest: truncating torn WAL tail of %s: %w", path, err)
 			}
 			return nil
@@ -280,7 +287,7 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 func (l *Log) openSegment(idx uint64) error {
 	path := filepath.Join(l.dir, segName(idx))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("ingest: opening WAL segment: %w", err)
 	}
@@ -293,7 +300,7 @@ func (l *Log) openSegment(idx uint64) error {
 	// power cut can drop the whole segment file — and every fsynced
 	// record in it — no matter how diligently Append syncs the file.
 	if fi.Size() == 0 {
-		if err := syncDir(l.dir); err != nil {
+		if err := syncDir(l.fs, l.dir); err != nil {
 			f.Close()
 			return fmt.Errorf("ingest: syncing WAL dir: %w", err)
 		}
@@ -308,8 +315,8 @@ func (l *Log) openSegment(idx uint64) error {
 
 // syncDir fsyncs a directory so entries created or renamed into it are
 // durable. Shared with the compactor's archive publish step.
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
+func syncDir(fsys fault.FS, dir string) error {
+	f, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -401,7 +408,7 @@ func (l *Log) TruncateThrough(sealed uint64) error {
 			keep = append(keep, idx)
 			continue
 		}
-		if err := os.Remove(filepath.Join(l.dir, segName(idx))); err != nil && !os.IsNotExist(err) {
+		if err := l.fs.Remove(filepath.Join(l.dir, segName(idx))); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("ingest: retiring WAL segment: %w", err)
 		}
 		delete(l.sizes, idx)

@@ -93,7 +93,7 @@ func (s *Store) PackLoose(opts PackOptions) (PackStats, error) {
 		if err := w.Seal(); err != nil {
 			return fmt.Errorf("store: sealing bundle: %w", err)
 		}
-		nb, err := bundle.Open(w.Path())
+		nb, err := bundle.OpenFS(s.fs, w.Path())
 		if err != nil {
 			return fmt.Errorf("store: reopening sealed bundle: %w", err)
 		}
@@ -126,8 +126,8 @@ func (s *Store) PackLoose(opts PackOptions) (PackStats, error) {
 		// next open, its bundled twin is re-tombstoned, and a later pack
 		// tries again.
 		for _, e := range unlink {
-			_ = os.Remove(e.path)
-			_ = os.Remove(synopsis.SidecarPath(e.path))
+			_ = s.fs.Remove(e.path)
+			_ = s.fs.Remove(synopsis.SidecarPath(e.path))
 			st.Packed++
 			st.PackedBytes += e.fileBytes
 		}
@@ -136,7 +136,7 @@ func (s *Store) PackLoose(opts PackOptions) (PackStats, error) {
 	}
 
 	for _, e := range cands {
-		data, err := os.ReadFile(e.path)
+		data, err := s.fs.ReadFile(e.path)
 		if err != nil {
 			st.Skipped++ // erased or already migrated since the snapshot
 			continue
@@ -144,10 +144,10 @@ func (s *Store) PackLoose(opts PackOptions) (PackStats, error) {
 		// The sidecar rides along verbatim when present; a stale or torn
 		// one is rejected by Open's pairing check and rebuilt in memory,
 		// so no validation is needed here.
-		sidecar, _ := os.ReadFile(synopsis.SidecarPath(e.path))
+		sidecar, _ := s.fs.ReadFile(synopsis.SidecarPath(e.path))
 		if w == nil {
 			path := filepath.Join(s.dir, bundle.FileName(s.allocBundleID()))
-			w, err = bundle.Create(path)
+			w, err = bundle.CreateFS(s.fs, path)
 			if err != nil {
 				return st, fmt.Errorf("store: creating bundle: %w", err)
 			}
@@ -219,7 +219,7 @@ func (s *Store) AuditBundles(minRatio float64) (AuditStats, error) {
 			continue
 		}
 		path := filepath.Join(s.dir, bundle.FileName(s.allocBundleID()))
-		w, err := bundle.Create(path)
+		w, err := bundle.CreateFS(s.fs, path)
 		if err != nil {
 			return st, fmt.Errorf("store: creating rewrite bundle: %w", err)
 		}
@@ -230,7 +230,7 @@ func (s *Store) AuditBundles(minRatio float64) (AuditStats, error) {
 		if err := w.Seal(); err != nil {
 			return st, err
 		}
-		nb, err := bundle.Open(path)
+		nb, err := bundle.OpenFS(s.fs, path)
 		if err != nil {
 			return st, fmt.Errorf("store: reopening rewrite bundle: %w", err)
 		}
@@ -290,10 +290,10 @@ func (s *Store) Erase(name string) error {
 	if e.b != nil {
 		return e.b.Delete(name)
 	}
-	if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(e.path); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	if err := os.Remove(synopsis.SidecarPath(e.path)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(synopsis.SidecarPath(e.path)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	return nil
@@ -305,6 +305,7 @@ func (s *Store) Erase(name string) error {
 // shutdown. A store serving only loose archives holds no descriptors
 // and Close is then optional.
 func (s *Store) Close() error {
+	s.StopScrubber()
 	s.mu.Lock()
 	bundles := make([]*bundle.Bundle, 0, len(s.bundles))
 	for _, b := range s.bundles {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +29,12 @@ type IngestStats struct {
 
 	Compactions   uint64 `json:"compactions"`
 	CompactedDocs uint64 `json:"compacted_docs"`
+
+	// CompactionRetries counts write steps (archive, sidecar, packing)
+	// re-attempted after a transient failure; CompactionFailures counts
+	// steps that failed even after exhausting their retry budget.
+	CompactionRetries  uint64 `json:"compaction_retries,omitempty"`
+	CompactionFailures uint64 `json:"compaction_failures,omitempty"`
 
 	// PackedDocs counts documents the compactor's packing stage migrated
 	// from loose archives into cold-tier bundles (0 when packing is off).
@@ -77,6 +84,16 @@ type ServerOptions struct {
 	// AccessLog, when non-nil, wraps the handler in structured
 	// per-request logging (method, path, status, duration, bytes).
 	AccessLog *slog.Logger
+
+	// QueryTimeout bounds each /query evaluation. Past it the request
+	// fails with 504 and the store stops dispatching documents (loads
+	// and evaluations already running finish). <= 0 disables the bound.
+	QueryTimeout time.Duration
+
+	// MaxConcurrentQueries caps in-flight /query requests: requests over
+	// the cap are shed immediately with 429 rather than queued, keeping
+	// latency bounded under overload. <= 0 disables admission control.
+	MaxConcurrentQueries int
 }
 
 // NewHandler wraps a Store in the xcserve HTTP API:
@@ -110,6 +127,13 @@ func NewHandler(s *Store, opts ServerOptions) http.Handler {
 		opts.MaxBodyBytes = 64 << 20
 	}
 	h := &handler{store: s, opts: opts, start: time.Now()}
+	if opts.MaxConcurrentQueries > 0 {
+		h.sem = make(chan struct{}, opts.MaxConcurrentQueries)
+	}
+	h.shed = s.Metrics().Counter("xc_queries_shed_total",
+		"Query requests rejected with 429 by the admission gate.")
+	h.timeouts = s.Metrics().Counter("xc_query_timeouts_total",
+		"Query requests that hit the configured -query-timeout (504).")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", h.query)
 	mux.HandleFunc("/docs", h.docs)
@@ -128,6 +152,12 @@ type handler struct {
 	store *Store
 	opts  ServerOptions
 	start time.Time
+
+	// sem is the admission gate: one slot per in-flight /query. nil when
+	// MaxConcurrentQueries is unset.
+	sem      chan struct{}
+	shed     *obs.Counter
+	timeouts *obs.Counter
 }
 
 // QueryResponse is the /query response for a single document.
@@ -227,6 +257,24 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	if h.sem != nil {
+		select {
+		case h.sem <- struct{}{}:
+			defer func() { <-h.sem }()
+		default:
+			h.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Errorf("server at max concurrent queries (%d)", h.opts.MaxConcurrentQueries))
+			return
+		}
+	}
+	ctx := r.Context()
+	if h.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.opts.QueryTimeout)
+		defer cancel()
+	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		httpError(w, http.StatusBadRequest, errors.New("missing q parameter"))
@@ -247,9 +295,13 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	wantTrace := r.URL.Query().Get("trace") == "1"
 
 	if name := r.URL.Query().Get("doc"); name != "" {
-		res, tr, err := h.store.QueryTrace(name, q, wantTrace)
+		res, tr, err := h.store.QueryTraceCtx(ctx, name, q, wantTrace)
 		if err != nil {
 			h.store.CloseTrace(tr, err)
+			if st, ok := h.ctxStatus(err); ok {
+				httpError(w, st, err)
+				return
+			}
 			httpError(w, statusFor(h.store, name), err)
 			return
 		}
@@ -265,9 +317,13 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 
 	t0 := time.Now()
-	results, tr, err := h.store.QueryAllTrace(q, wantTrace)
+	results, tr, err := h.store.QueryAllTraceCtx(ctx, q, wantTrace)
 	if err != nil {
 		h.store.CloseTrace(tr, err)
+		if st, ok := h.ctxStatus(err); ok {
+			httpError(w, st, err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -500,6 +556,21 @@ func (h *handler) slow(w http.ResponseWriter, r *http.Request) {
 		Total:          l.Total(),
 		Entries:        entries,
 	})
+}
+
+// ctxStatus maps a context error to its HTTP status: a deadline hit is
+// the server's -query-timeout answering 504; a bare cancellation means
+// the client went away (503 is written into the void). ok is false for
+// every other error.
+func (h *handler) ctxStatus(err error) (status int, ok bool) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		h.timeouts.Inc()
+		return http.StatusGatewayTimeout, true
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, true
+	}
+	return 0, false
 }
 
 // statusFor distinguishes "no such document" (404) from query and

@@ -23,6 +23,15 @@ type storeMetrics struct {
 
 	synBuilds, synWriteErrs *obs.Counter
 	bundleRebuilds          *obs.Counter
+	openSkipped             *obs.Counter
+
+	// Scrubber counters (scrub.go). scrubScanned/scrubBytes measure
+	// verification work; scrubCorrupt artifacts found bad;
+	// scrubQuarantined documents moved aside; scrubRepaired artifacts
+	// rebuilt in place (sidecars, needle indexes).
+	scrubPasses, scrubScanned, scrubBytes         *obs.Counter
+	scrubCorrupt, scrubQuarantined, scrubRepaired *obs.Counter
+	degradedDocs                                  *obs.Counter
 
 	decodeBytes     *obs.Counter // archive bytes decoded on cache misses
 	bundleReads     *obs.Counter // cold-tier documents decoded (pread + decode)
@@ -51,6 +60,15 @@ func newStoreMetrics(r *obs.Registry) *storeMetrics {
 		synBuilds:      r.Counter("xc_synopsis_builds_total", "Synopsis sidecars rebuilt at open (missing or unreadable)."),
 		synWriteErrs:   r.Counter("xc_synopsis_write_errors_total", "Synopsis sidecar persists that failed at open."),
 		bundleRebuilds: r.Counter("xc_bundle_rebuilds_total", "Bundle needle indexes rebuilt by scanning at open."),
+		openSkipped:    r.Counter("xc_open_skipped_corrupt_total", "Corrupt artifacts skipped (not catalogued) at open."),
+
+		scrubPasses:      r.Counter("xc_scrub_passes_total", "Completed scrub passes over the catalog."),
+		scrubScanned:     r.Counter("xc_scrub_scanned_total", "Artifacts (archives, sidecars, needles) the scrubber verified."),
+		scrubBytes:       r.Counter("xc_scrub_bytes_total", "Bytes the scrubber read and checksummed."),
+		scrubCorrupt:     r.Counter("xc_scrub_corrupt_total", "Artifacts the scrubber found corrupt."),
+		scrubQuarantined: r.Counter("xc_scrub_quarantined_total", "Corrupt artifacts moved into quarantine/."),
+		scrubRepaired:    r.Counter("xc_scrub_repaired_total", "Artifacts the scrubber rebuilt (sidecars, needle indexes)."),
+		degradedDocs:     r.Counter("xc_degraded_docs_total", "Per-document failures served degraded inside fan-out responses."),
 
 		decodeBytes:     r.Counter("xc_decode_bytes_total", "Archive bytes read and decoded on document cache misses."),
 		bundleReads:     r.Counter("xc_bundle_reads_total", "Documents decoded from cold-tier bundles."),
@@ -107,6 +125,8 @@ func (s *Store) registerGauges() {
 	g("xc_bundled_docs", "Catalogued documents served from bundles.", func(st Stats) float64 { return float64(st.BundledDocs) })
 	g("xc_bundle_bytes", "Summed bundle data-file sizes.", func(st Stats) float64 { return float64(st.BundleBytes) })
 	g("xc_bundle_dead_bytes", "Tombstoned or replaced needle bytes awaiting GC.", func(st Stats) float64 { return float64(st.BundleDeadBytes) })
+	g("xc_quarantined_docs", "Documents moved into quarantine/ since open.", func(st Stats) float64 { return float64(st.ScrubQuarantined) })
+	g("xc_suspect_docs", "Artifacts queued for scrub verification.", func(st Stats) float64 { return float64(st.Suspects) })
 	if s.slow != nil {
 		slow := s.slow
 		s.reg.Gauge("xc_slow_queries", "Queries at or over the slow-query threshold (including ring-evicted ones).",

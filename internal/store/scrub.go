@@ -1,0 +1,532 @@
+package store
+
+// Background scrub and repair: re-verify the checksums of everything the
+// catalog serves — loose archives, synopsis sidecars, bundle needles and
+// needle indexes — and act on what fails. Corrupt documents move into
+// quarantine/ next to the store directory's data (with a reason file per
+// artifact), so an operator can inspect or restore them; state that is
+// derivable from healthy bytes (sidecars, bundle indexes) is rebuilt in
+// place with capped exponential backoff. Serving continues throughout:
+// the scrubber reads through the same fault.FS as everything else, takes
+// the catalog lock only to snapshot or publish, and rate-limits its own
+// reads so a scrub pass cannot starve queries of disk bandwidth.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/codec"
+	"repro/internal/fault"
+	"repro/internal/synopsis"
+)
+
+// QuarantineDir is the subdirectory (under the store directory) that
+// receives corrupt artifacts and their reason files.
+const QuarantineDir = "quarantine"
+
+// Scrub repair defaults: a failed rebuild gets two more attempts over
+// roughly 75ms before the failure is reported.
+const (
+	DefaultScrubRetries = 2
+	DefaultScrubBackoff = 25 * time.Millisecond
+)
+
+// Suspect is an artifact some layer detected as corrupt — skipped by
+// Open, or failed during serving — queued for the scrubber to verify
+// and quarantine.
+type Suspect struct {
+	Name    string `json:"name"`    // document name
+	Path    string `json:"path"`    // loose archive path, or the bundle data file
+	Bundled bool   `json:"bundled"` // payload lives in a bundle needle
+	Reason  string `json:"reason"`  // what the detector saw
+}
+
+// addSuspect queues su for the next scrub pass, deduplicating by
+// document name and source path.
+func (s *Store) addSuspect(su Suspect) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, old := range s.suspects {
+		if old.Name == su.Name && old.Path == su.Path {
+			return
+		}
+	}
+	s.suspects = append(s.suspects, su)
+}
+
+// Suspects returns the artifacts currently queued for scrub
+// verification.
+func (s *Store) Suspects() []Suspect {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Suspect(nil), s.suspects...)
+}
+
+// probeArchive is Open's cheap integrity gate on a loose archive: magic
+// and version only, no decoding.
+func (s *Store) probeArchive(path string) error {
+	f, err := s.fs.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return codec.CheckArchiveHeader(f)
+}
+
+// ScrubOptions tunes one Scrub pass.
+type ScrubOptions struct {
+	// RateBytesPerSec throttles the scrubber's verification reads so a
+	// pass cannot monopolise disk bandwidth. <= 0 scrubs unthrottled.
+	RateBytesPerSec int64
+	// RebuildRetries is how many extra attempts a failed repair write
+	// (sidecar rebuild, index rewrite, quarantine move) gets. 0 selects
+	// DefaultScrubRetries; negative disables retrying.
+	RebuildRetries int
+	// RebuildBackoff is the delay before the first repair retry,
+	// doubling per attempt up to 10x. <= 0 selects DefaultScrubBackoff.
+	RebuildBackoff time.Duration
+}
+
+// ScrubReport is what one Scrub pass found and did.
+type ScrubReport struct {
+	Scanned     int      `json:"scanned"`          // artifacts verified
+	BytesRead   int64    `json:"bytes_read"`       // bytes read and checksummed
+	Corrupt     int      `json:"corrupt"`          // artifacts that failed verification
+	Quarantined int      `json:"quarantined"`      // documents moved into quarantine/
+	Repaired    int      `json:"repaired"`         // sidecars and indexes rebuilt
+	Errors      []string `json:"errors,omitempty"` // non-fatal problems (capped)
+}
+
+func (r *ScrubReport) addErr(err error) {
+	if len(r.Errors) < 16 {
+		r.Errors = append(r.Errors, err.Error())
+	}
+}
+
+// scrubThrottle sleeps long enough after each read to keep the pass at
+// or under the configured byte rate, waking early on cancellation.
+func scrubThrottle(ctx context.Context, rate, n int64) {
+	if rate <= 0 || n <= 0 {
+		return
+	}
+	d := time.Duration(float64(n) / float64(rate) * float64(time.Second))
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// Scrub runs one verification pass over the whole catalog: every loose
+// archive and bundle needle is re-read and its checksum re-verified;
+// every sidecar is re-paired against its archive; every bundle's needle
+// index is re-loaded. Corrupt documents are removed from the catalog and
+// moved into quarantine/ with a reason file; corrupt sidecars and
+// indexes are rebuilt from the healthy bytes they derive from. Suspects
+// queued by Open or the serving path are processed first. Safe to run
+// concurrently with serving and ingest; passes are serialised against
+// each other. Cancelling ctx stops the pass cleanly mid-way (already
+// verified or repaired work stands).
+func (s *Store) Scrub(ctx context.Context, opts ScrubOptions) (ScrubReport, error) {
+	s.scrubMu.Lock()
+	defer s.scrubMu.Unlock()
+
+	switch {
+	case opts.RebuildRetries == 0:
+		opts.RebuildRetries = DefaultScrubRetries
+	case opts.RebuildRetries < 0:
+		opts.RebuildRetries = 0
+	}
+	if opts.RebuildBackoff <= 0 {
+		opts.RebuildBackoff = DefaultScrubBackoff
+	}
+
+	var rep ScrubReport
+	defer func() {
+		s.m.scrubScanned.Add(uint64(rep.Scanned))
+		s.m.scrubBytes.Add(uint64(rep.BytesRead))
+		s.m.scrubCorrupt.Add(uint64(rep.Corrupt))
+		s.m.scrubQuarantined.Add(uint64(rep.Quarantined))
+		s.m.scrubRepaired.Add(uint64(rep.Repaired))
+	}()
+
+	// Suspects first: these are already known-bad, so the pass delivers
+	// its most valuable work (getting corpses out of the directory) even
+	// if cancelled early.
+	s.mu.Lock()
+	suspects := s.suspects
+	s.suspects = nil
+	s.mu.Unlock()
+	for _, su := range suspects {
+		if ctx.Err() != nil {
+			// Put the unprocessed remainder back for the next pass.
+			s.addSuspect(su)
+			continue
+		}
+		if err := s.quarantineSuspect(su, opts, &rep); err != nil {
+			rep.addErr(err)
+			s.addSuspect(su) // retry next pass
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+
+	// Snapshot the catalog; verify each entry without holding any lock.
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		if e.b != nil {
+			s.scrubBundled(ctx, e, opts, &rep)
+		} else {
+			s.scrubLoose(ctx, e, opts, &rep)
+		}
+	}
+
+	// Bundle needle indexes are derivable state: verify each, rewrite on
+	// failure. (A lost index only costs a rebuild scan at open, but the
+	// scrubber repairing it now means the next open never pays it.)
+	s.mu.Lock()
+	bundles := make([]*bundle.Bundle, 0, len(s.bundles))
+	for _, b := range s.bundles {
+		bundles = append(bundles, b)
+	}
+	s.mu.Unlock()
+	sort.Slice(bundles, func(i, j int) bool { return bundles[i].ID() < bundles[j].ID() })
+	for _, b := range bundles {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		rep.Scanned++
+		if err := b.VerifyIndex(); err == nil {
+			continue
+		}
+		rep.Corrupt++
+		if err := s.repair(opts, b.RewriteIndex); err != nil {
+			rep.addErr(fmt.Errorf("scrub: rewriting index of %s: %w", b.Path(), err))
+			continue
+		}
+		rep.Repaired++
+	}
+
+	s.m.scrubPasses.Inc()
+	return rep, ctx.Err()
+}
+
+// scrubLoose verifies one loose archive and its sidecar.
+func (s *Store) scrubLoose(ctx context.Context, e *entry, opts ScrubOptions, rep *ScrubReport) {
+	data, err := s.fs.ReadFile(e.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return // packed or erased since the snapshot
+		}
+		rep.addErr(fmt.Errorf("scrub: reading %s: %w", e.path, err))
+		return
+	}
+	rep.Scanned++
+	rep.BytesRead += int64(len(data))
+	scrubThrottle(ctx, opts.RateBytesPerSec, int64(len(data)))
+	if int64(len(data)) != e.fileBytes {
+		// The file changed size since cataloguing: a replacement landed.
+		// The fresh archive was verified on its own write path; skip.
+		return
+	}
+	if _, err := codec.DecodeSkeletonBytes(data); err != nil {
+		rep.Corrupt++
+		if qerr := s.quarantineDoc(e, fmt.Sprintf("archive failed scrub: %v", err), opts, rep); qerr != nil {
+			rep.addErr(qerr)
+		}
+		return
+	}
+	// Sidecar: derivable state — rebuild on any failure, never quarantine.
+	if s.syn == nil {
+		return
+	}
+	sp := synopsis.SidecarPath(e.path)
+	if fi, err := s.fs.Stat(sp); err == nil {
+		rep.Scanned++
+		rep.BytesRead += fi.Size()
+		scrubThrottle(ctx, opts.RateBytesPerSec, fi.Size())
+	}
+	if _, err := synopsis.LoadSidecarFS(s.fs, sp, s.syn.Dict(), e.fileBytes); err == nil {
+		return
+	}
+	rep.Corrupt++
+	err = s.repair(opts, func() error {
+		syn, werr := buildSidecar(s.fs, e.path, e.fileBytes, s.syn.Dict())
+		if syn == nil {
+			return werr
+		}
+		if werr != nil {
+			return werr
+		}
+		s.syn.Put(e.name, syn)
+		return nil
+	})
+	if err != nil {
+		rep.addErr(fmt.Errorf("scrub: rebuilding sidecar of %s: %w", e.path, err))
+		return
+	}
+	rep.Repaired++
+}
+
+// scrubBundled verifies one bundled needle (the pread re-checks the
+// payload CRC) and quarantines the document on failure.
+func (s *Store) scrubBundled(ctx context.Context, e *entry, opts ScrubOptions, rep *ScrubReport) {
+	data, err := e.b.Archive(e.name)
+	if err == nil {
+		rep.Scanned++
+		rep.BytesRead += int64(len(data))
+		scrubThrottle(ctx, opts.RateBytesPerSec, int64(len(data)))
+		if _, derr := codec.DecodeSkeletonBytes(data); derr == nil {
+			return
+		}
+		err = fmt.Errorf("needle payload undecodable")
+	}
+	rep.Scanned++
+	rep.Corrupt++
+	if qerr := s.quarantineDoc(e, fmt.Sprintf("bundled archive failed scrub: %v", err), opts, rep); qerr != nil {
+		rep.addErr(qerr)
+	}
+}
+
+// repair runs one rebuild step under the configured capped-backoff
+// retry policy.
+func (s *Store) repair(opts ScrubOptions, op func() error) error {
+	_, err := fault.Retry(1+opts.RebuildRetries, opts.RebuildBackoff, 10*opts.RebuildBackoff, op)
+	return err
+}
+
+// quarantineDoc removes a catalogued document whose payload failed
+// verification and moves its artifacts into quarantine/. The catalog
+// drop happens first, under the lock, and only if the entry is still
+// the catalogued one — a replacement that raced the scrub wins and the
+// quarantine is skipped.
+func (s *Store) quarantineDoc(e *entry, reason string, opts ScrubOptions, rep *ScrubReport) error {
+	s.mu.Lock()
+	if s.entries[e.name] != e {
+		s.mu.Unlock()
+		return nil // replaced mid-scrub: the new entry was verified on write
+	}
+	s.dropLocked(e)
+	delete(s.entries, e.name)
+	if i := sort.SearchStrings(s.names, e.name); i < len(s.names) && s.names[i] == e.name {
+		s.names = append(s.names[:i], s.names[i+1:]...)
+	}
+	s.mu.Unlock()
+	if s.syn != nil {
+		s.syn.Remove(e.name)
+	}
+
+	if e.b != nil {
+		// The payload bytes live inside a sealed bundle; they cannot be
+		// unlinked individually. Tombstone the needle (the auditor
+		// reclaims the bytes) and leave a reason file carrying the
+		// provenance an operator needs.
+		if err := e.b.Delete(e.name); err != nil {
+			return fmt.Errorf("scrub: tombstoning %q in %s: %w", e.name, e.b.Path(), err)
+		}
+		if err := s.writeReason(e.name+".xca", e.b.Path(), reason, opts); err != nil {
+			return err
+		}
+		rep.Quarantined++
+		log.Printf("store: quarantined bundled document %q (%s): %s", e.name, e.b.Path(), reason)
+		return nil
+	}
+	if err := s.moveToQuarantine(e.path, opts); err != nil {
+		return fmt.Errorf("scrub: quarantining %s: %w", e.path, err)
+	}
+	// The sidecar describes quarantined bytes; it goes along best-effort.
+	_ = s.moveToQuarantine(synopsis.SidecarPath(e.path), opts)
+	if err := s.writeReason(filepath.Base(e.path), e.path, reason, opts); err != nil {
+		return err
+	}
+	rep.Quarantined++
+	log.Printf("store: quarantined %s: %s", e.path, reason)
+	return nil
+}
+
+// quarantineSuspect handles an artifact some earlier layer flagged as
+// corrupt. The artifact is re-verified first: between detection and
+// this pass the compactor may have replaced the file with a healthy
+// archive (loose replacements land at the same path), and quarantining
+// that would be a false positive.
+func (s *Store) quarantineSuspect(su Suspect, opts ScrubOptions, rep *ScrubReport) error {
+	if !su.Bundled {
+		data, err := s.fs.ReadFile(su.Path)
+		if os.IsNotExist(err) {
+			return nil // erased or packed since detection
+		}
+		if err == nil {
+			rep.Scanned++
+			rep.BytesRead += int64(len(data))
+			if _, derr := codec.DecodeSkeletonBytes(data); derr == nil {
+				return nil // healthy now: a replacement landed since detection
+			}
+		}
+		// Still corrupt. If a catalog entry points at this file (the
+		// serving path detected it after open), drop it before the move.
+		s.mu.Lock()
+		if e, ok := s.entries[su.Name]; ok && e.b == nil && e.path == su.Path {
+			s.dropLocked(e)
+			delete(s.entries, su.Name)
+			if i := sort.SearchStrings(s.names, su.Name); i < len(s.names) && s.names[i] == su.Name {
+				s.names = append(s.names[:i], s.names[i+1:]...)
+			}
+			if s.syn != nil {
+				defer s.syn.Remove(su.Name)
+			}
+		}
+		s.mu.Unlock()
+	}
+	rep.Corrupt++
+	if su.Bundled {
+		// Tombstone the needle so the auditor counts the bytes dead. A
+		// suspect flagged at open was never catalogued; one flagged on
+		// the serving path still is — drop that entry first (unless a
+		// replacement shadowed the bad needle since detection).
+		s.mu.Lock()
+		var b *bundle.Bundle
+		for _, cand := range s.bundles {
+			if cand.Path() == su.Path {
+				b = cand
+				break
+			}
+		}
+		dropped := false
+		if e, ok := s.entries[su.Name]; ok && e.b != nil && e.b.Path() == su.Path {
+			s.dropLocked(e)
+			delete(s.entries, su.Name)
+			if i := sort.SearchStrings(s.names, su.Name); i < len(s.names) && s.names[i] == su.Name {
+				s.names = append(s.names[:i], s.names[i+1:]...)
+			}
+			dropped = true
+		}
+		s.mu.Unlock()
+		if dropped && s.syn != nil {
+			s.syn.Remove(su.Name)
+		}
+		if b != nil {
+			if err := b.Delete(su.Name); err != nil {
+				return fmt.Errorf("scrub: tombstoning suspect %q: %w", su.Name, err)
+			}
+		}
+		if err := s.writeReason(su.Name+".xca", su.Path, su.Reason, opts); err != nil {
+			return err
+		}
+		rep.Quarantined++
+		log.Printf("store: quarantined bundled document %q (%s): %s", su.Name, su.Path, su.Reason)
+		return nil
+	}
+	if err := s.moveToQuarantine(su.Path, opts); err != nil {
+		return fmt.Errorf("scrub: quarantining %s: %w", su.Path, err)
+	}
+	_ = s.moveToQuarantine(synopsis.SidecarPath(su.Path), opts)
+	if err := s.writeReason(filepath.Base(su.Path), su.Path, su.Reason, opts); err != nil {
+		return err
+	}
+	rep.Quarantined++
+	log.Printf("store: quarantined %s: %s", su.Path, su.Reason)
+	return nil
+}
+
+// moveToQuarantine renames path into the quarantine directory,
+// retrying per the repair policy. A vanished source is success.
+func (s *Store) moveToQuarantine(path string, opts ScrubOptions) error {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	return s.repair(opts, func() error {
+		if err := s.fs.MkdirAll(qdir, 0o755); err != nil {
+			return err
+		}
+		err := s.fs.Rename(path, filepath.Join(qdir, filepath.Base(path)))
+		if err != nil && os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	})
+}
+
+// writeReason records why base was quarantined, next to the artifact.
+func (s *Store) writeReason(base, src, reason string, opts ScrubOptions) error {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	body := fmt.Sprintf("artifact: %s\nsource: %s\nquarantined: %s\nreason: %s\n",
+		base, src, time.Now().UTC().Format(time.RFC3339), reason)
+	return s.repair(opts, func() error {
+		if err := s.fs.MkdirAll(qdir, 0o755); err != nil {
+			return err
+		}
+		return s.fs.WriteFile(filepath.Join(qdir, base+".reason"), []byte(body), 0o644)
+	})
+}
+
+// StartScrubber runs Scrub every interval in the background until
+// StopScrubber or Close. Starting an already-started scrubber is a
+// no-op. Pass failures are logged and counted, never fatal.
+func (s *Store) StartScrubber(interval time.Duration, opts ScrubOptions) {
+	if interval <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.stopScrub != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	s.stopScrub = stop
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.scrubDone.Add(1)
+	go func() {
+		<-stop
+		cancel()
+	}()
+	go func() {
+		defer s.scrubDone.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if rep, err := s.Scrub(ctx, opts); err != nil && err != context.Canceled {
+					log.Printf("store: scrub pass failed: %v (report: %+v)", err, rep)
+				}
+			}
+		}
+	}()
+}
+
+// StopScrubber ends the background scrubber and waits for any pass in
+// flight to stop. Safe to call repeatedly or without a start.
+func (s *Store) StopScrubber() {
+	s.mu.Lock()
+	stop := s.stopScrub
+	s.stopScrub = nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	s.scrubDone.Wait()
+}

@@ -41,10 +41,10 @@ package store
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"log"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -59,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/label"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -110,6 +111,10 @@ type Options struct {
 	SlowQueryThreshold time.Duration
 	// SlowLogSize is the slow-query ring capacity. <= 0 selects 128.
 	SlowLogSize int
+	// FS routes every durable read and write (archives, sidecars,
+	// bundles) so the torture harness can interpose a fault injector.
+	// Nil selects fault.OS, the zero-cost passthrough.
+	FS fault.FS
 }
 
 // Store serves queries from a directory of archives. It is safe for
@@ -119,6 +124,10 @@ type Store struct {
 	budget  int64
 	workers int
 	progCap int
+
+	// fs routes all durable I/O; never nil after Open. Fault injectors
+	// interpose here (Options.FS).
+	fs fault.FS
 
 	// reg is the store's metrics registry, m the counter and histogram
 	// handles registered in it (see metrics.go), slow the optional
@@ -166,6 +175,17 @@ type Store struct {
 	// progCap, like the program cache it shadows.
 	plans   map[string]*list.Element
 	planLRU *list.List
+
+	// suspects holds artifacts detected corrupt — skipped at Open or
+	// failed during serving — queued for the scrubber to verify and
+	// quarantine (scrub.go). Guarded by mu.
+	suspects []Suspect
+
+	// Scrubber lifecycle (scrub.go). scrubMu serialises Scrub passes;
+	// stopScrub ends the background loop started by StartScrubber.
+	scrubMu   sync.Mutex
+	stopScrub chan struct{}
+	scrubDone sync.WaitGroup
 }
 
 // entry is one catalogued document source. Exactly one tier backs it:
@@ -232,7 +252,8 @@ func (d *Doc) Run(prog *xpath.Program) (*core.Result, error) { return d.prep.Run
 // its source bundle). Shadowed bundled copies are tombstoned best-effort
 // so dead-byte accounting sees them.
 func Open(dir string, opts Options) (*Store, error) {
-	des, err := os.ReadDir(dir)
+	fsys := fault.Get(opts.FS)
+	des, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading archive directory: %w", err)
 	}
@@ -242,6 +263,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s := &Store{
 		dir:     dir,
+		fs:      fsys,
 		budget:  opts.CacheBytes,
 		workers: opts.Workers,
 		progCap: opts.ProgramCache,
@@ -279,6 +301,16 @@ func Open(dir string, opts Options) (*Store, error) {
 				return nil, fmt.Errorf("store: stat %s: %w", path, err)
 			}
 			name := strings.TrimSuffix(de.Name(), Ext)
+			// A garbage .xca (truncated header, wrong magic, foreign
+			// file) must not fail the whole open, and must not be
+			// catalogued as if servable: skip it, count it, and queue it
+			// for the scrubber to quarantine.
+			if err := s.probeArchive(path); err != nil {
+				s.m.openSkipped.Inc()
+				s.addSuspect(Suspect{Name: name, Path: path, Reason: err.Error()})
+				log.Printf("store: skipping corrupt archive %s: %v", path, err)
+				continue
+			}
 			s.entries[name] = &entry{name: name, path: path, fileBytes: fi.Size()}
 			s.names = append(s.names, name)
 		case strings.HasSuffix(de.Name(), bundle.Ext):
@@ -297,11 +329,31 @@ func Open(dir string, opts Options) (*Store, error) {
 	if !opts.DisableSynopsis {
 		s.syn = synopsis.NewIndex()
 		loggedWriteErr := false
+		var drop []string
 		for _, name := range s.names {
 			if syn := s.entrySynopsis(s.entries[name], &loggedWriteErr); syn != nil {
 				s.syn.Put(name, syn)
+			} else {
+				// nil: the source itself is undecodable (the synopsis
+				// pass doubles as an integrity check). Catalogue the
+				// corpse for the scrubber instead of the serving map.
+				drop = append(drop, name)
 			}
-			// nil: undecodable source — serve-time error path, full scan.
+		}
+		for _, name := range drop {
+			e := s.entries[name]
+			src, bundled := e.path, false
+			if e.b != nil {
+				src, bundled = e.b.Path(), true
+			}
+			s.m.openSkipped.Inc()
+			s.addSuspect(Suspect{Name: name, Path: src, Bundled: bundled,
+				Reason: "undecodable archive (synopsis pass)"})
+			log.Printf("store: skipping undecodable document %q in %s", name, src)
+			delete(s.entries, name)
+			if i := sort.SearchStrings(s.names, name); i < len(s.names) && s.names[i] == name {
+				s.names = append(s.names[:i], s.names[i+1:]...)
+			}
 		}
 	}
 	obs.RegisterRuntime(reg)
@@ -321,7 +373,7 @@ func (s *Store) openBundles(ids []uint64) error {
 	}
 	var stale []staleNeedle
 	for _, id := range ids {
-		b, err := bundle.Open(filepath.Join(s.dir, bundle.FileName(id)))
+		b, err := bundle.OpenFS(s.fs, filepath.Join(s.dir, bundle.FileName(id)))
 		if err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
@@ -385,7 +437,7 @@ func (s *Store) entrySynopsis(e *entry, loggedWriteErr *bool) *synopsis.Synopsis
 		s.m.synBuilds.Inc()
 		return synopsis.Build(skel, dict, synopsis.Options{})
 	}
-	syn, err := synopsis.LoadSidecar(synopsis.SidecarPath(e.path), dict, e.fileBytes)
+	syn, err := synopsis.LoadSidecarFS(s.fs, synopsis.SidecarPath(e.path), dict, e.fileBytes)
 	if err == nil {
 		return syn
 	}
@@ -393,7 +445,7 @@ func (s *Store) entrySynopsis(e *entry, loggedWriteErr *bool) *synopsis.Synopsis
 	// it from the archive's skeleton (a cheap streaming decode that never
 	// materialises the value containers) — the one-time migration for
 	// stores that predate the index.
-	syn, werr := buildSidecar(e.path, e.fileBytes, dict)
+	syn, werr := buildSidecar(s.fs, e.path, e.fileBytes, dict)
 	if syn == nil {
 		return nil
 	}
@@ -415,8 +467,8 @@ func (s *Store) entrySynopsis(e *entry, loggedWriteErr *bool) *synopsis.Synopsis
 // next to it, returning a nil synopsis if the archive cannot be decoded.
 // A synopsis with a non-nil error means the summary is usable but the
 // sidecar write failed; the caller decides how loudly to report that.
-func buildSidecar(path string, fileBytes int64, dict *synopsis.Dict) (*synopsis.Synopsis, error) {
-	f, err := os.Open(path)
+func buildSidecar(fsys fault.FS, path string, fileBytes int64, dict *synopsis.Dict) (*synopsis.Synopsis, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -426,7 +478,7 @@ func buildSidecar(path string, fileBytes int64, dict *synopsis.Dict) (*synopsis.
 		return nil, err
 	}
 	syn := synopsis.Build(skel, dict, synopsis.Options{})
-	if err := synopsis.WriteSidecar(synopsis.SidecarPath(path), syn, dict, fileBytes); err != nil {
+	if err := synopsis.WriteSidecarFS(fsys, synopsis.SidecarPath(path), syn, dict, fileBytes); err != nil {
 		return syn, err
 	}
 	return syn, nil
@@ -434,6 +486,11 @@ func buildSidecar(path string, fileBytes int64, dict *synopsis.Dict) (*synopsis.
 
 // Dir returns the directory the store serves.
 func (s *Store) Dir() string { return s.dir }
+
+// FS returns the store's filesystem handle — fault.OS unless Options.FS
+// interposed an injector. The write subsystem defaults to it so one
+// injector covers every durable path.
+func (s *Store) FS() fault.FS { return s.fs }
 
 // Len returns the number of servable documents (archives plus live
 // documents, minus live tombstones).
@@ -645,7 +702,7 @@ var (
 // disk); nil drops any previous synopsis for the name, so a stale
 // summary can never outlive the document it described.
 func (s *Store) AddArchive(name, path string, warm *Doc, syn *synopsis.Synopsis) error {
-	fi, err := os.Stat(path)
+	fi, err := s.fs.Stat(path)
 	if err != nil {
 		return fmt.Errorf("store: adding archive: %w", err)
 	}
@@ -782,7 +839,7 @@ func (s *Store) evictLocked() {
 // atomic).
 func (s *Store) loadEntry(e *entry, tr *obs.Trace) (*Doc, error) {
 	if e.b == nil {
-		d, err := loadDoc(e.name, e.path)
+		d, err := loadDoc(s.fs, e.name, e.path)
 		if err == nil {
 			s.m.decodeBytes.Add(uint64(e.fileBytes))
 			tr.AddDecodedBytes(e.fileBytes)
@@ -810,8 +867,8 @@ func (s *Store) loadEntry(e *entry, tr *obs.Trace) (*Doc, error) {
 
 // loadDoc decodes one archive file and rebuilds its prepared instance by
 // replaying archive events — no XML is parsed or even present.
-func loadDoc(name, path string) (*Doc, error) {
-	f, err := os.Open(path)
+func loadDoc(fsys fault.FS, name, path string) (*Doc, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -983,6 +1040,15 @@ func (s *Store) Query(name, query string) (*core.Result, error) {
 	return res, err
 }
 
+// QueryCtx is Query honoring ctx: evaluation is skipped once the
+// context is cancelled or past its deadline, and the context's error is
+// returned.
+func (s *Store) QueryCtx(ctx context.Context, name, query string) (*core.Result, error) {
+	res, tr, err := s.QueryTraceCtx(ctx, name, query, false)
+	s.CloseTrace(tr, err)
+	return res, err
+}
+
 // QueryTrace is Query with a stage-timed trace: plan (compile +
 // planning), load (cache lookup or decode) and eval spans, plus the
 // decoded-byte count. The returned trace is unfinalized — the caller
@@ -991,6 +1057,14 @@ func (s *Store) Query(name, query string) (*core.Result, error) {
 // histograms and slow-query log. tr is nil (and safe to pass on) when
 // tracing is off and force is false.
 func (s *Store) QueryTrace(name, query string, force bool) (*core.Result, *obs.Trace, error) {
+	return s.QueryTraceCtx(context.Background(), name, query, force)
+}
+
+// QueryTraceCtx is QueryTrace honoring ctx. Cancellation is checked
+// between stages (an evaluation already running finishes — fn is never
+// interrupted mid-call); once ctx is done the context's error is
+// returned and no further work starts.
+func (s *Store) QueryTraceCtx(ctx context.Context, name, query string, force bool) (*core.Result, *obs.Trace, error) {
 	tr := s.newTrace(query, name, force)
 	t0 := tr.Now()
 	prog, err := s.Program(query)
@@ -1000,6 +1074,9 @@ func (s *Store) QueryTrace(name, query string, force bool) (*core.Result, *obs.T
 	}
 	pl, _ := s.planFor(query, prog)
 	tr.Record(obs.StagePlan, t0)
+	if err := ctx.Err(); err != nil {
+		return nil, tr, err
+	}
 
 	t0 = tr.Now()
 	d, err := s.doc(name, tr)
@@ -1011,6 +1088,10 @@ func (s *Store) QueryTrace(name, query string, force bool) (*core.Result, *obs.T
 		if tr != nil {
 			tr.Failed = 1
 		}
+		s.noteDocFailure(name, err)
+		return nil, tr, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, tr, err
 	}
 	s.m.queries.Inc()
@@ -1054,12 +1135,33 @@ func (s *Store) QueryAll(query string) ([]core.BatchResult, error) {
 	return out, err
 }
 
+// QueryAllCtx is QueryAll honoring ctx: once the context is cancelled
+// or past its deadline no further documents are loaded or evaluated,
+// and the context's error is returned as the call error. Per-document
+// corruption never cancels the fan-out — only the caller's ctx does.
+func (s *Store) QueryAllCtx(ctx context.Context, query string) ([]core.BatchResult, error) {
+	out, tr, err := s.QueryAllTraceCtx(ctx, query, false)
+	s.CloseTrace(tr, err)
+	return out, err
+}
+
 // QueryAllTrace is QueryAll with a stage-timed trace: plan, prune,
 // direct, load and eval spans, plus the fan-out's document accounting
 // (considered/pruned/direct/scanned/failed) and decoded bytes. Like
 // QueryTrace, the returned trace is unfinalized and must reach
 // CloseTrace; it is nil when tracing is off and force is false.
 func (s *Store) QueryAllTrace(query string, force bool) ([]core.BatchResult, *obs.Trace, error) {
+	return s.QueryAllTraceCtx(context.Background(), query, force)
+}
+
+// QueryAllTraceCtx is QueryAllTrace honoring ctx. Cancellation is
+// cooperative: once ctx is done no further documents are dispatched
+// (loads and evaluations already running finish), and the context's
+// error is returned as the call error with nil results — the fan-out
+// has no complete answer to give. Per-document failures (corrupt
+// archives included) still land in their result slots and never fail
+// the call.
+func (s *Store) QueryAllTraceCtx(ctx context.Context, query string, force bool) ([]core.BatchResult, *obs.Trace, error) {
 	tr := s.newTrace(query, "", force)
 	t0 := tr.Now()
 	prog, err := s.Program(query)
@@ -1080,18 +1182,24 @@ func (s *Store) QueryAllTrace(query string, force bool) ([]core.BatchResult, *ob
 	skip = s.directSet(pl, chain, eval, names, out, skip)
 	tr.Record(obs.StageDirect, t0)
 	t0 = tr.Now()
-	s.forEach(len(names), func(i int) {
+	err = s.forEachCtx(ctx, len(names), func(i int) {
 		out[i].Name = names[i]
 		if skip != nil && skip[i] {
 			return
 		}
 		docs[i], out[i].Err = s.doc(names[i], tr)
+		if out[i].Err != nil {
+			s.noteDocFailure(names[i], out[i].Err)
+		}
 	})
 	tr.Record(obs.StageLoad, t0)
+	if err != nil {
+		return nil, tr, err
+	}
 
 	scanned := uint64(len(names))
 	t0 = tr.Now()
-	s.forEach(len(names), func(i int) {
+	err = s.forEachCtx(ctx, len(names), func(i int) {
 		if out[i].Err != nil || (skip != nil && skip[i]) {
 			return
 		}
@@ -1101,6 +1209,9 @@ func (s *Store) QueryAllTrace(query string, force bool) ([]core.BatchResult, *ob
 		}
 	})
 	tr.Record(obs.StageEval, t0)
+	if err != nil {
+		return nil, tr, err
+	}
 	if skip != nil {
 		for _, sk := range skip {
 			if sk {
@@ -1233,6 +1344,41 @@ func (s *Store) forEach(n int, fn func(i int)) {
 	engine.ForEach(n, s.workers, fn)
 }
 
+// forEachCtx is forEach with cooperative cancellation: once ctx is done
+// no further indices are dispatched and the context's error is
+// returned. Indices never dispatched are left untouched in the caller's
+// slices.
+func (s *Store) forEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	return engine.ForEachCtx(ctx, n, s.workers, fn)
+}
+
+// noteDocFailure classifies a per-document serving failure inside a
+// query: every one counts as a degraded serve, and decode corruption
+// additionally queues the artifact as a scrub suspect so the background
+// scrubber verifies and quarantines it instead of the read path
+// tripping over it forever. Cancellation errors are the caller's doing,
+// not degradation.
+func (s *Store) noteDocFailure(name string, err error) {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	s.m.degradedDocs.Inc()
+	if !errors.Is(err, codec.ErrCorrupt) {
+		return
+	}
+	s.mu.Lock()
+	e := s.entries[name]
+	s.mu.Unlock()
+	if e == nil {
+		return
+	}
+	su := Suspect{Name: name, Path: e.path, Reason: err.Error()}
+	if e.b != nil {
+		su.Path, su.Bundled = e.b.Path(), true
+	}
+	s.addSuspect(su)
+}
+
 // Stats is a point-in-time snapshot of the store's caches and counters.
 type Stats struct {
 	Docs   int `json:"docs"`   // catalogued archives
@@ -1283,6 +1429,18 @@ type Stats struct {
 	DecodeBytes     uint64 `json:"decode_bytes"`      // archive bytes decoded on cache misses
 	BundleReads     uint64 `json:"bundle_reads"`      // documents decoded from bundles
 	BundleReadBytes uint64 `json:"bundle_read_bytes"` // archive payload bytes pread from bundles
+
+	// Robustness counters: corrupt artifacts skipped (not catalogued) at
+	// open, scrubber activity, and documents quarantined since open.
+	OpenSkippedCorrupt uint64 `json:"open_skipped_corrupt,omitempty"`
+	Suspects           int    `json:"suspects,omitempty"` // queued for scrub verification
+	ScrubPasses        uint64 `json:"scrub_passes,omitempty"`
+	ScrubScanned       uint64 `json:"scrub_scanned,omitempty"`
+	ScrubBytes         uint64 `json:"scrub_bytes,omitempty"`
+	ScrubCorrupt       uint64 `json:"scrub_corrupt,omitempty"`
+	ScrubQuarantined   uint64 `json:"scrub_quarantined,omitempty"`
+	ScrubRepaired      uint64 `json:"scrub_repaired,omitempty"`
+	DegradedDocs       uint64 `json:"degraded_docs,omitempty"` // per-document failures served degraded
 }
 
 // Stats returns current cache statistics. The counters are read from
@@ -1310,6 +1468,14 @@ func (s *Store) Stats() Stats {
 		DecodeBytes:        s.m.decodeBytes.Value(),
 		BundleReads:        s.m.bundleReads.Value(),
 		BundleReadBytes:    s.m.bundleReadBytes.Value(),
+		OpenSkippedCorrupt: s.m.openSkipped.Value(),
+		ScrubPasses:        s.m.scrubPasses.Value(),
+		ScrubScanned:       s.m.scrubScanned.Value(),
+		ScrubBytes:         s.m.scrubBytes.Value(),
+		ScrubCorrupt:       s.m.scrubCorrupt.Value(),
+		ScrubQuarantined:   s.m.scrubQuarantined.Value(),
+		ScrubRepaired:      s.m.scrubRepaired.Value(),
+		DegradedDocs:       s.m.degradedDocs.Value(),
 	}
 	if s.syn != nil {
 		st.SynopsisDocs = s.syn.Len()
@@ -1319,6 +1485,7 @@ func (s *Store) Stats() Stats {
 	}
 	s.mu.Lock()
 	st.Docs = len(s.names)
+	st.Suspects = len(s.suspects)
 	st.Loaded = s.lru.Len()
 	st.CacheBytes = s.curBytes
 	st.BudgetBytes = s.budget

@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -270,22 +271,58 @@ func TestUnknownDocument(t *testing.T) {
 	}
 }
 
-func TestCorruptArchiveErrorNamesFile(t *testing.T) {
-	dir := t.TempDir()
+// A garbage .xca must not fail Open and must not be served: it is
+// skipped, counted, queued as a suspect naming the file, and the next
+// scrub pass moves it into quarantine/ with a reason file. Healthy
+// neighbours keep serving throughout.
+func TestCorruptArchiveSkippedAtOpen(t *testing.T) {
+	dir := packDir(t, map[string][]byte{"good": []byte(`<a><b/></a>`)})
 	path := filepath.Join(dir, "bad"+store.Ext)
 	if err := os.WriteFile(path, []byte("XCA1 this is not an archive"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s, err := store.Open(dir, store.Options{})
 	if err != nil {
+		t.Fatalf("a corrupt archive failed the whole open: %v", err)
+	}
+	defer s.Close()
+	if _, err := s.Doc("bad"); err == nil {
+		t.Fatal("skipped corrupt archive was still served")
+	}
+	if _, err := s.Doc("good"); err != nil {
+		t.Fatalf("healthy neighbour not served: %v", err)
+	}
+	if got := s.Stats().OpenSkippedCorrupt; got != 1 {
+		t.Fatalf("open_skipped_corrupt = %d, want 1", got)
+	}
+	sus := s.Suspects()
+	if len(sus) != 1 || sus[0].Name != "bad" || sus[0].Path != path {
+		t.Fatalf("suspects = %+v, want one naming %q at %s", sus, "bad", path)
+	}
+
+	rep, err := s.Scrub(context.Background(), store.ScrubOptions{})
+	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = s.Doc("bad")
-	if err == nil {
-		t.Fatal("decoding a corrupt archive did not fail")
+	if rep.Quarantined != 1 {
+		t.Fatalf("scrub quarantined %d, want 1 (report %+v)", rep.Quarantined, rep)
 	}
-	if !errorContains(err, path) {
-		t.Fatalf("error %q does not name the file %q", err, path)
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt archive still in the store directory: %v", err)
+	}
+	qpath := filepath.Join(dir, store.QuarantineDir, "bad"+store.Ext)
+	if _, err := os.Stat(qpath); err != nil {
+		t.Fatalf("quarantined artifact missing: %v", err)
+	}
+	reason, err := os.ReadFile(qpath + ".reason")
+	if err != nil {
+		t.Fatalf("reason file missing: %v", err)
+	}
+	if !containsStr(string(reason), path) {
+		t.Fatalf("reason file %q does not name the source %q", reason, path)
+	}
+	if len(s.Suspects()) != 0 {
+		t.Fatalf("suspect queue not drained: %+v", s.Suspects())
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/label"
 )
 
@@ -285,15 +286,21 @@ func (r *sidecarReader) uvarint() uint64 {
 // discipline the compactor uses for archives, so a crash leaves either
 // the old sidecar or the new one, never a torn file.
 func WriteSidecar(path string, s *Synopsis, dict *Dict, archiveBytes int64) error {
+	return WriteSidecarFS(fault.OS, path, s, dict, archiveBytes)
+}
+
+// WriteSidecarFS is WriteSidecar over an injectable filesystem.
+func WriteSidecarFS(fsys fault.FS, path string, s *Synopsis, dict *Dict, archiveBytes int64) error {
+	fsys = fault.Get(fsys)
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".synopsis-*")
+	tmp, err := fsys.CreateTemp(dir, ".synopsis-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := EncodeSidecar(tmp, s, dict, archiveBytes); err != nil {
@@ -303,14 +310,14 @@ func WriteSidecar(path string, s *Synopsis, dict *Dict, archiveBytes int64) erro
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return err
 	}
-	if df, err := os.Open(dir); err == nil {
+	if df, err := fsys.Open(dir); err == nil {
 		_ = df.Sync()
 		_ = df.Close()
 	}
@@ -325,7 +332,12 @@ func WriteSidecar(path string, s *Synopsis, dict *Dict, archiveBytes int64) erro
 // (inspection tools). Missing files return the underlying fs error.
 // Either way the caller falls back to rebuilding (or to a full scan).
 func LoadSidecar(path string, dict *Dict, wantArchiveBytes int64) (*Synopsis, error) {
-	data, err := os.ReadFile(path)
+	return LoadSidecarFS(fault.OS, path, dict, wantArchiveBytes)
+}
+
+// LoadSidecarFS is LoadSidecar over an injectable filesystem.
+func LoadSidecarFS(fsys fault.FS, path string, dict *Dict, wantArchiveBytes int64) (*Synopsis, error) {
+	data, err := fault.Get(fsys).ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
