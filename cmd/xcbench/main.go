@@ -14,6 +14,7 @@
 //	xcbench -bundlebench     # cold tier: bundle-packed vs loose small-doc catalogs
 //	xcbench -obsbench        # observability: instrumented vs -no-metrics warm serving
 //	xcbench -faultbench      # fault tolerance: scrub throughput, corruption recovery
+//	xcbench -clusterbench    # clustered serving: nodes x replication-factor scatter-gather sweep
 //	xcbench -all             # everything
 //	xcbench -compare old.json new.json   # delta two -json trajectory files
 //
@@ -90,6 +91,9 @@ func main() {
 		bundbench  = flag.Bool("bundlebench", false, "run the bundle-packed vs loose cold-tier sweep")
 		obsbench   = flag.Bool("obsbench", false, "run the instrumentation-overhead sweep (metrics on vs off)")
 		faultbench = flag.Bool("faultbench", false, "run the corruption-recovery sweep (scrub throughput, quarantine recovery)")
+		clustbench = flag.Bool("clusterbench", false, "run the clustered-serving sweep (nodes x replication factor)")
+		clustNodes = flag.Int("clusternodes", 3, "maximum node count for -clusterbench")
+		clustRound = flag.Int("clusterrounds", 3, "timed rounds over the query set for -clusterbench")
 		bundleDocs = flag.String("bundledocs", "1000,10000", "comma-separated catalog sizes for -bundlebench")
 		all        = flag.Bool("all", false, "run every experiment")
 		scale      = flag.Float64("scale", 1.0, "corpus size multiplier")
@@ -111,9 +115,9 @@ func main() {
 		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *maxRegress))
 	}
 	if *all {
-		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *planbench, *ingbench, *bundbench, *obsbench, *faultbench = true, true, true, true, true, true, true, true, true, true, true, true, true
+		*fig6, *fig7, *growth, *vs, *relational, *parallel, *storebench, *prunebench, *planbench, *ingbench, *bundbench, *obsbench, *faultbench, *clustbench = true, true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*planbench && !*ingbench && !*bundbench && !*obsbench && !*faultbench {
+	if !*fig6 && !*fig7 && !*growth && !*vs && !*relational && !*parallel && !*storebench && !*prunebench && !*planbench && !*ingbench && !*bundbench && !*obsbench && !*faultbench && !*clustbench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -330,6 +334,24 @@ func main() {
 			}
 			if !*jsonOut {
 				fmt.Println("fault invariants OK: exact quarantine, zero false positives")
+			}
+		}
+	}
+
+	if *clustbench {
+		rows, err := experiments.ClusterSweep(*clustNodes, *docs, *scale, *seed, *workers, *clustRound)
+		cli.Fatal(err)
+		emit("cluster", rows, func() {
+			fmt.Printf("=== Clustered serving: mixed catalog over 1..%d nodes, scatter-gather vs single store ===\n", *clustNodes)
+			experiments.PrintCluster(os.Stdout, rows)
+			fmt.Println()
+		})
+		if *check {
+			if err := experiments.CheckClusterInvariants(rows); err != nil {
+				cli.Fatal(err)
+			}
+			if !*jsonOut {
+				fmt.Println("cluster invariants OK: zero degradation, byte-identical totals, remote pruning live")
 			}
 		}
 	}

@@ -60,10 +60,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/bundle"
+	"repro/internal/cluster"
 	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -97,6 +99,10 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 0, "cap in-flight /query requests; excess is shed with 429 (0 = unbounded)")
 		scrubEvery    = flag.Duration("scrub-interval", 0, "background scrub pass interval: re-verify archive checksums, quarantine corrupt files (0 = off)")
 		scrubRate     = flag.Int64("scrub-rate-bytes", 0, "scrub read-rate limit in bytes/sec (0 = unthrottled)")
+
+		advertise   = flag.String("advertise", "", "this node's advertise URL for cluster peers, e.g. http://10.0.0.1:8344 (required with -cluster-peers)")
+		clusterPeer = flag.String("cluster-peers", "", "comma-separated advertise URLs of every cluster member; enables sharded, replicated serving")
+		replFactor  = flag.Int("replication-factor", cluster.DefaultReplicationFactor, "replica owners per document in cluster mode")
 
 		slowQuery = flag.Duration("slow-query", time.Second, "log queries at or over this wall time to /debug/slow (0 = off)")
 		slowSize  = flag.Int("slow-log", 128, "slow-query ring capacity")
@@ -140,6 +146,26 @@ func main() {
 			*scrubEvery, humanBytes(*scrubRate), filepath.Join(*dir, store.QuarantineDir))
 	}
 
+	// Cluster mode: assemble the node before ingest so the compactor's
+	// publish hook can hand fresh archives to the replicator.
+	var node *cluster.Node
+	if *clusterPeer != "" {
+		if *advertise == "" {
+			log.Fatalf("xcserve: -cluster-peers requires -advertise")
+		}
+		node, err = cluster.New(s, cluster.Config{
+			Self:                 *advertise,
+			Peers:                splitPeers(*clusterPeer),
+			ReplicationFactor:    *replFactor,
+			ScatterTimeout:       *queryTimeout,
+			QueryTimeout:         *queryTimeout,
+			MaxConcurrentQueries: *maxConcurrent,
+		})
+		if err != nil {
+			log.Fatalf("xcserve: %v", err)
+		}
+	}
+
 	var ing *ingest.Ingester
 	serverOpts := store.ServerOptions{
 		MaxPaths:             *maxPaths,
@@ -155,7 +181,7 @@ func main() {
 		if wd == "" {
 			wd = filepath.Join(*dir, "wal")
 		}
-		ing, err = ingest.Open(ingest.Options{
+		ingOpts := ingest.Options{
 			WALDir:          wd,
 			Store:           s,
 			Sync:            *walSync,
@@ -165,7 +191,11 @@ func main() {
 			PackMaxDocBytes: *packMaxDoc,
 			BundleMaxBytes:  *bundleMax,
 			BundleGCRatio:   *bundleGC,
-		})
+		}
+		if node != nil {
+			ingOpts.Published = node.Published
+		}
+		ing, err = ingest.Open(ingOpts)
 		if err != nil {
 			log.Fatalf("xcserve: %v", err)
 		}
@@ -189,9 +219,16 @@ func main() {
 		log.Printf("xcserve: debug listener on %s (profiles at /debug/pprof/, metrics at /metrics)", *debugAddr)
 	}
 
+	handler := store.NewHandler(s, serverOpts)
+	if node != nil {
+		handler = node.Handler(handler, *maxPaths)
+		node.Start()
+		log.Printf("xcserve: cluster mode: self=%s peers=%d rf=%d (ring version %016x)",
+			*advertise, node.Ring().Len(), *replFactor, node.Ring().Version())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           store.NewHandler(s, serverOpts),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("xcserve: serving %d document(s) from %s on %s (workers=%d, cache=%s)",
@@ -217,6 +254,9 @@ func main() {
 		log.Printf("xcserve: drain: %v", err)
 	}
 	s.StopScrubber()
+	if node != nil {
+		node.Stop()
+	}
 	if ing != nil {
 		log.Printf("xcserve: flushing ingest WAL to archives")
 		if err := ing.Close(); err != nil {
@@ -224,6 +264,18 @@ func main() {
 		}
 	}
 	log.Printf("xcserve: bye")
+}
+
+// splitPeers parses the -cluster-peers list, dropping empties so a
+// trailing comma is harmless.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 func humanBytes(n int64) string {

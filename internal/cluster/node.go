@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+// DefaultReplicationFactor keeps two copies of every document.
+const DefaultReplicationFactor = 2
+
+// Config assembles one cluster node.
+type Config struct {
+	// Self is this node's advertise URL (how peers reach it), e.g.
+	// "http://10.0.0.1:8080". Required.
+	Self string
+	// Peers lists every cluster member's advertise URL. Self is added
+	// if absent; order is irrelevant (placement sorts).
+	Peers []string
+	// ReplicationFactor is how many nodes own each document. <= 0
+	// selects DefaultReplicationFactor; clamped to the cluster size.
+	ReplicationFactor int
+	// VNodes is the virtual-node count per node. <= 0 selects
+	// DefaultVNodes.
+	VNodes int
+	// ProbeInterval is the peer health-probe cadence. <= 0 selects
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// ScatterTimeout bounds one clustered fan-out. <= 0 leaves it to
+	// the caller's context.
+	ScatterTimeout time.Duration
+	// MaxConcurrentQueries caps in-flight peer-scatter evaluations on
+	// this node (the /cluster/query admission gate). <= 0 disables it.
+	MaxConcurrentQueries int
+	// QueryTimeout bounds one peer-scatter evaluation; past it the
+	// peer answers 504 and the router degrades this node. <= 0 disables.
+	QueryTimeout time.Duration
+	// Client issues all peer HTTP requests. Nil selects a dedicated
+	// client with sane timeouts.
+	Client *http.Client
+	// FS routes the pending-replication WAL's file I/O. Nil selects the
+	// store's FS, so a fault injector covers the cluster queue too.
+	FS fault.FS
+}
+
+// Node is one member of the cluster: it owns the ring, the health
+// tracker, the replicator and the router, and serves the peer protocol
+// next to the store's own HTTP API.
+type Node struct {
+	cfg  Config
+	st   *store.Store
+	m    *clusterMetrics
+	mem  *Membership
+	repl *Replicator
+	rt   *Router
+
+	ringMu sync.Mutex
+	ring   *Ring
+}
+
+// New assembles a node around an open store. Start launches the
+// background loops; Handler wraps the store's HTTP handler with the
+// peer protocol and the clustered query path.
+func New(st *store.Store, cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self is required")
+	}
+	peers := append([]string(nil), cfg.Peers...)
+	found := false
+	for _, p := range peers {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		peers = append(peers, cfg.Self)
+	}
+	if len(peers) < 2 {
+		return nil, errors.New("cluster: need at least one peer besides self")
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = DefaultReplicationFactor
+	}
+	if cfg.ReplicationFactor > len(peers) {
+		cfg.ReplicationFactor = len(peers)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if cfg.FS == nil {
+		cfg.FS = st.FS()
+	}
+
+	n := &Node{cfg: cfg, st: st, m: newClusterMetrics(st.Metrics())}
+	n.ring = Build(peers, cfg.VNodes)
+	n.mem = newMembership(cfg.Self, peers, cfg.Client, cfg.ProbeInterval, n.m)
+	repl, err := newReplicator(cfg.Self, st, cfg.FS,
+		filepath.Join(st.Dir(), "cluster"), cfg.Client, n.Ring, cfg.ReplicationFactor, n.m)
+	if err != nil {
+		return nil, err
+	}
+	n.repl = repl
+	n.rt = &Router{
+		self:    cfg.Self,
+		st:      st,
+		mem:     n.mem,
+		client:  cfg.Client,
+		ringFn:  n.Ring,
+		rf:      cfg.ReplicationFactor,
+		timeout: cfg.ScatterTimeout,
+		m:       n.m,
+	}
+	n.mem.onUp = repl.PeerUp
+	n.mem.onRing = func(d Desc) { n.adopt(FromDesc(d), "exchange") }
+	repl.setUpFn(n.mem.Up)
+
+	reg := st.Metrics()
+	reg.Gauge("xc_cluster_peers_up",
+		"Cluster peers currently probed healthy (excluding this node).",
+		func() float64 {
+			up := 0
+			for _, ps := range n.mem.States() {
+				if ps.Up {
+					up++
+				}
+			}
+			return float64(up)
+		})
+	reg.Gauge("xc_cluster_replication_lag_docs",
+		"Replica transfers owed to peers (pending-replication queue depth).",
+		func() float64 { return float64(n.repl.Lag()) })
+	return n, nil
+}
+
+// Start launches the health prober and the replication sender.
+func (n *Node) Start() {
+	n.mem.Start()
+	n.repl.Start()
+}
+
+// Stop ends the background loops; pending transfers stay durable in the
+// WAL for the next start.
+func (n *Node) Stop() {
+	n.mem.Stop()
+	n.repl.Stop()
+}
+
+// Ring returns the node's current ring.
+func (n *Node) Ring() *Ring {
+	n.ringMu.Lock()
+	defer n.ringMu.Unlock()
+	return n.ring
+}
+
+// Membership exposes the health tracker (tests and the peers endpoint).
+func (n *Node) Membership() *Membership { return n.mem }
+
+// Router exposes the scatter-gather query path.
+func (n *Node) Router() *Router { return n.rt }
+
+// Lag is the pending-replication queue depth.
+func (n *Node) Lag() int { return n.repl.Lag() }
+
+// Published is the ingest hook (wire it to ingest.Options.Published):
+// the compactor just made name durable or erased it; owed replica
+// transfers are enqueued durably and sent in the background.
+func (n *Node) Published(name string, tomb bool) { n.repl.Published(name, tomb) }
+
+// adopt installs r if it supersedes the current ring. It returns
+// whether the ring changed; src names the origin for the log line.
+func (n *Node) adopt(r *Ring, src string) bool {
+	n.ringMu.Lock()
+	cur := n.ring
+	if !r.Supersedes(cur) {
+		n.ringMu.Unlock()
+		return false
+	}
+	n.ring = r
+	n.ringMu.Unlock()
+	n.m.ringAdopted.Inc()
+	log.Printf("cluster: adopted ring epoch=%d version=%016x nodes=%d (via %s)",
+		r.Epoch(), r.Version(), r.Len(), src)
+	return true
+}
+
+// AdoptDesc validates and adopts a ring description pushed by an
+// operator or a peer (POST /cluster/ring).
+func (n *Node) AdoptDesc(d Desc) (bool, error) {
+	if len(d.Nodes) == 0 {
+		return false, errors.New("cluster: ring with no nodes")
+	}
+	r := FromDesc(d)
+	if !r.Contains(n.cfg.Self) {
+		return false, fmt.Errorf("cluster: ring does not contain this node (%s)", n.cfg.Self)
+	}
+	return n.adopt(r, "push"), nil
+}

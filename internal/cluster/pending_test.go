@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestPendingLogReplay pins the WAL contract: transfers added before a
+// restart are owed after it, done transfers are not, and re-adding the
+// same (doc, peer) does not duplicate.
+func TestPendingLogReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openPendingLog(fault.OS, dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	a := transfer{Doc: "alpha", Peer: "http://n2"}
+	b := transfer{Doc: "beta", Peer: "http://n3", Tomb: true}
+	c := transfer{Doc: "gamma", Peer: "http://n2"}
+	for _, tr := range []transfer{a, b, c, a} { // a re-added: supersedes
+		if err := l.Add(tr); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+	}
+	if err := l.Done(c); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// "Restart": replay from disk.
+	l2, err := openPendingLog(fault.OS, dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got := l2.Pending()
+	want := []transfer{a, b}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed pending = %+v, want %+v", got, want)
+	}
+	if l2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l2.Len())
+	}
+}
+
+// TestPendingLogTornTail pins crash tolerance: a half-written final
+// record is discarded on replay and truncated away, and appends after
+// the truncate replay cleanly.
+func TestPendingLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openPendingLog(fault.OS, dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := l.Add(transfer{Doc: "alpha", Peer: "http://n2"}); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if err := l.Add(transfer{Doc: "beta", Peer: "http://n2"}); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	l.Close()
+
+	// Tear the tail mid-record (drop the CRC suffix and newline).
+	path := filepath.Join(dir, "pending.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	last := lines[len(lines)-1]
+	torn := data[:len(data)-len(last)-1+len(last)/2]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+
+	l2, err := openPendingLog(fault.OS, dir)
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	got := l2.Pending()
+	if len(got) != 1 || got[0].Doc != "alpha" {
+		t.Fatalf("torn replay pending = %+v, want just alpha", got)
+	}
+	// The tear must be gone from disk: append and replay once more.
+	if err := l2.Add(transfer{Doc: "gamma", Peer: "http://n3"}); err != nil {
+		t.Fatalf("add after tear: %v", err)
+	}
+	l2.Close()
+	l3, err := openPendingLog(fault.OS, dir)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer l3.Close()
+	if got := l3.Pending(); len(got) != 2 {
+		t.Fatalf("post-tear replay pending = %+v, want alpha+gamma", got)
+	}
+}
+
+// TestPendingLogCompaction pins the rewrite: once garbage crosses the
+// threshold the log shrinks to the live set and still replays.
+func TestPendingLogCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openPendingLog(fault.OS, dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	keep := transfer{Doc: "keeper", Peer: "http://n2"}
+	if err := l.Add(keep); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	for i := 0; i < compactThreshold; i++ {
+		tr := transfer{Doc: fmt.Sprintf("doc-%03d", i), Peer: "http://n2"}
+		if err := l.Add(tr); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+		if err := l.Done(tr); err != nil {
+			t.Fatalf("done: %v", err)
+		}
+	}
+	path := filepath.Join(dir, "pending.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 1 {
+		t.Fatalf("compacted log has %d records, want 1", n)
+	}
+	// Appends after the rename go to the new file, not the old inode.
+	if err := l.Add(transfer{Doc: "after", Peer: "http://n3"}); err != nil {
+		t.Fatalf("add after compaction: %v", err)
+	}
+	l.Close()
+	l2, err := openPendingLog(fault.OS, dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got := l2.Pending()
+	if len(got) != 2 || got[0] != (transfer{Doc: "after", Peer: "http://n3"}) || got[1] != keep {
+		t.Fatalf("post-compaction replay = %+v", got)
+	}
+}

@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+// Replication wire format (PUT /cluster/replicate?doc=NAME):
+//
+//	[4-byte BE archive length][archive bytes][4-byte BE sidecar length][sidecar bytes]
+//
+// with the whole body's CRC32C in the X-Cluster-Crc header. The
+// receiver verifies the CRC before touching the frame; a mismatch is a
+// 400 and the sender retries. Tombstones travel as DELETE with no body.
+const crcHeader = "X-Cluster-Crc"
+
+// Defaults for the replication retry budget; the compactor's own knobs
+// are per-generation, these are per-transfer.
+const (
+	defaultSendAttempts = 4
+	defaultSendBackoff  = 100 * time.Millisecond
+	defaultSendTimeout  = 30 * time.Second
+)
+
+// Replicator streams freshly published documents to their replica
+// owners. Transfers are recorded in a WAL-backed pending queue before
+// the first attempt, so a crash between publish and delivery is
+// repaired at the next start; a peer that is down keeps its transfers
+// pending and receives them when the membership prober sees it return.
+type Replicator struct {
+	self   string
+	st     *store.Store
+	client *http.Client
+	m      *clusterMetrics
+	log    *pendingLog
+
+	attempts int
+	backoff  time.Duration
+
+	ringFn func() *Ring // current ring (swapped by exchange)
+	rf     int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	isUp   func(string) bool // health check; nil means assume reachable
+	wake   bool
+	closed bool
+	done   sync.WaitGroup
+}
+
+// newReplicator wires the sender. ringFn must return the node's current
+// ring (the Node swaps it on adoption); rf is the replication factor.
+func newReplicator(self string, st *store.Store, fsys fault.FS, dir string, client *http.Client, ringFn func() *Ring, rf int, m *clusterMetrics) (*Replicator, error) {
+	plog, err := openPendingLog(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replicator{
+		self:     self,
+		st:       st,
+		client:   client,
+		m:        m,
+		log:      plog,
+		attempts: defaultSendAttempts,
+		backoff:  defaultSendBackoff,
+		ringFn:   ringFn,
+		rf:       rf,
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r, nil
+}
+
+// Start launches the sender loop; anything replayed from the pending
+// WAL is attempted immediately.
+func (r *Replicator) Start() {
+	r.done.Add(1)
+	go func() {
+		defer r.done.Done()
+		r.run()
+	}()
+	if r.log.Len() > 0 {
+		r.kick()
+	}
+}
+
+// Stop ends the sender loop (pending transfers stay in the WAL for the
+// next start) and closes the log.
+func (r *Replicator) Stop() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	r.done.Wait()
+	r.log.Close()
+}
+
+// Lag is the owed-transfer count — the replication-lag gauge's source.
+func (r *Replicator) Lag() int { return r.log.Len() }
+
+// kick wakes the sender loop.
+func (r *Replicator) kick() {
+	r.mu.Lock()
+	r.wake = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// PeerUp is the membership hook: a peer that just came back gets its
+// pending transfers retried without waiting for new publishes.
+func (r *Replicator) PeerUp(string) { r.kick() }
+
+// Published is the ingest hook: the compactor just made doc durable
+// (or erased it, tomb=true). Owed transfers are logged durably first,
+// then the sender is woken — the publish itself never blocks on the
+// network.
+func (r *Replicator) Published(doc string, tomb bool) {
+	ring := r.ringFn()
+	if ring == nil || ring.Len() < 2 {
+		return
+	}
+	var added bool
+	for _, owner := range ring.Owners(doc, r.rf) {
+		if owner == r.self {
+			continue
+		}
+		if err := r.log.Add(transfer{Doc: doc, Peer: owner, Tomb: tomb}); err != nil {
+			// The WAL append failed; the transfer is still in memory for
+			// this process's lifetime, so send anyway and log the gap.
+			log.Printf("cluster: pending log append for %q: %v", doc, err)
+		}
+		added = true
+	}
+	if added {
+		r.kick()
+	}
+}
+
+// run is the sender loop: drain the pending set, sleep until kicked.
+func (r *Replicator) run() {
+	for {
+		r.mu.Lock()
+		for !r.wake && !r.closed {
+			r.cond.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		r.wake = false
+		r.mu.Unlock()
+		r.drain()
+	}
+}
+
+// drain attempts every pending transfer once (each with its own capped
+// retry budget). Transfers to down peers are skipped — the PeerUp hook
+// re-kicks when they return, so there is no spin against a dead node.
+func (r *Replicator) drain() {
+	for _, t := range r.log.Pending() {
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return
+		}
+		if !r.peerUp(t.Peer) {
+			continue
+		}
+		if err := r.send(t); err != nil {
+			r.m.replFailures.Inc()
+			log.Printf("cluster: replicating %q to %s: %v (left pending)", t.Doc, t.Peer, err)
+			continue
+		}
+		r.m.replicated.Inc()
+		if err := r.log.Done(t); err != nil {
+			log.Printf("cluster: pending log done for %q: %v", t.Doc, err)
+		}
+	}
+}
+
+// peerUp consults the membership when wired; without one (tests) every
+// peer is assumed reachable.
+func (r *Replicator) peerUp(id string) bool {
+	r.mu.Lock()
+	up := r.isUp
+	r.mu.Unlock()
+	if up == nil {
+		return true
+	}
+	return up(id)
+}
+
+// setUpFn wires the health check used to skip dead peers (the Node
+// sets it to Membership.Up).
+func (r *Replicator) setUpFn(fn func(string) bool) {
+	r.mu.Lock()
+	r.isUp = fn
+	r.mu.Unlock()
+}
+
+// send ships one transfer with capped-backoff retries, reusing the
+// compactor's retry helper.
+func (r *Replicator) send(t transfer) error {
+	retries, err := fault.Retry(r.attempts, r.backoff, 10*r.backoff, func() error {
+		return r.sendOnce(t)
+	})
+	for i := 0; i < retries; i++ {
+		r.m.replRetries.Inc()
+	}
+	return err
+}
+
+// sendOnce performs one PUT (or DELETE for a tombstone) against the
+// peer's replication endpoint.
+func (r *Replicator) sendOnce(t transfer) error {
+	ctx, cancel := context.WithTimeout(context.Background(), defaultSendTimeout)
+	defer cancel()
+	target := t.Peer + "/cluster/replicate?doc=" + url.QueryEscape(t.Doc)
+	if t.Tomb {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, target, nil)
+		if err != nil {
+			return err
+		}
+		return r.do(req)
+	}
+	archive, sidecar, err := r.st.ReplicaPayload(t.Doc)
+	if err != nil {
+		// The document vanished between publish and send (removed or
+		// re-tombstoned); nothing to ship.
+		return fmt.Errorf("payload: %w", err)
+	}
+	body := frameReplica(archive, sidecar)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, target, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(crcHeader, fmt.Sprintf("%08x", crc32.Checksum(body, pendingCRC)))
+	return r.do(req)
+}
+
+// do runs one replication request and interprets the status.
+func (r *Replicator) do(req *http.Request) error {
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("peer answered %s", resp.Status)
+	}
+	return nil
+}
+
+// frameReplica encodes the replication body:
+// [4B archive len][archive][4B sidecar len][sidecar].
+func frameReplica(archive, sidecar []byte) []byte {
+	body := make([]byte, 0, 8+len(archive)+len(sidecar))
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(archive)))
+	body = append(body, n[:]...)
+	body = append(body, archive...)
+	binary.BigEndian.PutUint32(n[:], uint32(len(sidecar)))
+	body = append(body, n[:]...)
+	body = append(body, sidecar...)
+	return body
+}
+
+// parseReplicaFrame decodes a replication body, verifying the CRC from
+// the request header first.
+func parseReplicaFrame(body []byte, crcHex string) (archive, sidecar []byte, err error) {
+	if fmt.Sprintf("%08x", crc32.Checksum(body, pendingCRC)) != crcHex {
+		return nil, nil, fmt.Errorf("cluster: replica payload CRC mismatch")
+	}
+	if len(body) < 4 {
+		return nil, nil, fmt.Errorf("cluster: replica frame truncated")
+	}
+	alen := binary.BigEndian.Uint32(body[:4])
+	if uint64(4+alen+4) > uint64(len(body)) {
+		return nil, nil, fmt.Errorf("cluster: replica frame truncated")
+	}
+	archive = body[4 : 4+alen]
+	rest := body[4+alen:]
+	slen := binary.BigEndian.Uint32(rest[:4])
+	if uint64(4+slen) != uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("cluster: replica frame truncated")
+	}
+	sidecar = rest[4 : 4+slen]
+	if len(sidecar) == 0 {
+		sidecar = nil
+	}
+	return archive, sidecar, nil
+}

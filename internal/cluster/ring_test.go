@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// testDocs generates n valid document names.
+func testDocs(n int) []string {
+	docs := make([]string, n)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("doc-%04d", i)
+	}
+	return docs
+}
+
+func testNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://node%d:8344", i)
+	}
+	return nodes
+}
+
+// TestRingOwnersDeterministic pins the placement contract: owners are
+// stable across independently built rings (peers that never exchanged a
+// byte agree), node order in the input is irrelevant, and replica sets
+// are always distinct nodes.
+func TestRingOwnersDeterministic(t *testing.T) {
+	nodes := testNodes(5)
+	a := Build(nodes, 0)
+	shuffled := []string{nodes[3], nodes[0], nodes[4], nodes[4], nodes[1], nodes[2]} // dup too
+	b := Build(shuffled, 0)
+	if a.Version() != b.Version() {
+		t.Fatalf("same membership, different versions: %x vs %x", a.Version(), b.Version())
+	}
+	for _, doc := range testDocs(200) {
+		oa, ob := a.Owners(doc, 3), b.Owners(doc, 3)
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("doc %s: owners %v vs %v from equal rings", doc, oa, ob)
+		}
+		if len(oa) != 3 {
+			t.Fatalf("doc %s: %d owners, want 3", doc, len(oa))
+		}
+		seen := map[string]bool{}
+		for _, o := range oa {
+			if seen[o] {
+				t.Fatalf("doc %s: replica set %v repeats a node", doc, oa)
+			}
+			seen[o] = true
+		}
+	}
+	// More replicas than nodes: all nodes, still distinct.
+	if got := a.Owners("doc-0001", 99); len(got) != 5 {
+		t.Fatalf("rf over cluster size returned %d owners, want 5", len(got))
+	}
+}
+
+// TestRingOwnersRejectsInvalidName pins the validation coupling: a name
+// store.ValidateDocName rejects must never reach placement.
+func TestRingOwnersRejectsInvalidName(t *testing.T) {
+	r := Build(testNodes(3), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Owners accepted a traversal name")
+		}
+	}()
+	r.Owners("../escape", 2)
+}
+
+// TestRingJoinMovesAboutOneOverN is the consistent-hashing property: a
+// node joining an N-node ring re-homes roughly 1/(N+1) of the primary
+// assignments, and every document that moves, moves to the new node.
+func TestRingJoinMovesAboutOneOverN(t *testing.T) {
+	docs := testDocs(4000)
+	old := Build(testNodes(4), 0)
+	grown := Build(testNodes(5), 0) // adds node4
+	moved := 0
+	for _, doc := range docs {
+		was, is := old.Owners(doc, 1)[0], grown.Owners(doc, 1)[0]
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "http://node4:8344" {
+			t.Fatalf("doc %s moved %s -> %s, not to the joining node", doc, was, is)
+		}
+	}
+	// Expected fraction 1/5 = 800 of 4000. Allow a generous band for
+	// hash variance at 64 vnodes.
+	if moved < 400 || moved > 1400 {
+		t.Fatalf("join moved %d/4000 primaries, want roughly 800 (1/5)", moved)
+	}
+
+	// Leave is symmetric: removing the node moves exactly those back.
+	back := 0
+	for _, doc := range docs {
+		if grown.Owners(doc, 1)[0] != old.Owners(doc, 1)[0] {
+			back++
+		}
+	}
+	if back != moved {
+		t.Fatalf("leave moved %d, join moved %d — not symmetric", back, moved)
+	}
+}
+
+// TestRingOwnershipPartition pins the coverage property: the union of
+// per-node ownership equals the full catalog, each document counted
+// exactly rf times.
+func TestRingOwnershipPartition(t *testing.T) {
+	const rf = 2
+	nodes := testNodes(4)
+	r := Build(nodes, 0)
+	docs := testDocs(1000)
+	owned := make(map[string][]string) // node -> docs
+	for _, doc := range docs {
+		for _, o := range r.Owners(doc, rf) {
+			owned[o] = append(owned[o], doc)
+		}
+	}
+	counts := make(map[string]int)
+	for node, ds := range owned {
+		if len(ds) == 0 {
+			t.Fatalf("node %s owns nothing over %d docs", node, len(docs))
+		}
+		for _, d := range ds {
+			counts[d]++
+		}
+	}
+	if len(counts) != len(docs) {
+		t.Fatalf("union covers %d docs, want %d", len(counts), len(docs))
+	}
+	for d, c := range counts {
+		if c != rf {
+			t.Fatalf("doc %s owned by %d nodes, want %d", d, c, rf)
+		}
+	}
+}
+
+// TestRebalancePlan pins the move-plan contract: deterministic output,
+// only gained owners produce moves, and sources are the old owners.
+func TestRebalancePlan(t *testing.T) {
+	docs := testDocs(300)
+	old := Build(testNodes(3), 0)
+	grown := Build(testNodes(4), 0)
+	plan := Rebalance(old, grown, docs, 2)
+	if len(plan) == 0 {
+		t.Fatalf("growing the ring produced an empty plan")
+	}
+	again := Rebalance(old, grown, docs, 2)
+	if !reflect.DeepEqual(plan, again) {
+		t.Fatalf("rebalance plan is not deterministic")
+	}
+	if !sort.SliceIsSorted(plan, func(i, j int) bool { return plan[i].Doc <= plan[j].Doc }) {
+		t.Fatalf("plan not in sorted doc order")
+	}
+	for _, mv := range plan {
+		oldOwners := old.Owners(mv.Doc, 2)
+		for _, o := range oldOwners {
+			if o == mv.To {
+				t.Fatalf("move %v targets a node that already owned the doc", mv)
+			}
+		}
+		if !reflect.DeepEqual(mv.From, oldOwners) {
+			t.Fatalf("move %v sources %v, want old owners %v", mv, mv.From, oldOwners)
+		}
+	}
+}
+
+// TestRingExchange pins the adoption rules: the wire version is
+// recomputed (never trusted), higher epochs win, and epoch ties break
+// deterministically by version so both sides of an exchange converge.
+func TestRingExchange(t *testing.T) {
+	cur := Build(testNodes(3), 0).WithEpoch(3)
+
+	// A peer claiming a bogus version for its membership gets corrected.
+	d := Build(testNodes(4), 0).WithEpoch(4).Desc()
+	d.Version = 12345
+	adopted := FromDesc(d)
+	if adopted.Version() == 12345 {
+		t.Fatalf("wire version was trusted")
+	}
+	if adopted.Version() != Build(testNodes(4), 0).Version() {
+		t.Fatalf("recomputed version does not match membership")
+	}
+	if !adopted.Supersedes(cur) {
+		t.Fatalf("epoch 4 must supersede epoch 3")
+	}
+	if cur.Supersedes(adopted) {
+		t.Fatalf("supersedes is not antisymmetric across epochs")
+	}
+
+	// Same epoch, different membership: exactly one side wins, both agree.
+	x := Build(testNodes(3), 0).WithEpoch(5)
+	y := Build(testNodes(4), 0).WithEpoch(5)
+	if x.Supersedes(y) == y.Supersedes(x) {
+		t.Fatalf("epoch tie must resolve to exactly one winner")
+	}
+	// Identical rings: neither supersedes (no adoption churn).
+	z := Build(testNodes(3), 0).WithEpoch(5)
+	if x.Supersedes(z) || z.Supersedes(x) {
+		t.Fatalf("identical rings must not supersede each other")
+	}
+}

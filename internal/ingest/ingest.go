@@ -81,6 +81,14 @@ type Options struct {
 	// CompactRetryBackoff is the delay before the first retry, doubling
 	// per attempt up to 10x. <= 0 selects DefaultCompactRetryBackoff.
 	CompactRetryBackoff time.Duration
+
+	// Published, when non-nil, is called after the compactor makes one
+	// document durable (archive + sidecar catalogued; tomb false) or
+	// erases one (tomb true). The cluster replicator hooks it to stream
+	// fresh archives to replica peers. Called from the compactor
+	// goroutine with no Ingester locks held; implementations must not
+	// block (enqueue and return).
+	Published func(name string, tomb bool)
 }
 
 // Ingester is the write subsystem: WAL for durability, memtable for
@@ -486,6 +494,9 @@ func (ing *Ingester) compactGeneration(g *generation) error {
 			if err := ing.opts.Store.Erase(name); err != nil {
 				return fmt.Errorf("ingest: compacting tombstone %q: %w", name, err)
 			}
+			if ing.opts.Published != nil {
+				ing.opts.Published(name, true)
+			}
 			continue
 		}
 		if err := ing.retry(func() error { return writeArchive(ing.opts.FS, path, d.archive) }); err != nil {
@@ -512,6 +523,9 @@ func (ing *Ingester) compactGeneration(g *generation) error {
 		// re-reading and re-decoding the archive it just wrote.
 		if err := ing.opts.Store.AddArchive(name, path, d.doc, d.syn); err != nil {
 			return fmt.Errorf("ingest: cataloguing %q: %w", name, err)
+		}
+		if ing.opts.Published != nil {
+			ing.opts.Published(name, false)
 		}
 	}
 	return syncDir(ing.opts.FS, dir)
@@ -643,6 +657,28 @@ func (ing *Ingester) LiveSynopsis(name string) (syn *synopsis.Synopsis, live boo
 		return nil, false
 	}
 	return d.syn, true
+}
+
+// Ready implements store.ReadyReporter: the write path is ready when it
+// is open, has no compaction backlog (sealed generations waiting to
+// drain) and no pending background-compaction failure. Live memtable
+// documents do not block readiness — they are fully servable.
+func (ing *Ingester) Ready() error {
+	ing.walMu.Lock()
+	closed := ing.closed
+	ing.walMu.Unlock()
+	if closed {
+		return errors.New("ingest: closed")
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.compactErr != nil {
+		return fmt.Errorf("ingest: pending compaction failure: %v", ing.compactErr)
+	}
+	if n := len(ing.table.sealed); n > 0 {
+		return fmt.Errorf("ingest: %d sealed generation(s) awaiting compaction", n)
+	}
+	return nil
 }
 
 // Stats returns a point-in-time snapshot of the write path.

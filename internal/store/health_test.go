@@ -1,0 +1,80 @@
+package store_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// stubIngest is an Ingestor whose readiness is scripted.
+type stubIngest struct {
+	ready error
+}
+
+func (s *stubIngest) Add(name string, xml []byte) error { return nil }
+func (s *stubIngest) Delete(name string) error          { return nil }
+func (s *stubIngest) Flush() error                      { return nil }
+func (s *stubIngest) Stats() store.IngestStats          { return store.IngestStats{} }
+func (s *stubIngest) Ready() error                      { return s.ready }
+
+func getHealth(t *testing.T, base, path string) (int, store.HealthResponse) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var hr store.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	return resp.StatusCode, hr
+}
+
+// TestHealthAndReadiness pins the probe endpoints: /healthz is liveness
+// only (always ok while serving), /readyz is 200 when the write path is
+// drained and 503 with causes when it is not — the signal cluster
+// membership and orchestrators act on.
+func TestHealthAndReadiness(t *testing.T) {
+	s, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ing := &stubIngest{}
+	srv := httptest.NewServer(store.NewHandler(s, store.ServerOptions{Ingest: ing}))
+	defer srv.Close()
+
+	if code, hr := getHealth(t, srv.URL, "/healthz"); code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("healthz = %d %+v, want 200 ok", code, hr)
+	}
+	if code, hr := getHealth(t, srv.URL, "/readyz"); code != http.StatusOK || hr.Status != "ok" || len(hr.Causes) != 0 {
+		t.Fatalf("readyz = %d %+v, want 200 ok with no causes", code, hr)
+	}
+
+	// The write path reports a backlog: ready flips, live does not.
+	ing.ready = errors.New("ingest: 2 sealed generation(s) awaiting compaction")
+	code, hr := getHealth(t, srv.URL, "/readyz")
+	if code != http.StatusServiceUnavailable || hr.Status != "unavailable" {
+		t.Fatalf("readyz with backlog = %d %+v, want 503 unavailable", code, hr)
+	}
+	if len(hr.Causes) != 1 || !strings.Contains(hr.Causes[0], "sealed generation") {
+		t.Fatalf("readyz causes = %v, want the ingest backlog", hr.Causes)
+	}
+	if code, hr := getHealth(t, srv.URL, "/healthz"); code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("healthz during backlog = %d %+v; liveness must not flip", code, hr)
+	}
+
+	// A handler without an ingestor (read-only serving) is simply ready.
+	ro := httptest.NewServer(store.NewHandler(s, store.ServerOptions{}))
+	defer ro.Close()
+	if code, _ := getHealth(t, ro.URL, "/readyz"); code != http.StatusOK {
+		t.Fatalf("read-only readyz = %d, want 200", code)
+	}
+}

@@ -142,6 +142,8 @@ func NewHandler(s *Store, opts ServerOptions) http.Handler {
 	mux.HandleFunc("/stats", h.stats)
 	mux.Handle("/metrics", s.Metrics().Handler())
 	mux.HandleFunc("/debug/slow", h.slow)
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/readyz", h.readyz)
 	if opts.AccessLog != nil {
 		return obs.AccessLog(opts.AccessLog, mux)
 	}
@@ -250,6 +252,11 @@ type FanoutResponse struct {
 type FanoutError struct {
 	Doc   string `json:"doc"`
 	Error string `json:"error"`
+
+	// RetryAfter carries a shedding peer's Retry-After hint (seconds),
+	// preserved per document when a clustered fan-out degrades a 429
+	// into error entries instead of failing the whole request.
+	RetryAfter string `json:"retry_after,omitempty"`
 }
 
 func (h *handler) query(w http.ResponseWriter, r *http.Request) {
@@ -556,6 +563,57 @@ func (h *handler) slow(w http.ResponseWriter, r *http.Request) {
 		Total:          l.Total(),
 		Entries:        entries,
 	})
+}
+
+// ReadyReporter is the optional readiness face of an Ingestor: Ready
+// returns nil when the write path is drained (no compaction backlog, no
+// pending background failure). The /readyz endpoint type-asserts it, so
+// implementations opt in without widening the Ingestor contract.
+type ReadyReporter interface {
+	Ready() error
+}
+
+// HealthResponse is the /healthz and /readyz body.
+type HealthResponse struct {
+	Status string   `json:"status"`           // "ok" or "unavailable"
+	Causes []string `json:"causes,omitempty"` // why not ready
+}
+
+// healthz handles GET /healthz: liveness only — the process is up and
+// the catalog is reachable. Cluster peers probe it to drive membership.
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, HealthResponse{Status: "ok"})
+}
+
+// readyz handles GET /readyz: readiness for traffic — the store is
+// open, the scrubber is not mid-quarantine (the catalog is not mutating
+// under a corruption verdict), and the write path is drained. Not ready
+// is 503 with the causes listed, so orchestrators and peers can act on
+// the distinction between dead and temporarily unsuitable.
+func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	var causes []string
+	if h.store.Quarantining() {
+		causes = append(causes, "scrubber is quarantining corrupt artifacts")
+	}
+	if rr, ok := h.opts.Ingest.(ReadyReporter); ok && h.opts.Ingest != nil {
+		if err := rr.Ready(); err != nil {
+			causes = append(causes, err.Error())
+		}
+	}
+	if len(causes) > 0 {
+		writeJSONStatus(w, http.StatusServiceUnavailable,
+			HealthResponse{Status: "unavailable", Causes: causes})
+		return
+	}
+	writeJSON(w, HealthResponse{Status: "ok"})
 }
 
 // ctxStatus maps a context error to its HTTP status: a deadline hit is

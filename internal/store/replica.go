@@ -1,0 +1,202 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/synopsis"
+	"repro/internal/xpath"
+)
+
+// ReplicaPayload reads the durable bytes of a catalogued document for
+// replication to a peer: the encoded archive and, when one exists, its
+// .xcs sidecar — the exact bytes a peer can verify by CRC, persist
+// tmp+rename and serve, whichever tier they come from. Loose documents
+// read the archive file and sidecar file; bundled documents read the
+// needle's archive and sidecar sections (replication un-bundles: the
+// receiving peer lands the copy as a loose archive and re-packs on its
+// own schedule). A live (memtable-only) document is not durable yet and
+// returns an error — the replicator is driven by the compactor's
+// publish step, which only names documents that just became durable.
+func (s *Store) ReplicaPayload(name string) (archive, sidecar []byte, err error) {
+	s.mu.Lock()
+	e, ok := s.entries[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("store: no durable document %q", name)
+	}
+	if e.b != nil {
+		archive, err = e.b.Archive(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: replica payload of %q: %w", name, err)
+		}
+		if data, ok, serr := e.b.Sidecar(name); serr == nil && ok {
+			sidecar = data
+		}
+		return archive, sidecar, nil
+	}
+	archive, err = s.fs.ReadFile(e.path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: replica payload of %q: %w", name, err)
+	}
+	sidecar, err = s.fs.ReadFile(synopsis.SidecarPath(e.path))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("store: replica sidecar of %q: %w", name, err)
+		}
+		sidecar = nil
+	}
+	return archive, sidecar, nil
+}
+
+// AcceptReplica lands a replica payload shipped by a peer: the archive
+// bytes are written tmp+fsync+rename as a loose .xca, the sidecar (when
+// sent and decodable against this store's dictionary) is persisted next
+// to it, and the document is swapped into the catalog exactly like a
+// compaction publish. The synopsis comes from the shipped sidecar when
+// its pairing matches, else it is rebuilt from the archive — a replica
+// is never catalogued without the same index coverage a local document
+// gets. The caller has already CRC-verified the payload; this method
+// still decodes defensively, so a payload that passed CRC but is not a
+// well-formed archive is rejected, not catalogued.
+func (s *Store) AcceptReplica(name string, archive, sidecar []byte) error {
+	if err := ValidateDocName(name); err != nil {
+		return err
+	}
+	path := s.archivePath(name)
+	if err := writeDurable(s, path, archive); err != nil {
+		return fmt.Errorf("store: landing replica %q: %w", name, err)
+	}
+	var syn *synopsis.Synopsis
+	if s.syn != nil {
+		dict := s.syn.Dict()
+		if len(sidecar) > 0 {
+			if got, archiveBytes, err := synopsis.DecodeSidecar(sidecar, dict); err == nil && archiveBytes == int64(len(archive)) {
+				syn = got
+				if err := s.fs.WriteFile(synopsis.SidecarPath(path), sidecar, 0o644); err != nil {
+					s.m.synWriteErrs.Inc()
+				}
+			}
+		}
+		if syn == nil {
+			// No sidecar shipped (sender had synopses off) or it failed
+			// to pair: rebuild from the archive we just wrote, the same
+			// one-time migration Open performs.
+			var werr error
+			syn, werr = buildSidecar(s.fs, path, int64(len(archive)), dict)
+			if syn == nil {
+				// The archive itself is undecodable: unlink the corpse so
+				// a garbage payload cannot poison the next open.
+				_ = s.fs.Remove(path)
+				return fmt.Errorf("store: replica %q is not a decodable archive: %w", name, werr)
+			}
+			s.m.synBuilds.Inc()
+			if werr != nil {
+				s.m.synWriteErrs.Inc()
+			}
+		}
+	} else if err := s.probeArchive(path); err != nil {
+		_ = s.fs.Remove(path)
+		return fmt.Errorf("store: replica %q failed verification: %w", name, err)
+	}
+	return s.AddArchive(name, path, nil, syn)
+}
+
+// archivePath is where name's loose archive lives under the store.
+func (s *Store) archivePath(name string) string {
+	return filepath.Join(s.dir, name+Ext)
+}
+
+// writeDurable writes data to path via temp file + fsync + rename, the
+// store's publish discipline: a crash leaves the old file or the new
+// one, never a torn archive.
+func writeDurable(s *Store, path string, data []byte) error {
+	tmp, err := s.fs.CreateTemp(s.dir, ".replica-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		s.fs.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		s.fs.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		s.fs.Remove(tmpName)
+		return err
+	}
+	if err := s.fs.Rename(tmpName, path); err != nil {
+		s.fs.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// FanoutLocal evaluates query against this node's whole catalog and
+// renders one QueryResponse per document with an *independent*
+// per-document paths cap — unlike the HTTP handler's fan-out, which
+// spends one shared budget across documents in catalog order. The
+// cluster router needs the uncapped-per-doc form: it merges several
+// nodes' partial fan-outs, re-sorts into global catalog order, and only
+// then applies the shared budget, which reproduces the single-node
+// truncation exactly no matter how documents were distributed.
+func (s *Store) FanoutLocal(ctx context.Context, query string, maxPerDoc int) (*FanoutResponse, error) {
+	results, tr, err := s.QueryAllTraceCtx(ctx, query, false)
+	if err != nil {
+		s.CloseTrace(tr, err)
+		return nil, err
+	}
+	resp := &FanoutResponse{Query: query, Docs: []QueryResponse{}, Workers: s.Workers()}
+	for _, br := range results {
+		if br.Err != nil {
+			resp.Failed = append(resp.Failed, FanoutError{Doc: br.Name, Error: br.Err.Error()})
+			continue
+		}
+		qr := toResponse(br.Name, query, br.Result, maxPerDoc)
+		qr.Pruned = br.Pruned
+		if br.Pruned {
+			resp.Pruned++
+		}
+		qr.Direct = br.Direct
+		if br.Direct {
+			resp.Direct++
+		}
+		resp.Docs = append(resp.Docs, qr)
+		resp.TotalMatches += br.Result.SelectedTree
+	}
+	s.CloseTrace(tr, nil)
+	return resp, nil
+}
+
+// SignaturePrune tests a query signature — typically one shipped by a
+// cluster peer ahead of the query text — against every catalogued
+// document's synopsis: the signature-first admission check of the
+// scatter-gather protocol. It returns the catalog names in serving
+// order, and a parallel prunable mask marking documents the signature
+// alone proves empty. A node whose whole catalog is prunable answers a
+// scatter without compiling the query, let alone decoding a document.
+// With the synopsis index disabled (or a signature carrying no
+// checkable facts) nothing is prunable and the mask is nil.
+func (s *Store) SignaturePrune(sig *xpath.Signature) (names []string, prunable []bool) {
+	names = s.Names()
+	if s.syn == nil {
+		return names, nil
+	}
+	rs := s.syn.Resolve(sig)
+	if rs == nil {
+		return names, nil
+	}
+	live := s.liveView()
+	prunable = make([]bool, len(names))
+	for i, name := range names {
+		prunable[i] = !s.docSynopsis(live, name).CanMatch(rs)
+	}
+	return names, prunable
+}

@@ -322,6 +322,8 @@ func (s *Store) repair(opts ScrubOptions, op func() error) error {
 // the catalogued one — a replacement that raced the scrub wins and the
 // quarantine is skipped.
 func (s *Store) quarantineDoc(e *entry, reason string, opts ScrubOptions, rep *ScrubReport) error {
+	s.quarantining.Add(1)
+	defer s.quarantining.Add(-1)
 	s.mu.Lock()
 	if s.entries[e.name] != e {
 		s.mu.Unlock()
@@ -371,6 +373,8 @@ func (s *Store) quarantineDoc(e *entry, reason string, opts ScrubOptions, rep *S
 // archive (loose replacements land at the same path), and quarantining
 // that would be a false positive.
 func (s *Store) quarantineSuspect(su Suspect, opts ScrubOptions, rep *ScrubReport) error {
+	s.quarantining.Add(1)
+	defer s.quarantining.Add(-1)
 	if !su.Bundled {
 		data, err := s.fs.ReadFile(su.Path)
 		if os.IsNotExist(err) {
@@ -477,6 +481,12 @@ func (s *Store) writeReason(base, src, reason string, opts ScrubOptions) error {
 		return s.fs.WriteFile(filepath.Join(qdir, base+".reason"), []byte(body), 0o644)
 	})
 }
+
+// Quarantining reports whether a scrub verdict is mutating the catalog
+// right now (a quarantine move in flight). /readyz checks it: a node
+// mid-quarantine keeps serving, but should not receive traffic shifts
+// until the catalog settles.
+func (s *Store) Quarantining() bool { return s.quarantining.Load() > 0 }
 
 // StartScrubber runs Scrub every interval in the background until
 // StopScrubber or Close. Starting an already-started scrubber is a

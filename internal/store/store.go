@@ -186,6 +186,11 @@ type Store struct {
 	scrubMu   sync.Mutex
 	stopScrub chan struct{}
 	scrubDone sync.WaitGroup
+
+	// quarantining counts quarantine moves in flight (scrub.go): while
+	// non-zero the catalog is mid-mutation from a scrub verdict and
+	// /readyz reports the node not ready for traffic shifts.
+	quarantining atomic.Int32
 }
 
 // entry is one catalogued document source. Exactly one tier backs it:

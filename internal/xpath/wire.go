@@ -1,0 +1,50 @@
+package xpath
+
+// SigWire is the wire form of a query Signature: the JSON shape a
+// cluster node ships to its peers ahead of (or instead of) the query
+// text, so a remote node can test the signature against its local
+// path-synopsis index — and prune documents, or its whole catalog —
+// before compiling the query, let alone decoding any document. The
+// fields mirror Signature exactly; the separate type exists so the
+// in-memory representation can evolve without breaking the peer
+// protocol, and so a hostile or version-skewed peer payload decodes
+// into something that is validated before use.
+type SigWire struct {
+	Required [][]string `json:"required,omitempty"`
+	Prefix   []string   `json:"prefix,omitempty"`
+	Anchored bool       `json:"anchored,omitempty"`
+}
+
+// Wire returns the signature's wire encoding. A nil signature encodes
+// as nil — the "no checkable facts" signature, which prunes nothing.
+func (s *Signature) Wire() *SigWire {
+	if s == nil {
+		return nil
+	}
+	return &SigWire{Required: s.Required, Prefix: s.Prefix, Anchored: s.Anchored}
+}
+
+// SigFromWire rebuilds a Signature from its wire form, normalising it
+// the way compilation would: groups are sorted and deduplicated, empty
+// groups (which would vacuously prune everything — an over-claim no
+// compiled signature produces) are dropped, and an un-anchored prefix
+// is discarded. The result is safe to resolve against a synopsis index
+// even when the sender is hostile or version-skewed: a mangled
+// signature can only prune less, never more, than an empty one.
+func SigFromWire(w *SigWire) *Signature {
+	if w == nil {
+		return nil
+	}
+	sig := &Signature{Anchored: w.Anchored}
+	for _, g := range w.Required {
+		if len(g) == 0 {
+			continue
+		}
+		sig.Required = append(sig.Required, append([]string(nil), g...))
+	}
+	sig.Required = dedupGroups(sig.Required)
+	if w.Anchored {
+		sig.Prefix = append([]string(nil), w.Prefix...)
+	}
+	return sig
+}
