@@ -254,14 +254,17 @@ func main() {
 		log.Printf("xcserve: drain: %v", err)
 	}
 	s.StopScrubber()
-	if node != nil {
-		node.Stop()
-	}
+	// Flush ingest BEFORE stopping the cluster node: the flush publishes
+	// any remaining memtable data, and the Published hook must still be
+	// able to append to the replicator's pending WAL.
 	if ing != nil {
 		log.Printf("xcserve: flushing ingest WAL to archives")
 		if err := ing.Close(); err != nil {
 			log.Fatalf("xcserve: ingest close: %v", err)
 		}
+	}
+	if node != nil {
+		node.Stop()
 	}
 	log.Printf("xcserve: bye")
 }

@@ -469,6 +469,70 @@ func TestScatterDegradesShedAndTimeout(t *testing.T) {
 	}
 }
 
+// TestScatterDropsInvalidPeerDocNames pins the router against a buggy
+// or version-skewed peer: a scatter answer naming a document no catalog
+// could hold (Ring.Owners panics on unvalidated names) is dropped
+// per-document — the valid rest of the answer and the request itself
+// still succeed.
+func TestScatterDropsInvalidPeerDocNames(t *testing.T) {
+	c := corpus.Catalog()[0]
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/cluster/docs", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(DocsList{Names: []string{"peer-doc"}})
+	})
+	mux.HandleFunc("/cluster/query", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(store.FanoutResponse{Docs: []store.QueryResponse{
+			{Doc: "../escape", Paths: []string{}},
+			{Doc: "peer-doc", Paths: []string{}},
+		}})
+	})
+	buggy := httptest.NewServer(mux)
+	defer buggy.Close()
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "local-doc"+store.Ext),
+		encodeArchive(t, c.Generate(3, 7)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	swap := &swapHandler{}
+	srv := httptest.NewServer(swap)
+	defer srv.Close()
+	n, err := New(st, Config{
+		Self:              srv.URL,
+		Peers:             []string{srv.URL, buggy.URL},
+		ReplicationFactor: 2,
+		ProbeInterval:     25 * time.Millisecond,
+		ScatterTimeout:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swap.set(n.Handler(store.NewHandler(st, store.ServerOptions{}), 100))
+	n.Start()
+	defer n.Stop()
+	waitFor(t, "buggy peer probed up", func() bool { return n.Membership().Up(buggy.URL) })
+
+	resp := fetchFanout(t, srv.URL, c.Queries[1])
+	got := make(map[string]bool, len(resp.Docs))
+	for _, qr := range resp.Docs {
+		got[qr.Doc] = true
+	}
+	if got["../escape"] {
+		t.Errorf("invalid peer doc name survived the merge: %+v", resp.Docs)
+	}
+	if !got["local-doc"] || !got["peer-doc"] {
+		t.Errorf("valid documents missing from the merged answer: %+v", resp.Docs)
+	}
+}
+
 // TestSingleDocForwarding pins the one-document path: a node that does
 // not hold the document forwards the query once to a live owner, and
 // the loop-guard header stops a second hop.

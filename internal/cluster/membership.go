@@ -256,6 +256,34 @@ func (mem *Membership) record(id string, err error, names []string) {
 	}
 }
 
+// SetPeers reconciles the tracked peer set with ids (self excluded):
+// nodes not yet tracked enter down and join the routable set on their
+// first successful probe; tracked nodes absent from ids are dropped.
+// The Node calls it on every ring adoption, so a membership change
+// published through the ring exchange actually brings new nodes into
+// probing, routing and replication — without it, record() would ignore
+// them forever.
+func (mem *Membership) SetPeers(ids []string) {
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if id != mem.self {
+			want[id] = true
+		}
+	}
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	for id := range want {
+		if mem.peers[id] == nil {
+			mem.peers[id] = &peer{state: PeerState{ID: id}}
+		}
+	}
+	for id := range mem.peers {
+		if !want[id] {
+			delete(mem.peers, id)
+		}
+	}
+}
+
 // MarkDown records a peer failure observed outside the prober — the
 // router calls it when a scatter request fails outright, so routing
 // stops preferring the peer before the next probe confirms.

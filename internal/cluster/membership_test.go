@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// TestSetPeersReconciles pins the membership side of a ring change:
+// nodes added to the set become trackable (record no longer ignores
+// them), nodes removed are dropped, and self is never tracked.
+func TestSetPeersReconciles(t *testing.T) {
+	const self = "http://self"
+	mem := newMembership(self, []string{self, "http://a"}, http.DefaultClient, time.Hour, newClusterMetrics(obs.New()))
+
+	mem.SetPeers([]string{self, "http://a", "http://b"})
+	if mem.Up("http://b") {
+		t.Fatal("a freshly adopted peer must start down")
+	}
+	mem.record("http://b", nil, []string{"doc"})
+	if !mem.Up("http://b") {
+		t.Fatal("record ignored the adopted peer; it can never come up")
+	}
+
+	mem.SetPeers([]string{self, "http://b"})
+	states := mem.States()
+	if len(states) != 1 || states[0].ID != "http://b" {
+		t.Fatalf("states after removing a: %+v, want just b", states)
+	}
+}
+
+// TestRingAdoptionTracksNewPeers pins the operator membership-change
+// flow end to end at the Node level: adopting a superseding ring with a
+// new node starts tracking it, and a later ring without an old peer
+// stops tracking that one.
+func TestRingAdoptionTracksNewPeers(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	n, err := New(st, Config{Self: "http://n1", Peers: []string{"http://n1", "http://n2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adopted, err := n.AdoptDesc(Desc{Epoch: 1, Nodes: []string{"http://n1", "http://n2", "http://n3"}})
+	if err != nil || !adopted {
+		t.Fatalf("adopt grown ring: adopted=%v err=%v", adopted, err)
+	}
+	tracked := make(map[string]bool)
+	for _, ps := range n.Membership().States() {
+		tracked[ps.ID] = true
+	}
+	if !tracked["http://n3"] {
+		t.Fatalf("new ring member not tracked by membership: %v", tracked)
+	}
+
+	adopted, err = n.AdoptDesc(Desc{Epoch: 2, Nodes: []string{"http://n1", "http://n3"}})
+	if err != nil || !adopted {
+		t.Fatalf("adopt shrunk ring: adopted=%v err=%v", adopted, err)
+	}
+	for _, ps := range n.Membership().States() {
+		if ps.ID == "http://n2" {
+			t.Fatal("removed ring member still tracked by membership")
+		}
+	}
+}

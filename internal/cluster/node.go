@@ -185,6 +185,10 @@ func (n *Node) adopt(r *Ring, src string) bool {
 	}
 	n.ring = r
 	n.ringMu.Unlock()
+	// Keep the health tracker in step with the ring: a node that just
+	// joined must be probed (and routed to, and owed replicas) and one
+	// that left must stop being attributed documents.
+	n.mem.SetPeers(r.Nodes())
 	n.m.ringAdopted.Inc()
 	log.Printf("cluster: adopted ring epoch=%d version=%016x nodes=%d (via %s)",
 		r.Epoch(), r.Version(), r.Len(), src)

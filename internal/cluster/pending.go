@@ -150,8 +150,12 @@ func (l *pendingLog) apply(rec pendingRecord) {
 
 // append writes one record durably (fsync per append: the queue is low
 // rate — one record per published document per peer — and a lost
-// record is a lost replica).
+// record is a lost replica). A closed log is an error, not a panic —
+// a late Published hook during shutdown must not crash the flush.
 func (l *pendingLog) append(rec pendingRecord) error {
+	if l.f == nil {
+		return fmt.Errorf("cluster: pending log closed")
+	}
 	body, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -166,26 +170,29 @@ func (l *pendingLog) append(rec pendingRecord) error {
 	return nil
 }
 
-// Add records a transfer owed. Safe for concurrent use.
+// Add records a transfer owed. Safe for concurrent use. The in-memory
+// pending set is updated before the durable append, so even when the
+// append fails (disk fault, closed log) drain still attempts delivery
+// for this process's lifetime — the error only reports the durability
+// gap across a restart.
 func (l *pendingLog) Add(t transfer) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.append(pendingRecord{Op: "add", transfer: t}); err != nil {
-		return err
-	}
 	l.apply(pendingRecord{Op: "add", transfer: t})
-	return nil
+	return l.append(pendingRecord{Op: "add", transfer: t})
 }
 
 // Done records a transfer delivered, compacting the log once enough
-// garbage has accumulated.
+// garbage has accumulated. The in-memory set drops the transfer even
+// when the append fails: delivery already happened, and losing the
+// done record only costs one idempotent re-send at the next start.
 func (l *pendingLog) Done(t transfer) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.apply(pendingRecord{Op: "done", transfer: t})
 	if err := l.append(pendingRecord{Op: "done", transfer: t}); err != nil {
 		return err
 	}
-	l.apply(pendingRecord{Op: "done", transfer: t})
 	if l.garbage >= compactThreshold {
 		return l.compactLocked()
 	}

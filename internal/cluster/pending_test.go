@@ -104,6 +104,33 @@ func TestPendingLogTornTail(t *testing.T) {
 	}
 }
 
+// TestPendingLogClosedAppend pins the shutdown race: a Published hook
+// firing after the log closed must get an error, not a nil-pointer
+// panic, and the in-memory pending set must still track the transfer
+// so an in-process drain can attempt it.
+func TestPendingLogClosedAppend(t *testing.T) {
+	l, err := openPendingLog(fault.OS, t.TempDir())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	tr := transfer{Doc: "late", Peer: "http://n2"}
+	if err := l.Add(tr); err == nil {
+		t.Fatal("Add on a closed log returned nil error")
+	}
+	if got := l.Pending(); len(got) != 1 || got[0] != tr {
+		t.Fatalf("pending after closed Add = %+v, want [%+v]", got, tr)
+	}
+	if err := l.Done(tr); err == nil {
+		t.Fatal("Done on a closed log returned nil error")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len after Done = %d, want 0", l.Len())
+	}
+}
+
 // TestPendingLogCompaction pins the rewrite: once garbage crosses the
 // threshold the log shrinks to the live set and still replays.
 func TestPendingLogCompaction(t *testing.T) {

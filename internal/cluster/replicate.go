@@ -136,8 +136,9 @@ func (r *Replicator) Published(doc string, tomb bool) {
 			continue
 		}
 		if err := r.log.Add(transfer{Doc: doc, Peer: owner, Tomb: tomb}); err != nil {
-			// The WAL append failed; the transfer is still in memory for
-			// this process's lifetime, so send anyway and log the gap.
+			// The WAL append failed, but Add keeps the transfer in the
+			// in-memory pending set regardless, so drain still attempts
+			// delivery — only durability across a restart is lost.
 			log.Printf("cluster: pending log append for %q: %v", doc, err)
 		}
 		added = true
@@ -288,17 +289,20 @@ func parseReplicaFrame(body []byte, crcHex string) (archive, sidecar []byte, err
 	if len(body) < 4 {
 		return nil, nil, fmt.Errorf("cluster: replica frame truncated")
 	}
-	alen := binary.BigEndian.Uint32(body[:4])
-	if uint64(4+alen+4) > uint64(len(body)) {
+	// Widen the lengths to uint64 BEFORE any arithmetic: a crafted alen
+	// near MaxUint32 must fail the bounds check, not wrap it (and the
+	// slice indices below) around.
+	alen := uint64(binary.BigEndian.Uint32(body[:4]))
+	if uint64(len(body)) < 8+alen {
 		return nil, nil, fmt.Errorf("cluster: replica frame truncated")
 	}
-	archive = body[4 : 4+alen]
-	rest := body[4+alen:]
-	slen := binary.BigEndian.Uint32(rest[:4])
-	if uint64(4+slen) != uint64(len(rest)) {
+	archive = body[4 : 4+int(alen)]
+	rest := body[4+int(alen):]
+	slen := uint64(binary.BigEndian.Uint32(rest[:4]))
+	if uint64(len(rest)) != 4+slen {
 		return nil, nil, fmt.Errorf("cluster: replica frame truncated")
 	}
-	sidecar = rest[4 : 4+slen]
+	sidecar = rest[4 : 4+int(slen)]
 	if len(sidecar) == 0 {
 		sidecar = nil
 	}

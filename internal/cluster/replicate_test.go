@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"testing"
+)
+
+func frameCRC(body []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(body, pendingCRC))
+}
+
+// TestParseReplicaFrameRoundTrip pins the happy path: what frameReplica
+// encodes, parseReplicaFrame decodes, with an absent sidecar mapped to
+// nil.
+func TestParseReplicaFrameRoundTrip(t *testing.T) {
+	body := frameReplica([]byte("archive-bytes"), []byte("sidecar"))
+	archive, sidecar, err := parseReplicaFrame(body, frameCRC(body))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !bytes.Equal(archive, []byte("archive-bytes")) || !bytes.Equal(sidecar, []byte("sidecar")) {
+		t.Fatalf("round trip = %q / %q", archive, sidecar)
+	}
+	body = frameReplica([]byte("a"), nil)
+	if _, sidecar, err = parseReplicaFrame(body, frameCRC(body)); err != nil || sidecar != nil {
+		t.Fatalf("empty sidecar: err=%v sidecar=%v, want nil/nil", err, sidecar)
+	}
+}
+
+// TestParseReplicaFrameRejectsCraftedLengths pins the bounds checks
+// against 32-bit overflow: an archive length near MaxUint32 used to
+// wrap 4+alen+4 to a small number, pass the old check, and panic the
+// slice expression. Every malformed frame must come back as an error.
+func TestParseReplicaFrameRejectsCraftedLengths(t *testing.T) {
+	overflow := make([]byte, 8)
+	binary.BigEndian.PutUint32(overflow, 0xFFFFFFFC) // 4+alen+4 wraps to 4 in uint32
+	past := make([]byte, 12)
+	binary.BigEndian.PutUint32(past, 16) // claims more archive than the body holds
+	trailing := append(frameReplica([]byte("a"), []byte("s")), 'x')
+	cases := map[string][]byte{
+		"overflowing archive length": overflow,
+		"short header":               {0, 0},
+		"archive length past body":   past,
+		"trailing bytes":             trailing,
+	}
+	for name, body := range cases {
+		if _, _, err := parseReplicaFrame(body, frameCRC(body)); err == nil {
+			t.Errorf("%s: frame accepted, want error", name)
+		}
+	}
+	good := frameReplica([]byte("a"), nil)
+	if _, _, err := parseReplicaFrame(good, "00000000"); err == nil {
+		t.Error("CRC mismatch accepted, want error")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sort"
 	"sync"
@@ -160,6 +161,13 @@ func (rt *Router) merge(query string, max int, answers []peerAnswer) *store.Fano
 		}
 		answered[ans.peer] = true
 		for _, qr := range ans.resp.Docs {
+			// A buggy or version-skewed peer must degrade, not panic:
+			// Ring.Owners (via pick) rejects unvalidated names hard, so
+			// drop anything a peer returned that no catalog could hold.
+			if err := store.ValidateDocName(qr.Doc); err != nil {
+				log.Printf("cluster: dropping invalid document name from peer %s: %v", ans.peer, err)
+				continue
+			}
 			m := byDoc[qr.Doc]
 			if m == nil {
 				m = make(map[string]store.QueryResponse)
